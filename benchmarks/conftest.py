@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each module regenerates one of the paper's tables/figures (or one of our own
+ablations).  Expensive artefacts (the Table-2 runs, the profile store) are
+session-scoped so that every benchmark in a session reuses them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.library import default_library
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.table2 import run_table2
+from repro.profiling.profiler import Profiler
+
+
+@pytest.fixture(scope="session")
+def library():
+    return default_library()
+
+
+@pytest.fixture(scope="session")
+def profile_store(library):
+    return Profiler().profile_library(library)
+
+
+@pytest.fixture(scope="session")
+def table2_results():
+    """The four Table-2 runs (baseline + three Murakkab STT configurations)."""
+    return run_table2()
+
+
+@pytest.fixture(scope="session")
+def figure3_results(table2_results):
+    return run_figure3(table2=table2_results)

@@ -1,0 +1,30 @@
+"""Ablation benchmark (ours): contribution of each Murakkab optimisation.
+
+The paper's §4 attributes the gains to (a) cross-scene DAG parallelism,
+(b) batched intra-scene summarisation, and (c) the profile-driven
+Speech-to-Text configuration choice.  This bench enables them cumulatively.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import render_ablation, run_ablation
+
+
+def test_ablation_cumulative_levers(benchmark):
+    steps = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print()
+    print(render_ablation(steps))
+    for step in steps:
+        benchmark.extra_info[step.label] = {
+            "time_s": round(step.makespan_s, 1),
+            "energy_wh": round(step.energy_wh, 1),
+        }
+    baseline, dag_only, batched, adaptive = steps
+    # DAG parallelism alone already helps; batched summarisation is the
+    # largest single contributor; the STT choice trades a little time for
+    # lower energy (MIN_COST).
+    assert dag_only.makespan_s < baseline.makespan_s
+    assert batched.makespan_s < dag_only.makespan_s
+    assert batched.makespan_s < baseline.makespan_s / 3.0
+    assert adaptive.energy_wh <= batched.energy_wh
+    assert adaptive.energy_wh < baseline.energy_wh / 2.5

@@ -1,0 +1,60 @@
+"""Benchmark: regenerate the paper's Figure 3 (execution traces + utilisation).
+
+Figure 3 shows (a) per-category execution traces for the baseline and the
+Murakkab configurations and (b) cluster CPU/GPU utilisation over time, with
+the baseline completing in ~283 s at low utilisation and Murakkab completing
+in 77-83 s.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import calibration
+from repro.experiments.configs import STT_CONFIG_LABELS
+from repro.experiments.figure3 import run_figure3
+
+
+def test_figure3_traces_and_utilization(benchmark, table2_results):
+    """Regenerates all four execution traces and their utilisation curves."""
+    figure = benchmark.pedantic(run_figure3, kwargs={"table2": table2_results},
+                                rounds=1, iterations=1)
+    print()
+    print(figure.render_traces(width=64))
+    for label in STT_CONFIG_LABELS:
+        benchmark.extra_info[f"{label}_makespan_s"] = round(figure.makespan_s(label), 1)
+        benchmark.extra_info[f"{label}_mean_gpu_util_pct"] = round(
+            figure.timelines[label].mean_gpu_percent, 1
+        )
+
+    low, high = calibration.PAPER_MURAKKAB_MAKESPAN_RANGE_S
+    assert figure.makespan_s("baseline") == pytest.approx(
+        calibration.PAPER_BASELINE_MAKESPAN_S, rel=0.10
+    )
+    for label in STT_CONFIG_LABELS[1:]:
+        assert low * 0.85 <= figure.makespan_s(label) <= high * 1.10
+        assert figure.speedup_over_baseline(label) > 3.0
+
+
+def test_figure3_baseline_underutilizes_resources(benchmark, figure3_results):
+    """The paper: the baseline 'severely underutilizes resources'."""
+
+    def _mean_utilisation():
+        return figure3_results.timelines["baseline"].mean_gpu_percent
+
+    mean_gpu_pct = benchmark(_mean_utilisation)
+    benchmark.extra_info["baseline_mean_gpu_util_pct"] = round(mean_gpu_pct, 1)
+    assert mean_gpu_pct < 40.0
+
+
+def test_figure3_cpu_config_shifts_load_to_cpus(benchmark, figure3_results):
+    """The CPU STT configuration shows higher CPU and lower GPU utilisation."""
+
+    def _delta():
+        cpu_config = figure3_results.timelines["murakkab-cpu"]
+        gpu_config = figure3_results.timelines["murakkab-gpu"]
+        return cpu_config.mean_cpu_percent - gpu_config.mean_cpu_percent
+
+    delta = benchmark(_delta)
+    benchmark.extra_info["cpu_minus_gpu_config_cpu_util_pct"] = round(delta, 1)
+    assert delta > 0

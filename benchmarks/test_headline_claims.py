@@ -1,0 +1,36 @@
+"""Benchmark: the paper's headline claims.
+
+Abstract / §4: "speedups up to ~3.4x in workflow completion times while
+delivering ~4.5x higher energy efficiency".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import calibration
+from repro.experiments.headline import run_headline
+
+
+def test_headline_speedup_and_energy_efficiency(benchmark, table2_results):
+    claims = benchmark.pedantic(
+        run_headline, kwargs={"table2": table2_results}, rounds=1, iterations=1
+    )
+    print()
+    print(claims.render())
+    benchmark.extra_info.update(
+        {
+            "measured_speedup": round(claims.measured_speedup, 2),
+            "paper_speedup": calibration.PAPER_SPEEDUP,
+            "measured_energy_gain": round(claims.measured_energy_gain, 2),
+            "paper_energy_gain": calibration.PAPER_ENERGY_EFFICIENCY_GAIN,
+            "murakkab_choice": claims.murakkab_choice,
+        }
+    )
+    # The shape: several-fold speedup and several-fold energy-efficiency gain,
+    # within ~25% of the paper's reported factors.
+    assert claims.measured_speedup == pytest.approx(calibration.PAPER_SPEEDUP, rel=0.25)
+    assert claims.measured_energy_gain == pytest.approx(
+        calibration.PAPER_ENERGY_EFFICIENCY_GAIN, rel=0.25
+    )
+    assert claims.murakkab_choice == "murakkab-cpu"

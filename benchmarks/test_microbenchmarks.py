@@ -1,0 +1,95 @@
+"""Micro-benchmarks for the runtime's own overheads.
+
+The paper's §3.3 discusses Murakkab's overheads: profiling, DAG creation, and
+configuration search.  These benchmarks measure the simulator-side cost of
+each step so regressions in the orchestration path itself are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import ConstraintSet, MIN_COST
+from repro.core.decomposer import JobDecomposer
+from repro.core.planner import ConfigurationPlanner
+from repro.llm.models import get_model_spec
+from repro.llm.serving import LlmRequest, LlmServingSimulator
+from repro.profiling.profiler import Profiler
+from repro.sim.engine import SimulationEngine
+from repro.workflows.video_understanding import video_understanding_job
+from repro.workloads.video import paper_videos
+
+
+def test_profiling_the_full_library(benchmark, library):
+    """Profiling overhead (amortised over every workflow that reuses it)."""
+    store = benchmark(lambda: Profiler().profile_library(library))
+    benchmark.extra_info["profiles"] = len(store)
+    assert len(store) > 50
+
+
+def test_job_decomposition_overhead(benchmark):
+    """DAG creation from the declarative job (paper: <1% of execution time)."""
+    decomposer = JobDecomposer()
+    job = video_understanding_job(videos=paper_videos(), job_id="bench-decompose")
+
+    graph, trace = benchmark(lambda: decomposer.decompose(job))
+    benchmark.extra_info["tasks"] = len(graph)
+    benchmark.extra_info["simulated_llm_latency_s"] = round(trace.latency_s, 3)
+    assert trace.latency_s < 0.01 * 283.0
+
+
+def test_configuration_search_overhead(benchmark, library, profile_store):
+    """Greedy configuration search across the Table-1 levers."""
+    decomposer = JobDecomposer()
+    job = video_understanding_job(videos=paper_videos(), job_id="bench-plan")
+    graph, _ = decomposer.decompose(job)
+    planner = ConfigurationPlanner(profile_store, library)
+    constraint_set = ConstraintSet((MIN_COST,), quality_floor=0.93)
+
+    plan = benchmark(lambda: planner.plan(graph, constraint_set))
+    benchmark.extra_info["interfaces_planned"] = len(plan.assignments)
+    assert plan.assignments
+
+
+def test_discrete_event_engine_throughput(benchmark):
+    """Raw event throughput of the simulation substrate."""
+
+    def run_many_events():
+        engine = SimulationEngine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 5000:
+                engine.schedule(1.0, tick)
+
+        engine.schedule(1.0, tick)
+        engine.run()
+        return count
+
+    events = benchmark(run_many_events)
+    assert events == 5000
+
+
+def test_llm_serving_simulator_batch_latency(benchmark):
+    """Analytic batched-serving latency model (used by agent cost models)."""
+    simulator = LlmServingSimulator(get_model_spec("nvlm-72b"))
+    requests = [LlmRequest(f"r{i}", prompt_tokens=800, output_tokens=120) for i in range(32)]
+
+    metrics = benchmark(lambda: simulator.run_batched(requests))
+    benchmark.extra_info["tokens_per_second"] = round(metrics.tokens_per_second, 1)
+    assert metrics.requests == 32
+
+
+def test_end_to_end_murakkab_submission(benchmark):
+    """Wall-clock cost of simulating one full Murakkab workflow execution."""
+    from repro.core.runtime import MurakkabRuntime
+
+    def run_once():
+        runtime = MurakkabRuntime()
+        return runtime.submit(video_understanding_job(job_id="bench-e2e"))
+
+    result = benchmark.pedantic(run_once, rounds=2, iterations=1)
+    benchmark.extra_info["simulated_makespan_s"] = round(result.makespan_s, 1)
+    assert result.makespan_s > 0

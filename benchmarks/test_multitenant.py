@@ -1,0 +1,29 @@
+"""Multi-tenant benchmark (ours): multiplexing Workflow A and Workflow B.
+
+Figure 2's premise: independent workflows managed jointly can multiplex
+shared serving instances and idle capacity instead of each holding a rigid
+dedicated deployment.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.multitenant import run_multitenant
+
+
+def test_multitenant_multiplexing(benchmark):
+    comparison = benchmark.pedantic(run_multitenant, rounds=1, iterations=1)
+    print()
+    print(comparison.render())
+    benchmark.extra_info.update(
+        {
+            "serial_total_time_s": round(comparison.serial_total_time_s, 1),
+            "multiplexed_batch_time_s": round(comparison.multiplexed_batch_time_s, 1),
+            "serial_energy_wh": round(comparison.serial_total_energy_wh, 1),
+            "multiplexed_energy_wh": round(comparison.multiplexed_total_energy_wh, 1),
+            "time_saving_fraction": round(comparison.time_saving_fraction, 3),
+        }
+    )
+    assert comparison.multiplexed_batch_time_s <= comparison.serial_total_time_s
+    assert comparison.multiplexed_mean_gpu_utilization >= (
+        comparison.serial_mean_gpu_utilization * 0.9
+    )

@@ -1,0 +1,63 @@
+"""Benchmark: regenerate the paper's Table 1 (optimisation levers).
+
+Table 1 states, for each lever the runtime can turn, the qualitative impact
+of a selection on monetary cost, power, latency, and result quality.  The
+harness profiles a concrete configuration pair per lever and checks the
+measured direction against the paper's entry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import render_table1, run_table1
+
+_METRICS = ("cost", "power", "latency", "quality")
+
+
+def test_table1_lever_sweep(benchmark):
+    observations = benchmark(run_table1)
+    print()
+    print(render_table1(observations))
+    assert len(observations) == 5
+    for observation in observations:
+        measured = observation.measured_directions
+        benchmark.extra_info[observation.lever] = {
+            metric: measured[metric] for metric in _METRICS
+        }
+        for metric in _METRICS:
+            assert observation.matches_paper(metric), (
+                observation.lever,
+                metric,
+                measured[metric],
+                observation.paper_directions[metric],
+            )
+
+
+@pytest.mark.parametrize(
+    "lever_index,lever_name",
+    [
+        (0, "GPU Generation"),
+        (1, "CPU vs GPU"),
+        (2, "Task Parallelism"),
+        (3, "Execution Paths"),
+        (4, "Model/Tool"),
+    ],
+)
+def test_table1_single_lever(benchmark, lever_index, lever_name):
+    """One benchmark entry per Table-1 row."""
+    observations = run_table1()
+    observation = observations[lever_index]
+    assert observation.lever == lever_name
+
+    measured = benchmark(lambda: observation.measured_directions)
+    benchmark.extra_info.update(
+        {
+            "lever": observation.lever,
+            "selection": observation.selection,
+            **{f"measured_{metric}": measured[metric] for metric in _METRICS},
+            **{f"paper_{metric}": observation.paper_directions[metric] for metric in _METRICS},
+        }
+    )
+    for metric in _METRICS:
+        assert observation.matches_paper(metric)

@@ -1,0 +1,59 @@
+"""Benchmark: regenerate the paper's Table 2 (energy and time per STT config).
+
+Paper values: baseline 155 Wh / 285 s, Murakkab CPU 34 Wh / 83 s,
+GPU 43 Wh / 77 s, GPU+CPU 42 Wh / 77 s.  The harness reports the simulated
+values next to the paper's and asserts the shape (ordering and rough factors).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import calibration
+from repro.experiments.configs import STT_CONFIG_LABELS
+from repro.experiments.table2 import run_table2
+
+
+def test_table2_full_sweep(benchmark, table2_results):
+    """Regenerates every Table-2 row and records paper-vs-measured values."""
+    results = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    print()
+    print(results.render())
+    for label in STT_CONFIG_LABELS:
+        paper = calibration.PAPER_TABLE2[label]
+        benchmark.extra_info[f"{label}_energy_wh"] = round(results.energy_wh(label), 1)
+        benchmark.extra_info[f"{label}_time_s"] = round(results.time_s(label), 1)
+        benchmark.extra_info[f"{label}_paper_energy_wh"] = paper["energy_wh"]
+        benchmark.extra_info[f"{label}_paper_time_s"] = paper["time_s"]
+    # Shape assertions: who wins and by roughly what factor.
+    assert results.time_s("baseline") == pytest.approx(285.0, rel=0.10)
+    for label in STT_CONFIG_LABELS[1:]:
+        assert results.time_s("baseline") / results.time_s(label) > 3.0
+        assert results.energy_wh("baseline") / results.energy_wh(label) > 2.5
+    assert results.energy_wh("murakkab-cpu") == min(
+        results.energy_wh(label) for label in STT_CONFIG_LABELS[1:]
+    )
+    assert results.autonomous_choice == "murakkab-cpu"
+
+
+@pytest.mark.parametrize("label", STT_CONFIG_LABELS)
+def test_table2_row_values(benchmark, table2_results, label):
+    """One benchmark entry per Table-2 row (values from the shared sweep)."""
+    result = table2_results.results[label]
+    paper = calibration.PAPER_TABLE2[label]
+
+    def _row():
+        return (result.energy_wh, result.makespan_s)
+
+    energy_wh, time_s = benchmark(_row)
+    benchmark.extra_info.update(
+        {
+            "config": label,
+            "measured_energy_wh": round(energy_wh, 1),
+            "measured_time_s": round(time_s, 1),
+            "paper_energy_wh": paper["energy_wh"],
+            "paper_time_s": paper["time_s"],
+        }
+    )
+    assert time_s == pytest.approx(paper["time_s"], rel=0.12)
+    assert energy_wh == pytest.approx(paper["energy_wh"], rel=0.35)

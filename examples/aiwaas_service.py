@@ -1,0 +1,108 @@
+"""AI Workflows-as-a-Service and quality control (paper §5).
+
+Demonstrates the paper's forward-looking discussion in runnable form:
+
+1. a long-lived **AIWaaS** endpoint serves declarative jobs, keeps models
+   warm between them, and transparently adopts a newly registered
+   speech-to-text model without any change to the submitted jobs;
+2. the **quality controller** analyses a cheap plan's quality cascade, finds
+   the stage with the greatest end-to-end impact, proposes the cheapest
+   single-stage upgrade that reaches a quality target, and places
+   correctness checkpoints after the most load-bearing stages.
+
+Run with::
+
+    python examples/aiwaas_service.py
+"""
+
+from __future__ import annotations
+
+from repro import AIWorkflowService, MIN_COST
+from repro.agents.base import AgentInterface, ExecutionEstimate, HardwareConfig
+from repro.agents.speech_to_text import _BaseSTT
+from repro.core.constraints import ConstraintSet
+from repro.core.decomposer import JobDecomposer
+from repro.core.planner import ConfigurationPlanner
+from repro.core.quality import cascade_quality
+from repro.core.quality_control import QualityController, plan_checkpoints
+from repro.workflows.video_understanding import PAPER_TASK_HINTS, video_understanding_job
+
+
+class WhisperV4(_BaseSTT):
+    """A hypothetical next-generation speech-to-text model."""
+
+    name = "whisper-v4"
+    quality = 0.99
+    description = "Next-generation speech-to-text (faster and more accurate)."
+    gpu_seconds_per_scene = 1.2
+    cpu_seconds_per_scene = 5.0
+
+
+def serve_jobs() -> AIWorkflowService:
+    service = AIWorkflowService()
+    print("=== AIWaaS: serving declarative jobs ===")
+    first = service.submit(
+        description="List objects shown/mentioned in the videos",
+        inputs=["cats.mov", "formula_1.mov"],
+        tasks=PAPER_TASK_HINTS,
+        constraints=MIN_COST,
+        quality_target=0.93,
+        job_id="aiwaas-before",
+    )
+    stt = first.plan.primary_assignment(AgentInterface.SPEECH_TO_TEXT)
+    print(f"job 1: {first.makespan_s:.1f}s using {stt.agent_name} on {stt.config.describe()}")
+
+    print("registering a new model: whisper-v4 (no job changes needed)")
+    service.register_agent(WhisperV4())
+
+    second = service.submit(
+        description="List objects shown/mentioned in the videos",
+        inputs=["cats.mov", "formula_1.mov"],
+        tasks=PAPER_TASK_HINTS,
+        constraints=MIN_COST,
+        quality_target=0.93,
+        job_id="aiwaas-after",
+    )
+    stt = second.plan.primary_assignment(AgentInterface.SPEECH_TO_TEXT)
+    print(f"job 2: {second.makespan_s:.1f}s using {stt.agent_name} on {stt.config.describe()}")
+    print(f"jobs served: {service.stats.jobs_completed}, "
+          f"total GPU energy {service.stats.total_energy_wh:.1f} Wh, "
+          f"warm deployments: {', '.join(service.warm_agents())}")
+    service.shutdown()
+    return service
+
+
+def quality_control(service: AIWorkflowService) -> None:
+    print()
+    print("=== Quality control (cost/quality trade-offs, checkpoints) ===")
+    job = video_understanding_job(job_id="aiwaas-quality")
+    graph, _ = JobDecomposer().decompose(job)
+    planner = ConfigurationPlanner(service.runtime.profile_store, service.runtime.library)
+    cheap_plan = planner.plan(graph, ConstraintSet((MIN_COST,), quality_floor=0.0))
+    controller = QualityController(service.runtime.profile_store)
+
+    current = cascade_quality(cheap_plan.stage_qualities())
+    print(f"cheapest plan end-to-end quality: {current:.3f}")
+    weakest = controller.most_impactful_interface(cheap_plan)
+    print(f"stage with the greatest impact:   {weakest.value}")
+
+    proposal = controller.propose_upgrade(cheap_plan, quality_target=min(1.0, current + 0.05))
+    if proposal is not None:
+        print(
+            f"cheapest single-stage upgrade:    {proposal.interface.value} -> "
+            f"{proposal.upgraded_agent} (quality {proposal.projected_workflow_quality:.3f}, "
+            f"+{proposal.extra_cost_per_unit:.4f} $-units per work unit)"
+        )
+
+    print("correctness checkpoints:")
+    for checkpoint in plan_checkpoints(graph, max_checkpoints=2):
+        print(f"  after {checkpoint.after_interface.value}: {checkpoint.reason}")
+
+
+def main() -> None:
+    service = serve_jobs()
+    quality_control(service)
+
+
+if __name__ == "__main__":
+    main()

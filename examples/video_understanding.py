@@ -1,0 +1,42 @@
+"""The paper's evaluation scenario end to end (Figure 3 / Table 2).
+
+Runs the OmAgent-derived Video Understanding workflow four ways — the
+imperative sequential baseline and Murakkab with Speech-to-Text on GPU,
+on 64 CPU cores, and on GPU+CPU — then prints the Table-2 comparison, the
+Figure-3-style execution traces, and the headline speedup / energy-efficiency
+numbers next to the paper's.
+
+Run with::
+
+    python examples/video_understanding.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.headline import run_headline
+from repro.experiments.table2 import run_table2
+
+
+def main() -> None:
+    print("Running the baseline and the three Murakkab STT configurations ...")
+    table2 = run_table2()
+
+    print()
+    print("=== Table 2: energy and execution time per configuration ===")
+    print(table2.render())
+    print()
+    print(f"Murakkab's own MIN_COST selection: {table2.autonomous_choice}")
+
+    figure3 = run_figure3(table2=table2)
+    print()
+    print("=== Figure 3: execution traces and utilisation ===")
+    print(figure3.render_traces(width=68))
+
+    claims = run_headline(table2)
+    print("=== Headline claims ===")
+    print(claims.render())
+
+
+if __name__ == "__main__":
+    main()

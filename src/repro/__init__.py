@@ -1,0 +1,77 @@
+"""repro: a reproduction of "Towards Resource-Efficient Compound AI Systems"
+(Murakkab, HotOS 2025).
+
+The package provides:
+
+* the declarative workflow programming model (``Job``, constraints) and the
+  Murakkab adaptive runtime (``MurakkabRuntime``) — the paper's contribution;
+* every substrate the paper depends on, simulated: a cluster of GPU/CPU
+  nodes with a cluster manager, an agent/model/tool library with execution
+  profiles, an LLM serving and orchestration layer, and synthetic workloads;
+* the imperative baseline (``OmAgentBaseline``) the paper compares against;
+* experiment harnesses that regenerate the paper's Figure 3, Table 1, and
+  Table 2 (``repro.experiments``).
+
+Quickstart::
+
+    from repro import Job, MIN_COST, MurakkabRuntime
+
+    job = Job(description="List objects shown/mentioned in the videos",
+              inputs=["cats.mov", "formula_1.mov"],
+              constraints=MIN_COST, quality_target=0.93)
+    result = MurakkabRuntime().submit(job)
+    print(result.summary())
+"""
+
+from repro.core.constraints import (
+    Constraint,
+    ConstraintSet,
+    MAX_QUALITY,
+    MIN_COST,
+    MIN_ENERGY,
+    MIN_LATENCY,
+    MIN_POWER,
+)
+from repro.core.job import Job, JobResult
+from repro.core.runtime import MurakkabRuntime
+from repro.core.multitenant import MultiTenantRuntime, TenantSubmission
+from repro.core.planner import PlannerOverride
+from repro.agents.base import AgentInterface, ExecutionMode, HardwareConfig
+from repro.agents.library import AgentLibrary, default_library
+from repro.baselines.omagent import OmAgentBaseline
+from repro.cluster.cluster import Cluster, paper_testbed
+from repro.service import AIWorkflowService
+from repro.workflows.video_understanding import (
+    omagent_imperative_workflow,
+    video_understanding_job,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Constraint",
+    "ConstraintSet",
+    "MIN_COST",
+    "MIN_LATENCY",
+    "MIN_ENERGY",
+    "MIN_POWER",
+    "MAX_QUALITY",
+    "Job",
+    "JobResult",
+    "MurakkabRuntime",
+    "MultiTenantRuntime",
+    "TenantSubmission",
+    "PlannerOverride",
+    "AgentInterface",
+    "ExecutionMode",
+    "HardwareConfig",
+    "AgentLibrary",
+    "default_library",
+    "OmAgentBaseline",
+    "AIWorkflowService",
+    "Cluster",
+    "paper_testbed",
+    "video_understanding_job",
+    "omagent_imperative_workflow",
+    "__version__",
+]

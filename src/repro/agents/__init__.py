@@ -1,0 +1,43 @@
+"""Agent/model/tool library.
+
+Murakkab "maintains a flexible library of agents, detailing their names,
+functionalities, and schemas" (§3.2).  This package provides that library:
+
+* abstract agent interfaces, hardware configurations, and execution modes
+  (:mod:`repro.agents.base`),
+* execution profiles capturing the efficiency-vs-quality trade-off of each
+  (implementation, hardware, mode) triple (:mod:`repro.agents.profiles`),
+* a registry (:mod:`repro.agents.library`), and
+* concrete simulated implementations of every agent the paper's evaluation
+  uses (OpenCV frame extraction, Whisper/FastConformer/DeepSpeech STT,
+  CLIP/SigLIP object detection, NVLM/Llama summarisation and embeddings, a
+  vector database, sentiment analysis, web search, and a calculator tool).
+"""
+
+from repro.agents.base import (
+    AgentImplementation,
+    AgentInterface,
+    AgentResult,
+    AgentSchema,
+    ExecutionEstimate,
+    ExecutionMode,
+    HardwareConfig,
+    WorkUnit,
+)
+from repro.agents.profiles import ExecutionProfile, ProfileKey
+from repro.agents.library import AgentLibrary, default_library
+
+__all__ = [
+    "AgentImplementation",
+    "AgentInterface",
+    "AgentResult",
+    "AgentSchema",
+    "ExecutionEstimate",
+    "ExecutionMode",
+    "HardwareConfig",
+    "WorkUnit",
+    "ExecutionProfile",
+    "ProfileKey",
+    "AgentLibrary",
+    "default_library",
+]

@@ -1,0 +1,108 @@
+"""A calculator tool (paper Figure 2's "Calculator" tool).
+
+This is a fully functional substrate: it evaluates arithmetic expressions by
+walking a restricted Python AST (no ``eval`` of arbitrary code).
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+from typing import Sequence, Tuple, Union
+
+from repro.agents.base import (
+    AgentImplementation,
+    AgentInterface,
+    AgentResult,
+    ExecutionEstimate,
+    ExecutionMode,
+    HardwareConfig,
+    SEQUENTIAL_MODE,
+    WorkUnit,
+)
+
+_BINARY_OPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+    ast.Pow: operator.pow,
+}
+_UNARY_OPS = {ast.UAdd: operator.pos, ast.USub: operator.neg}
+
+
+class CalculationError(ValueError):
+    """Raised when an expression cannot be evaluated safely."""
+
+
+def evaluate_expression(expression: str) -> Union[int, float]:
+    """Safely evaluate an arithmetic expression string."""
+    try:
+        tree = ast.parse(expression, mode="eval")
+    except SyntaxError as exc:
+        raise CalculationError(f"invalid expression: {expression!r}") from exc
+    return _evaluate_node(tree.body)
+
+
+def _evaluate_node(node: ast.AST) -> Union[int, float]:
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, (int, float)) and not isinstance(node.value, bool):
+            return node.value
+        raise CalculationError(f"unsupported constant: {node.value!r}")
+    if isinstance(node, ast.BinOp) and type(node.op) in _BINARY_OPS:
+        left = _evaluate_node(node.left)
+        right = _evaluate_node(node.right)
+        try:
+            return _BINARY_OPS[type(node.op)](left, right)
+        except ZeroDivisionError as exc:
+            raise CalculationError("division by zero") from exc
+    if isinstance(node, ast.UnaryOp) and type(node.op) in _UNARY_OPS:
+        return _UNARY_OPS[type(node.op)](_evaluate_node(node.operand))
+    raise CalculationError(f"unsupported expression element: {ast.dump(node)}")
+
+
+class CalculatorTool(AgentImplementation):
+    """Evaluates arithmetic expressions exactly."""
+
+    name = "calculator"
+    interface = AgentInterface.CALCULATION
+    quality = 1.0
+    description = "Evaluate an arithmetic expression."
+
+    seconds_per_expression = 0.01
+
+    def schema_parameters(self) -> Tuple[Tuple[str, str], ...]:
+        return (("expression", "str"),)
+
+    def supported_configs(self) -> Sequence[HardwareConfig]:
+        return (HardwareConfig(cpu_cores=1),)
+
+    def estimate(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> ExecutionEstimate:
+        if config.is_gpu:
+            raise ValueError("the calculator does not use GPUs")
+        expressions = max(work.quantity, 1.0)
+        return ExecutionEstimate(
+            seconds=self.seconds_per_expression * expressions,
+            gpu_utilization=0.0,
+            cpu_utilization=0.1,
+        )
+
+    def execute(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> AgentResult:
+        expression = str(work.get("expression", "0"))
+        value = evaluate_expression(expression)
+        output = {"expression": expression, "value": value}
+        return AgentResult(
+            agent_name=self.name, interface=self.interface, output=output, quality=self.quality
+        )

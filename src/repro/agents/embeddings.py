@@ -1,0 +1,121 @@
+"""Embedding agents (for vector-database insertion and retrieval)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro import calibration
+from repro.agents.base import (
+    AgentImplementation,
+    AgentInterface,
+    AgentResult,
+    ExecutionEstimate,
+    ExecutionMode,
+    HardwareConfig,
+    SEQUENTIAL_MODE,
+    WorkUnit,
+)
+from repro.agents.synthetic import stable_embedding
+from repro.cluster.hardware import GpuGeneration
+
+
+class _BaseEmbedder(AgentImplementation):
+    """Shared cost model for text-embedding models."""
+
+    interface = AgentInterface.EMBEDDING
+    seconds_per_item: float = calibration.EMBEDDING_SECONDS_PER_SCENE
+    gpu_utilization: float = calibration.EMBEDDING_UTILIZATION
+    dimension: int = 64
+
+    def schema_parameters(self) -> Tuple[Tuple[str, str], ...]:
+        return (("texts", "list[str]"),)
+
+    def supported_modes(self) -> Sequence[ExecutionMode]:
+        return (SEQUENTIAL_MODE, ExecutionMode(batched=True))
+
+    def _embed_texts(self, work: WorkUnit) -> AgentResult:
+        texts = work.get("texts") or []
+        if not texts and work.get("text"):
+            texts = [work.get("text")]
+        embeddings = [stable_embedding(str(text), self.dimension) for text in texts]
+        output = {
+            "texts": list(texts),
+            "embeddings": embeddings,
+            "dimension": self.dimension,
+        }
+        return AgentResult(
+            agent_name=self.name, interface=self.interface, output=output, quality=self.quality
+        )
+
+    def execute(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> AgentResult:
+        return self._embed_texts(work)
+
+
+class NvlmEmbedder(_BaseEmbedder):
+    """NVLM embedding head on 2 GPUs (the paper's VectorDB insertion path)."""
+
+    name = "nvlm-embedder"
+    quality = 0.98
+    description = "Generate dense embeddings with the NVLM embedding head."
+
+    def supported_configs(self) -> Sequence[HardwareConfig]:
+        return (
+            HardwareConfig(gpus=calibration.EMBEDDING_GPUS, gpu_generation=GpuGeneration.A100),
+            HardwareConfig(gpus=1, gpu_generation=GpuGeneration.A100),
+        )
+
+    def estimate(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> ExecutionEstimate:
+        if config.is_cpu_only:
+            raise ValueError(f"{self.name} requires GPUs")
+        items = max(work.quantity, 0.0)
+        per_item = self.seconds_per_item
+        # Half the reference GPUs -> slightly more than 2x slower (the
+        # embedding head no longer overlaps vision and text towers).
+        if config.gpus < calibration.EMBEDDING_GPUS:
+            per_item *= 2.2
+        utilization = self.gpu_utilization
+        if mode.batched:
+            per_item /= 1.4
+            utilization = min(1.0, utilization + 0.25)
+        return ExecutionEstimate(
+            seconds=per_item * items, gpu_utilization=utilization, cpu_utilization=0.05
+        )
+
+
+class MiniLmEmbedder(_BaseEmbedder):
+    """A small CPU embedding model: far cheaper, lower retrieval quality."""
+
+    name = "minilm-embedder"
+    quality = 0.85
+    description = "Generate dense embeddings with a small CPU model."
+    seconds_per_item = calibration.EMBEDDING_SECONDS_PER_SCENE * 3.0
+
+    def supported_configs(self) -> Sequence[HardwareConfig]:
+        return (HardwareConfig(cpu_cores=4), HardwareConfig(cpu_cores=8))
+
+    def estimate(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> ExecutionEstimate:
+        if config.is_gpu:
+            raise ValueError(f"{self.name} runs on CPU only")
+        items = max(work.quantity, 0.0)
+        speedup = min(config.cpu_cores / 4.0, 2.0)
+        per_item = self.seconds_per_item / max(speedup, 1e-9)
+        if mode.batched:
+            per_item /= 1.2
+        return ExecutionEstimate(
+            seconds=per_item * items, gpu_utilization=0.0, cpu_utilization=0.9
+        )

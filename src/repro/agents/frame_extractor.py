@@ -1,0 +1,98 @@
+"""Frame extraction tool (the paper's OpenCV-based extractor, CPU-bound)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro import calibration
+from repro.agents.base import (
+    AgentImplementation,
+    AgentInterface,
+    AgentResult,
+    ExecutionEstimate,
+    ExecutionMode,
+    HardwareConfig,
+    SEQUENTIAL_MODE,
+    WorkUnit,
+)
+
+
+class OpenCVFrameExtractor(AgentImplementation):
+    """Samples frames from videos at a fixed rate, optionally in parallel chunks.
+
+    The paper's Listing 1 runs this with ``sampling_rate=15`` on CPUs; the
+    Murakkab execution-path lever splits a video into chunks extracted in
+    parallel when more cores are available (§3.2 "Execution Paths").
+    """
+
+    name = "opencv-frame-extractor"
+    interface = AgentInterface.FRAME_EXTRACTION
+    quality = 1.0
+    description = "Extract frames from video files at a fixed sampling rate."
+
+    def schema_parameters(self) -> Tuple[Tuple[str, str], ...]:
+        return (
+            ("file", "str"),
+            ("start_time", "float"),
+            ("end_time", "float"),
+            ("num_frames", "int"),
+        )
+
+    def supported_configs(self) -> Sequence[HardwareConfig]:
+        return (
+            HardwareConfig(cpu_cores=calibration.FRAME_EXTRACT_CPU_CORES),
+            HardwareConfig(cpu_cores=4),
+            HardwareConfig(cpu_cores=8),
+        )
+
+    def supported_modes(self) -> Sequence[ExecutionMode]:
+        return (
+            SEQUENTIAL_MODE,
+            ExecutionMode(intra_task_parallelism=calibration.FRAME_EXTRACT_MAX_CHUNKS),
+        )
+
+    def estimate(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> ExecutionEstimate:
+        if config.is_gpu:
+            raise ValueError("frame extraction runs on CPU only")
+        videos = max(work.quantity, 0.0)
+        per_video = calibration.FRAME_EXTRACT_SECONDS_PER_VIDEO
+        # Chunked extraction: speedup limited both by cores and by the chunk
+        # count the tool supports.
+        core_speedup = config.cpu_cores / calibration.FRAME_EXTRACT_CPU_CORES
+        speedup = min(
+            mode.intra_task_parallelism,
+            core_speedup,
+            calibration.FRAME_EXTRACT_MAX_CHUNKS,
+        )
+        speedup = max(1.0, speedup)
+        return ExecutionEstimate(
+            seconds=per_video * videos / speedup,
+            gpu_utilization=0.0,
+            cpu_utilization=min(1.0, 0.9),
+        )
+
+    def execute(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> AgentResult:
+        video = work.get("video", {})
+        scenes = video.get("scenes", []) if isinstance(video, dict) else []
+        frames: List[str] = []
+        for scene in scenes:
+            frames.extend(scene.get("frames", []))
+        output = {
+            "video": video.get("name", "unknown") if isinstance(video, dict) else "unknown",
+            "frames": frames,
+            "scene_count": len(scenes),
+            "sampling_rate": 15,
+        }
+        return AgentResult(
+            agent_name=self.name, interface=self.interface, output=output, quality=self.quality
+        )

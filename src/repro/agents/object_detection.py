@@ -1,0 +1,107 @@
+"""Object detection agents (CLIP and SigLIP).
+
+The paper's evaluation runs CLIP on CPUs (Table 1's "CPU vs GPU" lever:
+some models run efficiently on CPUs); both detectors can also run on a GPU
+for lower latency at higher cost and power.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro import calibration
+from repro.agents.base import (
+    AgentImplementation,
+    AgentInterface,
+    AgentResult,
+    ExecutionEstimate,
+    ExecutionMode,
+    HardwareConfig,
+    SEQUENTIAL_MODE,
+    WorkUnit,
+)
+from repro.agents.synthetic import stable_subset
+from repro.cluster.hardware import GpuGeneration
+
+
+class _BaseDetector(AgentImplementation):
+    """Shared cost model for image-text matching object detectors."""
+
+    interface = AgentInterface.OBJECT_DETECTION
+    #: Per-scene seconds on the reference CPU slice.
+    cpu_seconds_per_scene: float = calibration.OBJECT_DETECTION_SECONDS_PER_SCENE
+    cpu_cores_reference: int = calibration.OBJECT_DETECTION_CPU_CORES
+    #: GPU speedup over the CPU reference.
+    gpu_speedup: float = 5.0
+
+    def schema_parameters(self) -> Tuple[Tuple[str, str], ...]:
+        return (("frames", "list[str]"), ("labels", "list[str]"))
+
+    def supported_configs(self) -> Sequence[HardwareConfig]:
+        return (
+            HardwareConfig(cpu_cores=self.cpu_cores_reference),
+            HardwareConfig(cpu_cores=self.cpu_cores_reference * 2),
+            HardwareConfig(gpus=1, gpu_generation=GpuGeneration.A100),
+        )
+
+    def supported_modes(self) -> Sequence[ExecutionMode]:
+        return (SEQUENTIAL_MODE, ExecutionMode(batched=True))
+
+    def estimate(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> ExecutionEstimate:
+        scenes = max(work.quantity, 0.0)
+        if config.is_gpu:
+            seconds = self.cpu_seconds_per_scene * scenes / self.gpu_speedup
+            utilization = 0.45 if not mode.batched else 0.75
+            if mode.batched:
+                seconds /= 1.3
+            return ExecutionEstimate(
+                seconds=seconds, gpu_utilization=utilization, cpu_utilization=0.1
+            )
+        core_ratio = config.cpu_cores / self.cpu_cores_reference
+        speedup = min(core_ratio, 2.0)
+        seconds = self.cpu_seconds_per_scene * scenes / max(speedup, 1e-9)
+        if mode.batched:
+            seconds /= 1.1
+        return ExecutionEstimate(seconds=seconds, gpu_utilization=0.0, cpu_utilization=0.9)
+
+    def execute(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> AgentResult:
+        scene = work.get("scene", {})
+        objects = scene.get("objects", []) if isinstance(scene, dict) else []
+        detected = stable_subset(objects, self.quality, self.name, scene.get("id", ""))
+        output = {
+            "scene_id": scene.get("id", "") if isinstance(scene, dict) else "",
+            "objects": detected,
+            "num_frames": len(scene.get("frames", [])) if isinstance(scene, dict) else 0,
+        }
+        return AgentResult(
+            agent_name=self.name, interface=self.interface, output=output, quality=self.quality
+        )
+
+
+class ClipDetector(_BaseDetector):
+    """OpenAI CLIP zero-shot object detection (the paper's choice, on CPUs)."""
+
+    name = "clip"
+    quality = 0.93
+    description = "Detect objects in frames using CLIP image-text matching."
+
+
+class SigLipDetector(_BaseDetector):
+    """SigLIP: higher quality than CLIP, needs a larger CPU slice."""
+
+    name = "siglip"
+    quality = 0.94
+    description = "Detect objects in frames using SigLIP."
+    cpu_seconds_per_scene = calibration.OBJECT_DETECTION_SECONDS_PER_SCENE * 1.4
+    cpu_cores_reference = calibration.OBJECT_DETECTION_CPU_CORES * 2
+    gpu_speedup = 5.5

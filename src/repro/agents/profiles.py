@@ -1,0 +1,129 @@
+"""Execution profiles: the efficiency-vs-quality record for one configuration.
+
+"Murakkab generates an execution profile for each model/tool and hardware
+resource pair when a new one is added to the library — the profile captures
+an efficiency vs quality tradeoff.  Efficiency metrics include cost, power
+consumption, and latency." (§3.2)
+
+A profile is keyed by (implementation, hardware config, execution mode) and
+records, for a reference work unit: latency, average power, energy, monetary
+cost, and result quality.  The planner ranks profiles under the workflow's
+constraint (MIN_COST, MIN_LATENCY, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.agents.base import (
+    AgentInterface,
+    ExecutionEstimate,
+    ExecutionMode,
+    HardwareConfig,
+)
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class ProfileKey:
+    """Identity of a profile: which implementation, on what, how."""
+
+    agent_name: str
+    config: HardwareConfig
+    mode: ExecutionMode
+
+    def describe(self) -> str:
+        return f"{self.agent_name}@{self.config.describe()}[{self.mode.describe()}]"
+
+
+@dataclass(frozen=True)
+class ExecutionProfile:
+    """Measured/estimated efficiency and quality for one :class:`ProfileKey`."""
+
+    key: ProfileKey
+    interface: AgentInterface
+    #: Service time for the reference work unit (seconds).
+    latency_s: float
+    #: Average power draw while executing (W).
+    power_w: float
+    #: Energy for the reference work unit (Wh).
+    energy_wh: float
+    #: Monetary cost for the reference work unit (arbitrary $ units).
+    cost: float
+    #: Result quality in [0, 1].
+    quality: float
+    #: Device utilisation while executing (drives the energy model).
+    gpu_utilization: float = 0.0
+    cpu_utilization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.power_w < 0 or self.energy_wh < 0 or self.cost < 0:
+            raise ValueError("profile efficiency metrics must be non-negative")
+        if not 0.0 <= self.quality <= 1.0:
+            raise ValueError(f"quality must be in [0, 1]: {self.quality}")
+
+    @property
+    def agent_name(self) -> str:
+        return self.key.agent_name
+
+    @property
+    def config(self) -> HardwareConfig:
+        return self.key.config
+
+    @property
+    def mode(self) -> ExecutionMode:
+        return self.key.mode
+
+    def objective_value(self, objective: str) -> float:
+        """Scalar value of this profile under a named objective (lower is better).
+
+        Supported objectives: ``cost``, ``latency``, ``energy``, ``power``,
+        and ``quality`` (negated so that lower is better uniformly).
+        """
+        if objective == "cost":
+            return self.cost
+        if objective == "latency":
+            return self.latency_s
+        if objective == "energy":
+            return self.energy_wh
+        if objective == "power":
+            return self.power_w
+        if objective == "quality":
+            return -self.quality
+        raise ValueError(f"unknown objective: {objective!r}")
+
+    def dominates(self, other: "ExecutionProfile") -> bool:
+        """Pareto dominance on (cost, latency, energy, -quality)."""
+        mine = (self.cost, self.latency_s, self.energy_wh, -self.quality)
+        theirs = (other.cost, other.latency_s, other.energy_wh, -other.quality)
+        return all(a <= b for a, b in zip(mine, theirs)) and mine != theirs
+
+
+def build_profile(
+    key: ProfileKey,
+    interface: AgentInterface,
+    estimate: ExecutionEstimate,
+    quality: float,
+) -> ExecutionProfile:
+    """Construct a profile from a cost-model estimate.
+
+    Power is derived from the hardware config at the estimated utilisation;
+    energy and cost follow from power/cost-rate x latency.
+    """
+    config = key.config
+    power_w = config.power_w(estimate.gpu_utilization, estimate.cpu_utilization)
+    energy_wh = power_w * estimate.seconds / SECONDS_PER_HOUR
+    cost = config.cost_per_hour() * estimate.seconds / SECONDS_PER_HOUR
+    return ExecutionProfile(
+        key=key,
+        interface=interface,
+        latency_s=estimate.seconds,
+        power_w=power_w,
+        energy_wh=energy_wh,
+        cost=cost,
+        quality=quality,
+        gpu_utilization=estimate.gpu_utilization,
+        cpu_utilization=estimate.cpu_utilization,
+    )

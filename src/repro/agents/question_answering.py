@@ -1,0 +1,128 @@
+"""Question-answering agents over retrieved context.
+
+The final stage of the Video Understanding workflow answers the job's
+question ("List objects shown/mentioned in the videos") from the per-scene
+summaries retrieved out of the vector database.  These agents support the
+Table-1 "Execution Paths" lever: exploring multiple reasoning paths
+(Chain-of-Thought top-k) raises quality at extra cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro import calibration
+from repro.agents.base import (
+    AgentImplementation,
+    AgentInterface,
+    AgentResult,
+    ExecutionEstimate,
+    ExecutionMode,
+    HardwareConfig,
+    SEQUENTIAL_MODE,
+    WorkUnit,
+)
+from repro.cluster.hardware import GpuGeneration
+
+
+class _BaseAnswerer(AgentImplementation):
+    """Shared cost model for LLM question answering."""
+
+    interface = AgentInterface.QUESTION_ANSWERING
+    reference_gpus: int = calibration.SUMMARIZE_GPUS
+    seconds_per_query: float = calibration.QA_SECONDS
+    gpu_utilization: float = calibration.QA_UTILIZATION
+
+    def schema_parameters(self) -> Tuple[Tuple[str, str], ...]:
+        return (("question", "str"), ("context", "list[str]"))
+
+    def supported_configs(self) -> Sequence[HardwareConfig]:
+        return (
+            HardwareConfig(gpus=self.reference_gpus, gpu_generation=GpuGeneration.A100),
+            HardwareConfig(gpus=self.reference_gpus, gpu_generation=GpuGeneration.H100),
+        )
+
+    def supported_modes(self) -> Sequence[ExecutionMode]:
+        return (
+            SEQUENTIAL_MODE,
+            ExecutionMode(speculative_paths=3),
+            ExecutionMode(speculative_paths=3, intra_task_parallelism=3),
+        )
+
+    def estimate(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> ExecutionEstimate:
+        if config.is_cpu_only:
+            raise ValueError(f"{self.name} requires GPUs")
+        queries = max(work.quantity, 0.0)
+        per_query = self.seconds_per_query
+        if config.gpus < self.reference_gpus:
+            per_query *= self.reference_gpus / max(config.gpus, 1)
+        # Additional reasoning paths run back-to-back unless the mode also
+        # raises intra-task parallelism (Table 1: more paths -> higher
+        # latency unless extra resources absorb them).
+        serial_paths = max(
+            1.0, mode.speculative_paths / max(mode.intra_task_parallelism, 1)
+        )
+        per_query *= serial_paths
+        # Extra reasoning paths raise utilisation (longer effective batches),
+        # and running them concurrently raises it further.
+        utilization = min(
+            1.0, self.gpu_utilization + 0.1 * (mode.speculative_paths - 1)
+        )
+        if mode.intra_task_parallelism > 1:
+            utilization = min(1.0, utilization + 0.2)
+        return ExecutionEstimate(
+            seconds=per_query * queries, gpu_utilization=utilization, cpu_utilization=0.05
+        )
+
+    def execute(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> AgentResult:
+        question = str(work.get("question", ""))
+        context: List[str] = list(work.get("context") or [])
+        objects: List[str] = list(work.get("objects") or [])
+        if objects:
+            answer = "Objects shown or mentioned: " + ", ".join(sorted(set(objects))) + "."
+        elif context:
+            answer = "Based on the retrieved scenes: " + " ".join(context[:3])
+        else:
+            answer = "No relevant context was retrieved."
+        output = {
+            "question": question,
+            "answer": answer,
+            "paths_explored": mode.speculative_paths,
+            "context_size": len(context),
+        }
+        return AgentResult(
+            agent_name=self.name,
+            interface=self.interface,
+            output=output,
+            quality=self.effective_quality(mode),
+        )
+
+
+class NvlmAnswerer(_BaseAnswerer):
+    """NVLM question answering on the 8-GPU serving instance."""
+
+    name = "nvlm-answerer"
+    quality = 0.96
+    description = "Answer a question from retrieved context using NVLM."
+    server_group = "nvlm-72b"
+
+
+class LlamaAnswerer(_BaseAnswerer):
+    """Llama question answering on a smaller 4-GPU instance."""
+
+    name = "llama-answerer"
+    quality = 0.90
+    description = "Answer a question from retrieved context using Llama."
+    server_group = "llama-3-70b"
+    reference_gpus = 4
+    seconds_per_query = calibration.QA_SECONDS * 0.8

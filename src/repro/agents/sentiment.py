@@ -1,0 +1,110 @@
+"""Sentiment analysis agents (used by the newsfeed workflow, paper Figure 1)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.agents.base import (
+    AgentImplementation,
+    AgentInterface,
+    AgentResult,
+    ExecutionEstimate,
+    ExecutionMode,
+    HardwareConfig,
+    SEQUENTIAL_MODE,
+    WorkUnit,
+)
+from repro.agents.synthetic import stable_fraction
+from repro.cluster.hardware import GpuGeneration
+
+_LABELS = ("negative", "neutral", "positive")
+
+
+class _BaseSentiment(AgentImplementation):
+    """Shared logic: classify each item into negative/neutral/positive."""
+
+    interface = AgentInterface.SENTIMENT_ANALYSIS
+    seconds_per_item: float = 0.3
+
+    def schema_parameters(self) -> Tuple[Tuple[str, str], ...]:
+        return (("texts", "list[str]"),)
+
+    def execute(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> AgentResult:
+        texts = list(work.get("texts") or [])
+        labels = []
+        for text in texts:
+            # Deterministic pseudo-classification; a low-quality model flips
+            # some labels relative to the reference assignment.
+            reference = _LABELS[int(stable_fraction("sentiment", text) * len(_LABELS))]
+            if stable_fraction(self.name, text) > self.quality:
+                reference = _LABELS[
+                    (int(stable_fraction("flip", text) * len(_LABELS)))
+                ]
+            labels.append(reference)
+        output = {"texts": texts, "labels": labels}
+        return AgentResult(
+            agent_name=self.name, interface=self.interface, output=output, quality=self.quality
+        )
+
+
+class DistilBertSentiment(_BaseSentiment):
+    """A small CPU sentiment classifier: cheap, good-enough quality."""
+
+    name = "distilbert-sentiment"
+    quality = 0.88
+    description = "Classify sentiment of short texts with a small CPU model."
+    seconds_per_item = 0.25
+
+    def supported_configs(self) -> Sequence[HardwareConfig]:
+        return (HardwareConfig(cpu_cores=2), HardwareConfig(cpu_cores=4))
+
+    def estimate(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> ExecutionEstimate:
+        if config.is_gpu:
+            raise ValueError(f"{self.name} runs on CPU only")
+        items = max(work.quantity, 0.0)
+        speedup = min(config.cpu_cores / 2.0, 2.0)
+        return ExecutionEstimate(
+            seconds=self.seconds_per_item * items / max(speedup, 1e-9),
+            gpu_utilization=0.0,
+            cpu_utilization=0.8,
+        )
+
+
+class LlamaSentiment(_BaseSentiment):
+    """LLM-based sentiment analysis on one GPU: higher quality, higher cost."""
+
+    name = "llama-sentiment"
+    quality = 0.95
+    description = "Classify sentiment of short texts with an LLM."
+    seconds_per_item = 0.5
+
+    def supported_configs(self) -> Sequence[HardwareConfig]:
+        return (HardwareConfig(gpus=1, gpu_generation=GpuGeneration.A100),)
+
+    def estimate(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> ExecutionEstimate:
+        if config.is_cpu_only:
+            raise ValueError(f"{self.name} requires a GPU")
+        items = max(work.quantity, 0.0)
+        per_item = self.seconds_per_item
+        utilization = 0.5
+        if mode.batched:
+            per_item /= 2.0
+            utilization = 0.8
+        return ExecutionEstimate(
+            seconds=per_item * items, gpu_utilization=utilization, cpu_utilization=0.05
+        )

@@ -1,0 +1,157 @@
+"""Speech-to-text agent implementations.
+
+The paper's library example: "the Speech-to-Text agent can be implemented
+using Whisper, DeepSpeech, Fast Conformer and others.  Each differs in
+response quality, performance and resource requirements." (§3.2)
+
+Whisper is the implementation used in the evaluation; it runs either on one
+GPU or on a 16-core CPU slice (the "64 CPU cores" configuration runs four
+scene transcriptions concurrently).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro import calibration
+from repro.agents.base import (
+    AgentImplementation,
+    AgentInterface,
+    AgentResult,
+    ExecutionEstimate,
+    ExecutionMode,
+    HardwareConfig,
+    SEQUENTIAL_MODE,
+    WorkUnit,
+)
+from repro.agents.synthetic import stable_subset
+from repro.cluster.hardware import GpuGeneration
+
+
+class _BaseSTT(AgentImplementation):
+    """Shared cost-model scaffolding for speech-to-text implementations."""
+
+    interface = AgentInterface.SPEECH_TO_TEXT
+    #: Per-scene service time on one A100 (seconds); None = GPU unsupported.
+    gpu_seconds_per_scene: float = None  # type: ignore[assignment]
+    #: Per-scene service time on the reference CPU slice; None = unsupported.
+    cpu_seconds_per_scene: float = None  # type: ignore[assignment]
+    cpu_cores_reference: int = calibration.STT_CPU_CORES_PER_SCENE
+    gpu_utilization: float = calibration.STT_GPU_UTILIZATION
+
+    def schema_parameters(self) -> Tuple[Tuple[str, str], ...]:
+        return (("audio_file", "str"), ("language", "str"))
+
+    def supported_configs(self) -> Sequence[HardwareConfig]:
+        configs: List[HardwareConfig] = []
+        if self.gpu_seconds_per_scene is not None:
+            configs.append(HardwareConfig(gpus=1, gpu_generation=GpuGeneration.A100))
+            configs.append(HardwareConfig(gpus=1, gpu_generation=GpuGeneration.H100))
+        if self.cpu_seconds_per_scene is not None:
+            configs.append(HardwareConfig(cpu_cores=self.cpu_cores_reference))
+            configs.append(HardwareConfig(cpu_cores=self.cpu_cores_reference * 2))
+        if self.gpu_seconds_per_scene is not None and self.cpu_seconds_per_scene is not None:
+            # The paper's "GPU + CPU" configuration: each scene's audio is
+            # split between one GPU and a CPU slice working together.
+            configs.append(
+                HardwareConfig(
+                    gpus=1,
+                    gpu_generation=GpuGeneration.A100,
+                    cpu_cores=self.cpu_cores_reference,
+                )
+            )
+        return tuple(configs)
+
+    def supported_modes(self) -> Sequence[ExecutionMode]:
+        return (SEQUENTIAL_MODE, ExecutionMode(batched=True, intra_task_parallelism=4))
+
+    def estimate(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> ExecutionEstimate:
+        scenes = max(work.quantity, 0.0)
+        if config.is_gpu and config.cpu_cores >= 8:
+            # Hybrid GPU+CPU execution: the CPU slice absorbs part of each
+            # scene, slightly lowering both latency and GPU utilisation.
+            if self.gpu_seconds_per_scene is None or self.cpu_seconds_per_scene is None:
+                raise ValueError(f"{self.name} does not support hybrid GPU+CPU execution")
+            return ExecutionEstimate(
+                seconds=calibration.STT_HYBRID_SECONDS_PER_SCENE
+                * scenes
+                * (self.gpu_seconds_per_scene / calibration.STT_GPU_SECONDS_PER_SCENE),
+                gpu_utilization=calibration.STT_HYBRID_GPU_UTILIZATION,
+                cpu_utilization=0.9,
+            )
+        if config.is_gpu:
+            if self.gpu_seconds_per_scene is None:
+                raise ValueError(f"{self.name} does not support GPU execution")
+            seconds = self.gpu_seconds_per_scene * scenes
+            utilization = self.gpu_utilization
+            # Audio transcription is largely memory/IO bound: batching gives a
+            # small throughput gain with a utilisation increase (Table 1:
+            # GPU-generation and parallelism have limited latency effect here).
+            if mode.batched:
+                seconds /= 1.15
+                utilization = min(1.0, utilization + 0.2)
+            return ExecutionEstimate(
+                seconds=seconds, gpu_utilization=utilization, cpu_utilization=0.2
+            )
+        if self.cpu_seconds_per_scene is None:
+            raise ValueError(f"{self.name} does not support CPU execution")
+        core_ratio = config.cpu_cores / self.cpu_cores_reference
+        # Near-linear scaling up to 2x the reference slice, then diminishing.
+        speedup = min(core_ratio, 2.0) + max(0.0, core_ratio - 2.0) * 0.25
+        seconds = self.cpu_seconds_per_scene * scenes / max(speedup, 1e-9)
+        return ExecutionEstimate(seconds=seconds, gpu_utilization=0.0, cpu_utilization=0.95)
+
+    def execute(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> AgentResult:
+        scene = work.get("scene", {})
+        tokens = scene.get("transcript_tokens", []) if isinstance(scene, dict) else []
+        recovered = stable_subset(tokens, self.quality, self.name, scene.get("id", ""))
+        output = {
+            "scene_id": scene.get("id", "") if isinstance(scene, dict) else "",
+            "transcript": " ".join(recovered),
+            "token_count": len(recovered),
+            "language": "en",
+        }
+        return AgentResult(
+            agent_name=self.name, interface=self.interface, output=output, quality=self.quality
+        )
+
+
+class WhisperSTT(_BaseSTT):
+    """OpenAI Whisper: highest quality, runs on one GPU or a CPU slice."""
+
+    name = "whisper"
+    quality = 0.96
+    description = "Transcribe speech to text with Whisper (GPU or CPU)."
+    gpu_seconds_per_scene = calibration.STT_GPU_SECONDS_PER_SCENE
+    cpu_seconds_per_scene = calibration.STT_CPU_SECONDS_PER_SCENE
+
+
+class FastConformerSTT(_BaseSTT):
+    """NVIDIA Fast Conformer: faster and cheaper than Whisper, slightly lower quality."""
+
+    name = "fast-conformer"
+    quality = 0.90
+    description = "Transcribe speech to text with Fast Conformer (fast, GPU or CPU)."
+    gpu_seconds_per_scene = calibration.STT_GPU_SECONDS_PER_SCENE * 0.55
+    cpu_seconds_per_scene = calibration.STT_CPU_SECONDS_PER_SCENE * 0.6
+    gpu_utilization = 0.7
+
+
+class DeepSpeechSTT(_BaseSTT):
+    """DeepSpeech: CPU-only, cheapest, lowest quality."""
+
+    name = "deepspeech"
+    quality = 0.80
+    description = "Transcribe speech to text with DeepSpeech (CPU only)."
+    gpu_seconds_per_scene = None
+    cpu_seconds_per_scene = calibration.STT_CPU_SECONDS_PER_SCENE * 0.8

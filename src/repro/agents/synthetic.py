@@ -1,0 +1,67 @@
+"""Deterministic helpers for synthetic agent outputs.
+
+Agents in this reproduction do not run real models; they produce synthetic
+outputs derived deterministically from their inputs and their quality score,
+so that end-to-end examples yield stable, inspectable results and so that
+quality can be measured against the workload generator's ground truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+import numpy as np
+
+
+def stable_hash(*parts: object) -> int:
+    """A deterministic 64-bit hash of the string rendering of ``parts``.
+
+    Python's built-in ``hash`` is randomised per process for strings, so we
+    use blake2b to keep synthetic outputs reproducible across runs.
+    """
+    digest = hashlib.blake2b("|".join(str(p) for p in parts).encode(), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+def stable_fraction(*parts: object) -> float:
+    """A deterministic float in [0, 1) derived from ``parts``."""
+    return (stable_hash(*parts) % 10_000_000) / 10_000_000.0
+
+
+def stable_subset(items: Sequence[str], keep_fraction: float, *seed_parts: object) -> List[str]:
+    """Keep a deterministic ~``keep_fraction`` subset of ``items``.
+
+    Used to model lossy agents: an object detector with quality 0.9 recovers
+    ~90% of the ground-truth objects, and always the *same* 90% for the same
+    input.
+    """
+    if not 0.0 <= keep_fraction <= 1.0:
+        raise ValueError(f"keep_fraction must be in [0, 1]: {keep_fraction}")
+    kept = [
+        item
+        for index, item in enumerate(items)
+        if stable_fraction(item, index, *seed_parts) < keep_fraction
+    ]
+    return kept
+
+
+def stable_embedding(text: str, dimension: int = 64) -> np.ndarray:
+    """A deterministic unit-norm embedding for ``text``.
+
+    Token-level hashing gives related texts (sharing words) related vectors,
+    which is enough for the vector-database retrieval path to behave
+    sensibly.
+    """
+    if dimension <= 0:
+        raise ValueError("dimension must be positive")
+    vector = np.zeros(dimension, dtype=np.float64)
+    tokens = text.lower().split() or [text]
+    for token in tokens:
+        rng = np.random.default_rng(stable_hash(token) % (2**32))
+        vector += rng.normal(size=dimension)
+    norm = np.linalg.norm(vector)
+    if norm == 0.0:
+        vector[0] = 1.0
+        norm = 1.0
+    return vector / norm

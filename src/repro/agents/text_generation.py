@@ -1,0 +1,140 @@
+"""Text-generation agents (used by the newsfeed workflow, paper Figure 1).
+
+``GptTextGenerator`` models a *proprietary, externally hosted* model (the
+paper's §5 "Proprietary Models and Agents" discussion): it consumes no
+cluster GPUs — requests leave the cluster — but has a higher monetary cost
+and a fixed network latency, and the runtime has no visibility into the
+provider's resource usage.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.agents.base import (
+    AgentImplementation,
+    AgentInterface,
+    AgentResult,
+    ExecutionEstimate,
+    ExecutionMode,
+    HardwareConfig,
+    SEQUENTIAL_MODE,
+    WorkUnit,
+)
+from repro.cluster.hardware import GpuGeneration
+
+
+class LlamaTextGenerator(AgentImplementation):
+    """Locally hosted Llama text generation on 1-4 GPUs."""
+
+    name = "llama-textgen"
+    interface = AgentInterface.TEXT_GENERATION
+    quality = 0.90
+    description = "Generate text with a locally hosted Llama model."
+
+    seconds_per_item = 2.0
+    reference_gpus = 1
+
+    def schema_parameters(self) -> Tuple[Tuple[str, str], ...]:
+        return (("prompt", "str"), ("max_tokens", "int"))
+
+    def supported_configs(self) -> Sequence[HardwareConfig]:
+        return (
+            HardwareConfig(gpus=1, gpu_generation=GpuGeneration.A100),
+            HardwareConfig(gpus=2, gpu_generation=GpuGeneration.A100),
+            HardwareConfig(gpus=4, gpu_generation=GpuGeneration.A100),
+        )
+
+    def estimate(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> ExecutionEstimate:
+        if config.is_cpu_only:
+            raise ValueError(f"{self.name} requires GPUs")
+        items = max(work.quantity, 0.0)
+        # More GPUs shorten latency sub-linearly (tensor parallel overheads).
+        per_item = self.seconds_per_item / (config.gpus / self.reference_gpus) ** 0.7
+        utilization = 0.55
+        if mode.batched:
+            per_item /= 1.8
+            utilization = 0.85
+        return ExecutionEstimate(
+            seconds=per_item * items, gpu_utilization=utilization, cpu_utilization=0.05
+        )
+
+    def execute(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> AgentResult:
+        prompt = str(work.get("prompt", ""))
+        output = {
+            "prompt": prompt,
+            "text": f"[{self.name}] {prompt[:160]} ... (generated continuation)",
+        }
+        return AgentResult(
+            agent_name=self.name,
+            interface=self.interface,
+            output=output,
+            quality=self.effective_quality(mode),
+        )
+
+
+class GptTextGenerator(AgentImplementation):
+    """An external proprietary model behind a REST API (no cluster GPUs)."""
+
+    name = "gpt-4o-textgen"
+    interface = AgentInterface.TEXT_GENERATION
+    quality = 0.97
+    description = "Generate text with an external proprietary model (API call)."
+
+    #: Fixed request latency: network + provider-side queueing.
+    seconds_per_item = 3.0
+    #: Monetary cost per request in the same arbitrary units as hardware cost.
+    cost_per_request = 0.02
+    #: Marker consumed by the planner: this agent's resource usage is opaque.
+    external = True
+
+    def schema_parameters(self) -> Tuple[Tuple[str, str], ...]:
+        return (("prompt", "str"), ("max_tokens", "int"))
+
+    def supported_configs(self) -> Sequence[HardwareConfig]:
+        # One client core to issue and await the API call.
+        return (HardwareConfig(cpu_cores=1),)
+
+    def estimate(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> ExecutionEstimate:
+        if config.is_gpu:
+            raise ValueError("external API calls do not use cluster GPUs")
+        items = max(work.quantity, 0.0)
+        return ExecutionEstimate(
+            seconds=self.seconds_per_item * items,
+            gpu_utilization=0.0,
+            cpu_utilization=0.05,
+        )
+
+    def execute(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> AgentResult:
+        prompt = str(work.get("prompt", ""))
+        output = {
+            "prompt": prompt,
+            "text": f"[{self.name}] {prompt[:160]} ... (polished continuation)",
+            "provider": "external-api",
+        }
+        return AgentResult(
+            agent_name=self.name,
+            interface=self.interface,
+            output=output,
+            quality=self.effective_quality(mode),
+        )

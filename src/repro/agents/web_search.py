@@ -1,0 +1,75 @@
+"""A simulated web-search tool (paper Figure 2's "Web Search" tool)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.agents.base import (
+    AgentImplementation,
+    AgentInterface,
+    AgentResult,
+    ExecutionEstimate,
+    ExecutionMode,
+    HardwareConfig,
+    SEQUENTIAL_MODE,
+    WorkUnit,
+)
+from repro.agents.synthetic import stable_fraction
+
+
+class WebSearchTool(AgentImplementation):
+    """Returns deterministic synthetic search results for a query.
+
+    The tool is network-bound in reality; here latency is a fixed per-query
+    service time on a single CPU core (the client).
+    """
+
+    name = "web-search"
+    interface = AgentInterface.WEB_SEARCH
+    quality = 0.90
+    description = "Search the web and return the top result snippets."
+
+    seconds_per_query = 1.5
+
+    def schema_parameters(self) -> Tuple[Tuple[str, str], ...]:
+        return (("query", "str"), ("top_k", "int"))
+
+    def supported_configs(self) -> Sequence[HardwareConfig]:
+        return (HardwareConfig(cpu_cores=1),)
+
+    def estimate(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> ExecutionEstimate:
+        if config.is_gpu:
+            raise ValueError("web search does not use GPUs")
+        queries = max(work.quantity, 0.0)
+        per_query = self.seconds_per_query
+        if mode.intra_task_parallelism > 1:
+            per_query /= min(mode.intra_task_parallelism, 4)
+        return ExecutionEstimate(
+            seconds=per_query * queries, gpu_utilization=0.0, cpu_utilization=0.2
+        )
+
+    def execute(
+        self,
+        work: WorkUnit,
+        config: HardwareConfig,
+        mode: ExecutionMode = SEQUENTIAL_MODE,
+    ) -> AgentResult:
+        query = str(work.get("query", ""))
+        top_k = int(work.get("top_k", 3))
+        results = [
+            {
+                "title": f"Result {i + 1} for {query!r}",
+                "snippet": f"Synthetic snippet {i + 1} about {query}.",
+                "relevance": round(1.0 - 0.17 * i - 0.1 * stable_fraction(query, i), 3),
+            }
+            for i in range(top_k)
+        ]
+        output = {"query": query, "results": results}
+        return AgentResult(
+            agent_name=self.name, interface=self.interface, output=output, quality=self.quality
+        )

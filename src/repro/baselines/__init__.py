@@ -1,0 +1,5 @@
+"""Baselines the paper compares against."""
+
+from repro.baselines.omagent import OmAgentBaseline
+
+__all__ = ["OmAgentBaseline"]

@@ -1,0 +1,134 @@
+"""Command-line interface for the reproduction.
+
+``python -m repro <command>`` (or the ``murakkab-repro`` console script)
+regenerates the paper's tables and figures or runs a quick demonstration
+job, printing the same reports the benchmark harness checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    from repro import MurakkabRuntime
+    from repro.workflows.video_understanding import video_understanding_job
+    from repro.workloads.video import generate_videos
+
+    videos = generate_videos(count=2, scenes_per_video=args.scenes)
+    runtime = MurakkabRuntime()
+    result = runtime.submit(video_understanding_job(videos=videos, job_id="cli-quickstart"))
+    print(result.plan.describe())
+    print()
+    for key, value in result.summary().items():
+        print(f"{key:>18}: {value}")
+    print(f"{'answer':>18}: {result.output.get('answer', '')}")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.headline import run_headline
+    from repro.experiments.table2 import run_table2
+
+    table2 = run_table2()
+    print(table2.render())
+    print()
+    print(f"Murakkab's own MIN_COST selection: {table2.autonomous_choice}")
+    print(run_headline(table2).render())
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    from repro.experiments.figure3 import run_figure3
+
+    print(run_figure3().render_traces(width=args.width))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import render_table1, run_table1
+
+    observations = run_table1()
+    print(render_table1(observations))
+    mismatches = [
+        (observation.lever, metric)
+        for observation in observations
+        for metric in ("cost", "power", "latency", "quality")
+        if not observation.matches_paper(metric)
+    ]
+    print()
+    if mismatches:
+        print(f"directions inconsistent with the paper: {mismatches}")
+        return 1
+    print("all lever directions consistent with the paper's Table 1")
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments.ablation import render_ablation, run_ablation
+
+    print(render_ablation(run_ablation()))
+    return 0
+
+
+def _cmd_multitenant(args: argparse.Namespace) -> int:
+    from repro.experiments.multitenant import run_multitenant
+
+    print(run_multitenant().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="murakkab-repro",
+        description=(
+            "Reproduction of 'Towards Resource-Efficient Compound AI Systems' "
+            "(Murakkab, HotOS 2025): regenerate the paper's tables and figures."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    quickstart = subparsers.add_parser(
+        "quickstart", help="run the Listing-2 video-understanding job once"
+    )
+    quickstart.add_argument(
+        "--scenes", type=int, default=8, help="scenes per video (default: the paper's 8)"
+    )
+    quickstart.set_defaults(func=_cmd_quickstart)
+
+    table2 = subparsers.add_parser(
+        "table2", help="regenerate Table 2 (energy/time per STT configuration) + headline claims"
+    )
+    table2.set_defaults(func=_cmd_table2)
+
+    figure3 = subparsers.add_parser(
+        "figure3", help="regenerate Figure 3 (execution traces and utilisation)"
+    )
+    figure3.add_argument("--width", type=int, default=72, help="timeline width in characters")
+    figure3.set_defaults(func=_cmd_figure3)
+
+    table1 = subparsers.add_parser("table1", help="regenerate Table 1 (optimisation levers)")
+    table1.set_defaults(func=_cmd_table1)
+
+    ablation = subparsers.add_parser(
+        "ablation", help="per-lever contribution ablation (ours)"
+    )
+    ablation.set_defaults(func=_cmd_ablation)
+
+    multitenant = subparsers.add_parser(
+        "multitenant", help="Workflow A + B multiplexing comparison (ours)"
+    )
+    multitenant.set_defaults(func=_cmd_multitenant)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

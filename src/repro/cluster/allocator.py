@@ -1,0 +1,155 @@
+"""Resource requests, allocations, and the allocator.
+
+The allocator is deliberately simple (this is the substrate, not the paper's
+contribution): it places a request on a single node chosen by a pluggable
+placement policy, claims the devices, and can later release them.  It also
+tracks fragmentation, which the paper calls out as a consequence of
+over-provisioning ("over-provisioning fragments resources").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.hardware import GpuGeneration
+from repro.cluster.node import Node
+
+
+@dataclass(frozen=True)
+class ResourceRequest:
+    """A request for devices on behalf of ``owner`` (a workflow or model)."""
+
+    owner: str
+    gpus: int = 0
+    cpu_cores: int = 0
+    gpu_generation: Optional[GpuGeneration] = None
+
+    def __post_init__(self) -> None:
+        if self.gpus < 0 or self.cpu_cores < 0:
+            raise ValueError("requested resources must be non-negative")
+        if self.gpus == 0 and self.cpu_cores == 0:
+            raise ValueError("request must ask for at least one GPU or CPU core")
+
+    @property
+    def is_gpu_request(self) -> bool:
+        return self.gpus > 0
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A granted request: concrete devices on a concrete node."""
+
+    allocation_id: str
+    owner: str
+    node_id: str
+    gpu_ids: Tuple[str, ...]
+    cpu_cores: int
+    gpu_generation: Optional[GpuGeneration] = None
+
+    @property
+    def gpu_count(self) -> int:
+        return len(self.gpu_ids)
+
+
+class Allocator:
+    """Places :class:`ResourceRequest` objects onto cluster nodes."""
+
+    def __init__(self, cluster: Cluster, policy: Optional["PlacementPolicy"] = None) -> None:
+        # Imported here to avoid a circular import with scheduler.py.
+        from repro.cluster.scheduler import FirstFitPolicy, PlacementPolicy
+
+        if policy is not None and not isinstance(policy, PlacementPolicy):
+            raise TypeError(f"policy must be a PlacementPolicy, got {type(policy)!r}")
+        self.cluster = cluster
+        self.policy = policy or FirstFitPolicy()
+        self._counter = itertools.count()
+        self._active: Dict[str, Allocation] = {}
+
+    # ------------------------------------------------------------------ #
+    # Allocation lifecycle
+    # ------------------------------------------------------------------ #
+    def allocate(self, request: ResourceRequest) -> Optional[Allocation]:
+        """Try to place ``request``.  Returns ``None`` if it does not fit."""
+        candidates = self._candidate_nodes(request)
+        if not candidates:
+            return None
+        node = self.policy.choose(request, candidates, self.active_allocations())
+        if node is None:
+            return None
+        gpu_ids: Tuple[str, ...] = ()
+        if request.gpus:
+            gpu_ids = tuple(
+                gpu.device_id for gpu in node.claim_gpus(request.gpus, request.owner)
+            )
+        if request.cpu_cores:
+            node.claim_cpu_cores(request.cpu_cores, request.owner)
+        allocation = Allocation(
+            allocation_id=f"alloc-{next(self._counter)}",
+            owner=request.owner,
+            node_id=node.node_id,
+            gpu_ids=gpu_ids,
+            cpu_cores=request.cpu_cores,
+            gpu_generation=node.gpu_generation if request.gpus else request.gpu_generation,
+        )
+        self._active[allocation.allocation_id] = allocation
+        return allocation
+
+    def release(self, allocation: Allocation) -> None:
+        """Return the allocation's devices to the free pool."""
+        if allocation.allocation_id not in self._active:
+            raise KeyError(f"unknown or already released allocation: {allocation.allocation_id}")
+        node = self.cluster.node(allocation.node_id)
+        if allocation.gpu_ids:
+            node.release_gpus(allocation.gpu_ids, allocation.owner)
+        if allocation.cpu_cores:
+            node.release_cpu_cores(allocation.cpu_cores, allocation.owner)
+        del self._active[allocation.allocation_id]
+
+    def release_owner(self, owner: str) -> int:
+        """Release every allocation held by ``owner``.  Returns the count."""
+        to_release = [a for a in self._active.values() if a.owner == owner]
+        for allocation in to_release:
+            self.release(allocation)
+        return len(to_release)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def active_allocations(self) -> List[Allocation]:
+        return list(self._active.values())
+
+    def allocations_for(self, owner: str) -> List[Allocation]:
+        return [a for a in self._active.values() if a.owner == owner]
+
+    def can_satisfy(self, request: ResourceRequest) -> bool:
+        """Whether the request would fit right now (without allocating)."""
+        return bool(self._candidate_nodes(request))
+
+    def gpu_fragmentation(self) -> float:
+        """Fraction of free GPUs stranded on nodes that cannot host the
+        largest single-node GPU request (node GPU count).
+
+        A coarse fragmentation signal: 0.0 means free GPUs are consolidated,
+        1.0 means every free GPU sits on a partially occupied node.
+        """
+        total_free = self.cluster.free_gpus
+        if total_free == 0:
+            return 0.0
+        stranded = sum(
+            node.free_gpu_count
+            for node in self.cluster
+            if 0 < node.free_gpu_count < node.total_gpus
+        )
+        return stranded / total_free
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _candidate_nodes(self, request: ResourceRequest) -> List[Node]:
+        nodes = list(self.cluster)
+        if request.gpu_generation is not None and request.gpus > 0:
+            nodes = [n for n in nodes if n.gpu_generation is request.gpu_generation]
+        return [n for n in nodes if n.can_fit(request.gpus, request.cpu_cores)]

@@ -1,0 +1,111 @@
+"""Hardware SKU catalogue.
+
+The paper's testbed uses Azure Standard_ND96amsr_A100_v4 VMs (96 AMD EPYC
+7V12 vCPUs + 8 NVIDIA A100 80GB).  Table 1 additionally reasons about the
+"GPU generation" lever (e.g. H100 vs A100), so the catalogue carries both
+generations plus a plain CPU SKU.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro import calibration
+from repro.sim.energy import DevicePowerModel
+
+
+class DeviceKind(enum.Enum):
+    """Broad device categories the allocator understands."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+
+
+class GpuGeneration(enum.Enum):
+    """GPU generations available to the Table-1 "GPU generation" lever."""
+
+    A100 = "A100"
+    H100 = "H100"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a GPU SKU."""
+
+    generation: GpuGeneration
+    memory_gb: int
+    fp16_tflops: float
+    power: DevicePowerModel
+    cost_per_hour: float
+
+    @property
+    def name(self) -> str:
+        return self.generation.value
+
+    def relative_speed(self, baseline: "GpuSpec") -> float:
+        """Throughput of this SKU relative to ``baseline`` (FLOPS ratio)."""
+        return self.fp16_tflops / baseline.fp16_tflops
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of a CPU SKU (per core)."""
+
+    name: str
+    active_w_per_core: float
+    cost_per_core_hour: float
+
+
+GPU_SKUS: Dict[GpuGeneration, GpuSpec] = {
+    GpuGeneration.A100: GpuSpec(
+        generation=GpuGeneration.A100,
+        memory_gb=80,
+        fp16_tflops=312.0,
+        power=DevicePowerModel(
+            idle_w=calibration.A100_IDLE_W,
+            active_w=calibration.A100_ACTIVE_W,
+            peak_w=calibration.A100_PEAK_W,
+        ),
+        cost_per_hour=calibration.A100_COST_PER_HOUR,
+    ),
+    GpuGeneration.H100: GpuSpec(
+        generation=GpuGeneration.H100,
+        memory_gb=80,
+        fp16_tflops=989.0,
+        power=DevicePowerModel(
+            idle_w=calibration.H100_IDLE_W,
+            active_w=calibration.H100_ACTIVE_W,
+            peak_w=calibration.H100_PEAK_W,
+        ),
+        cost_per_hour=calibration.H100_COST_PER_HOUR,
+    ),
+}
+
+CPU_SKUS: Dict[str, CpuSpec] = {
+    "EPYC-7V12": CpuSpec(
+        name="EPYC-7V12",
+        active_w_per_core=calibration.CPU_CORE_ACTIVE_W,
+        cost_per_core_hour=calibration.CPU_CORE_COST_PER_HOUR,
+    ),
+}
+
+
+def get_gpu_spec(generation: GpuGeneration) -> GpuSpec:
+    """Look up a GPU SKU by generation."""
+    try:
+        return GPU_SKUS[generation]
+    except KeyError:
+        raise KeyError(f"unknown GPU generation: {generation!r}") from None
+
+
+def get_cpu_spec(name: str = "EPYC-7V12") -> CpuSpec:
+    """Look up a CPU SKU by name."""
+    try:
+        return CPU_SKUS[name]
+    except KeyError:
+        raise KeyError(f"unknown CPU SKU: {name!r}") from None

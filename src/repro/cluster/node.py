@@ -1,0 +1,146 @@
+"""A single node (VM) with GPUs and CPU cores.
+
+Nodes track which of their devices are currently allocated.  Allocation is
+performed through :class:`repro.cluster.allocator.Allocator`; the node only
+enforces local invariants (a device cannot be double-allocated, core counts
+cannot go negative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.hardware import CpuSpec, GpuGeneration, GpuSpec, get_cpu_spec, get_gpu_spec
+
+
+@dataclass
+class GpuDevice:
+    """One physical GPU within a node."""
+
+    device_id: str
+    spec: GpuSpec
+    allocated_to: Optional[str] = None
+
+    @property
+    def is_free(self) -> bool:
+        return self.allocated_to is None
+
+
+class Node:
+    """A VM with a fixed complement of GPUs and CPU cores."""
+
+    def __init__(
+        self,
+        node_id: str,
+        gpu_count: int,
+        cpu_cores: int,
+        gpu_generation: GpuGeneration = GpuGeneration.A100,
+        cpu_sku: str = "EPYC-7V12",
+    ) -> None:
+        if gpu_count < 0:
+            raise ValueError("gpu_count must be non-negative")
+        if cpu_cores < 0:
+            raise ValueError("cpu_cores must be non-negative")
+        self.node_id = node_id
+        self.gpu_spec: GpuSpec = get_gpu_spec(gpu_generation)
+        self.cpu_spec: CpuSpec = get_cpu_spec(cpu_sku)
+        self.gpus: List[GpuDevice] = [
+            GpuDevice(device_id=f"{node_id}/gpu{i}", spec=self.gpu_spec)
+            for i in range(gpu_count)
+        ]
+        self.total_cpu_cores = cpu_cores
+        self._allocated_cpu_cores: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Capacity queries
+    # ------------------------------------------------------------------ #
+    @property
+    def gpu_generation(self) -> GpuGeneration:
+        return self.gpu_spec.generation
+
+    @property
+    def total_gpus(self) -> int:
+        return len(self.gpus)
+
+    @property
+    def free_gpus(self) -> List[GpuDevice]:
+        return [gpu for gpu in self.gpus if gpu.is_free]
+
+    @property
+    def free_gpu_count(self) -> int:
+        return len(self.free_gpus)
+
+    @property
+    def allocated_gpu_count(self) -> int:
+        return self.total_gpus - self.free_gpu_count
+
+    @property
+    def allocated_cpu_cores(self) -> int:
+        return sum(self._allocated_cpu_cores.values())
+
+    @property
+    def free_cpu_cores(self) -> int:
+        return self.total_cpu_cores - self.allocated_cpu_cores
+
+    def can_fit(self, gpus: int, cpu_cores: int) -> bool:
+        """Whether a request for ``gpus`` GPUs and ``cpu_cores`` cores fits."""
+        return self.free_gpu_count >= gpus and self.free_cpu_cores >= cpu_cores
+
+    # ------------------------------------------------------------------ #
+    # Allocation bookkeeping (driven by the Allocator)
+    # ------------------------------------------------------------------ #
+    def claim_gpus(self, count: int, owner: str) -> List[GpuDevice]:
+        """Mark ``count`` free GPUs as allocated to ``owner``."""
+        free = self.free_gpus
+        if count > len(free):
+            raise ValueError(
+                f"node {self.node_id}: requested {count} GPUs but only "
+                f"{len(free)} free"
+            )
+        claimed = free[:count]
+        for gpu in claimed:
+            gpu.allocated_to = owner
+        return claimed
+
+    def claim_cpu_cores(self, count: int, owner: str) -> int:
+        """Reserve ``count`` CPU cores for ``owner``."""
+        if count > self.free_cpu_cores:
+            raise ValueError(
+                f"node {self.node_id}: requested {count} cores but only "
+                f"{self.free_cpu_cores} free"
+            )
+        self._allocated_cpu_cores[owner] = self._allocated_cpu_cores.get(owner, 0) + count
+        return count
+
+    def release_gpus(self, device_ids: Sequence[str], owner: str) -> None:
+        """Release previously claimed GPUs back to the free pool."""
+        by_id = {gpu.device_id: gpu for gpu in self.gpus}
+        for device_id in device_ids:
+            gpu = by_id.get(device_id)
+            if gpu is None:
+                raise KeyError(f"node {self.node_id}: unknown GPU {device_id!r}")
+            if gpu.allocated_to != owner:
+                raise ValueError(
+                    f"GPU {device_id} is owned by {gpu.allocated_to!r}, not {owner!r}"
+                )
+            gpu.allocated_to = None
+
+    def release_cpu_cores(self, count: int, owner: str) -> None:
+        """Release ``count`` CPU cores previously claimed by ``owner``."""
+        held = self._allocated_cpu_cores.get(owner, 0)
+        if count > held:
+            raise ValueError(
+                f"node {self.node_id}: {owner!r} holds {held} cores, cannot release {count}"
+            )
+        remaining = held - count
+        if remaining:
+            self._allocated_cpu_cores[owner] = remaining
+        else:
+            self._allocated_cpu_cores.pop(owner, None)
+
+    def __repr__(self) -> str:
+        return (
+            f"Node({self.node_id!r}, gpus={self.free_gpu_count}/{self.total_gpus} free, "
+            f"cores={self.free_cpu_cores}/{self.total_cpu_cores} free)"
+        )

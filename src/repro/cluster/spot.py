@@ -1,0 +1,112 @@
+"""Spot / harvest capacity model.
+
+The paper lists Spot VMs and Harvest VMs as a source of cheap, dynamically
+available capacity the runtime should exploit (Table 1 / §3.2 "Resource
+Allocation").  This module provides a deterministic, seedable model of such
+capacity: a set of spot instances, each available over a time window, that
+the cluster manager can surface as "harvestable" resources and that can be
+preempted (the window closes) while work is running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SpotInstance:
+    """A transient capacity grant: some GPUs/cores available over a window."""
+
+    instance_id: str
+    gpus: int
+    cpu_cores: int
+    available_from: float
+    available_until: float
+
+    def __post_init__(self) -> None:
+        if self.available_until < self.available_from:
+            raise ValueError("spot window must end after it starts")
+        if self.gpus < 0 or self.cpu_cores < 0:
+            raise ValueError("spot capacity must be non-negative")
+
+    def is_available(self, time: float) -> bool:
+        return self.available_from <= time < self.available_until
+
+    @property
+    def duration(self) -> float:
+        return self.available_until - self.available_from
+
+
+class SpotCapacityModel:
+    """Generates and queries a deterministic schedule of spot windows."""
+
+    def __init__(
+        self,
+        horizon_s: float = 600.0,
+        mean_window_s: float = 120.0,
+        max_concurrent_instances: int = 2,
+        gpus_per_instance: int = 1,
+        cpu_cores_per_instance: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if mean_window_s <= 0:
+            raise ValueError("mean_window_s must be positive")
+        if max_concurrent_instances < 0:
+            raise ValueError("max_concurrent_instances must be non-negative")
+        self.horizon_s = horizon_s
+        self._instances: List[SpotInstance] = []
+        rng = np.random.default_rng(seed)
+        counter = 0
+        for slot in range(max_concurrent_instances):
+            time = float(rng.uniform(0, mean_window_s / 2))
+            while time < horizon_s:
+                window = float(rng.exponential(mean_window_s))
+                window = max(10.0, min(window, horizon_s - time))
+                self._instances.append(
+                    SpotInstance(
+                        instance_id=f"spot-{slot}-{counter}",
+                        gpus=gpus_per_instance,
+                        cpu_cores=cpu_cores_per_instance,
+                        available_from=time,
+                        available_until=time + window,
+                    )
+                )
+                counter += 1
+                # A gap before the slot offers capacity again (reclaimed by
+                # the provider), then a new window opens.
+                gap = float(rng.exponential(mean_window_s / 2)) + 5.0
+                time += window + gap
+
+    @property
+    def instances(self) -> Sequence[SpotInstance]:
+        return tuple(self._instances)
+
+    def available_instances(self, time: float) -> List[SpotInstance]:
+        """Spot instances whose window covers ``time``."""
+        return [inst for inst in self._instances if inst.is_available(time)]
+
+    def harvestable_gpus(self, time: float) -> int:
+        """Total spot GPUs available at ``time``."""
+        return sum(inst.gpus for inst in self.available_instances(time))
+
+    def harvestable_cpu_cores(self, time: float) -> int:
+        """Total spot CPU cores available at ``time``."""
+        return sum(inst.cpu_cores for inst in self.available_instances(time))
+
+    def next_preemption_after(self, time: float) -> Optional[float]:
+        """Earliest window-close strictly after ``time``, or ``None``."""
+        ends = [inst.available_until for inst in self._instances if inst.available_until > time]
+        return min(ends) if ends else None
+
+    def preemptions_between(self, start: float, end: float) -> List[SpotInstance]:
+        """Instances whose windows close inside ``(start, end]``."""
+        return [
+            inst
+            for inst in self._instances
+            if start < inst.available_until <= end
+        ]

@@ -1,0 +1,93 @@
+"""Messages exchanged between the Workflow Orchestrator and Cluster Manager.
+
+The paper argues that the key to efficiency is two-way information flow
+(Figure 2): the orchestrator announces workflow DAGs and upcoming task demand
+("Workflow-Aware Cluster Management"), and the cluster manager publishes
+utilisation stats and harvestable capacity ("Resource-Aware Workflow
+Orchestration").  These dataclasses are that protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+class ScalingAction(enum.Enum):
+    """Scaling directions the cluster manager can command."""
+
+    SCALE_UP = "scale_up"
+    SCALE_DOWN = "scale_down"
+    REBALANCE = "rebalance"
+
+
+@dataclass(frozen=True)
+class ResourceStatsMessage:
+    """Cluster manager -> orchestrator: current resource availability."""
+
+    timestamp: float
+    free_gpus: int
+    total_gpus: int
+    free_cpu_cores: int
+    total_cpu_cores: int
+    gpu_utilization: float
+    cpu_utilization: float
+    #: GPUs consumed per running model/tool instance, keyed by agent name.
+    per_model_gpus: Dict[str, int] = field(default_factory=dict)
+    #: CPU cores consumed per running model/tool instance.
+    per_model_cpu_cores: Dict[str, int] = field(default_factory=dict)
+    #: Harvestable (spot) GPUs currently available.
+    harvestable_gpus: int = 0
+    #: Total GPUs per hardware generation present in the cluster (e.g.
+    #: ``{"A100": 16}``); lets the orchestrator avoid planning onto SKUs the
+    #: cluster does not have.
+    gpus_by_generation: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def idle_gpus(self) -> int:
+        return self.free_gpus
+
+    @property
+    def idle_cpu_cores(self) -> int:
+        return self.free_cpu_cores
+
+
+@dataclass(frozen=True)
+class ScalingCommand:
+    """Cluster manager decision to resize a model/tool deployment."""
+
+    action: ScalingAction
+    agent_name: str
+    delta_gpus: int = 0
+    delta_cpu_cores: int = 0
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class WorkflowAnnouncement:
+    """Orchestrator -> cluster manager: DAG visibility for one workflow.
+
+    ``upcoming_demand`` maps an agent name to the number of pending tasks
+    that will need it; ``completed_tasks``/``total_tasks`` give progress so
+    the manager can anticipate when demand for an agent ends (the paper's
+    example: reclaim Whisper's GPU for Llama once no Speech-to-Text work is
+    expected).
+    """
+
+    workflow_id: str
+    timestamp: float
+    upcoming_demand: Dict[str, int] = field(default_factory=dict)
+    completed_tasks: int = 0
+    total_tasks: int = 0
+    #: Agent names on the workflow's critical path, in order.
+    critical_path: Tuple[str, ...] = ()
+
+    @property
+    def progress(self) -> float:
+        if self.total_tasks == 0:
+            return 0.0
+        return self.completed_tasks / self.total_tasks
+
+    def demand_for(self, agent_name: str) -> int:
+        return self.upcoming_demand.get(agent_name, 0)

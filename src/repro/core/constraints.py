@@ -1,0 +1,104 @@
+"""Workflow-level constraints (paper §3.1).
+
+The programmer "can also specify high-level constraints for performance or
+quality (e.g. MIN_COST would let the system decide an execution strategy
+that minimizes execution cost of the workflow, potentially in exchange for
+latency).  In the future, we plan to support multiple constraints with a
+priority ordering."  Both the single-constraint and the priority-ordered
+forms are supported here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+class Constraint(enum.Enum):
+    """Optimisation objectives a job can request."""
+
+    MIN_COST = "min_cost"
+    MIN_LATENCY = "min_latency"
+    MIN_ENERGY = "min_energy"
+    MIN_POWER = "min_power"
+    MAX_QUALITY = "max_quality"
+
+    @property
+    def objective(self) -> str:
+        """The profile-store objective name this constraint minimises."""
+        return _OBJECTIVES[self]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+_OBJECTIVES = {
+    Constraint.MIN_COST: "cost",
+    Constraint.MIN_LATENCY: "latency",
+    Constraint.MIN_ENERGY: "energy",
+    Constraint.MIN_POWER: "power",
+    Constraint.MAX_QUALITY: "quality",
+}
+
+#: Listing-2-style module-level aliases (``constraints=MIN_COST``).
+MIN_COST = Constraint.MIN_COST
+MIN_LATENCY = Constraint.MIN_LATENCY
+MIN_ENERGY = Constraint.MIN_ENERGY
+MIN_POWER = Constraint.MIN_POWER
+MAX_QUALITY = Constraint.MAX_QUALITY
+
+
+@dataclass(frozen=True)
+class ConstraintSet:
+    """A priority-ordered list of constraints plus a quality floor.
+
+    ``priorities[0]`` is the primary objective.  ``quality_floor`` is the
+    minimum per-stage quality the planner will accept ("maximize efficiency
+    while meeting the target quality", §3.2).
+    """
+
+    priorities: Tuple[Constraint, ...] = (Constraint.MIN_COST,)
+    quality_floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.priorities:
+            raise ValueError("at least one constraint is required")
+        if len(set(self.priorities)) != len(self.priorities):
+            raise ValueError(f"duplicate constraints in priority list: {self.priorities}")
+        if not 0.0 <= self.quality_floor <= 1.0:
+            raise ValueError(f"quality_floor must be in [0, 1]: {self.quality_floor}")
+
+    @property
+    def primary(self) -> Constraint:
+        return self.priorities[0]
+
+    @property
+    def objective(self) -> str:
+        return self.primary.objective
+
+    def secondary_objectives(self) -> Tuple[str, ...]:
+        return tuple(constraint.objective for constraint in self.priorities[1:])
+
+    @classmethod
+    def of(
+        cls,
+        constraints: Union["ConstraintSet", Constraint, Tuple[Constraint, ...], list, None],
+        quality_floor: float = 0.0,
+    ) -> "ConstraintSet":
+        """Normalise the many ways a job can express its constraints."""
+        if constraints is None:
+            return cls(quality_floor=quality_floor)
+        if isinstance(constraints, ConstraintSet):
+            if quality_floor and constraints.quality_floor != quality_floor:
+                return cls(priorities=constraints.priorities, quality_floor=quality_floor)
+            return constraints
+        if isinstance(constraints, Constraint):
+            return cls(priorities=(constraints,), quality_floor=quality_floor)
+        if isinstance(constraints, (tuple, list)):
+            return cls(priorities=tuple(constraints), quality_floor=quality_floor)
+        raise TypeError(f"cannot interpret constraints: {constraints!r}")
+
+    def describe(self) -> str:
+        names = " > ".join(constraint.name for constraint in self.priorities)
+        return f"{names} (quality floor {self.quality_floor:.2f})"

@@ -1,0 +1,188 @@
+"""The workflow DAG intermediate representation.
+
+"The LLM ... identifies the relationship between tasks and generates the
+corresponding internal representation as a directed acyclic graph (DAG)
+where the nodes represent agents, and edges represent dataflow between
+them." (§3.1)  The DAG is also what the orchestrator exposes to the cluster
+manager for workflow-aware scheduling (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.agents.base import AgentInterface
+from repro.core.task import Task, TaskState
+
+
+class TaskGraph:
+    """A DAG of :class:`~repro.core.task.Task` nodes with dataflow edges."""
+
+    def __init__(self, workflow_id: str = "workflow") -> None:
+        self.workflow_id = workflow_id
+        self._graph = nx.DiGraph()
+        self._tasks: Dict[str, Task] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_task(self, task: Task) -> Task:
+        if task.task_id in self._tasks:
+            raise ValueError(f"duplicate task id: {task.task_id}")
+        self._tasks[task.task_id] = task
+        self._graph.add_node(task.task_id)
+        return task
+
+    def add_dependency(self, upstream_id: str, downstream_id: str) -> None:
+        """Declare that ``downstream`` consumes ``upstream``'s output."""
+        for task_id in (upstream_id, downstream_id):
+            if task_id not in self._tasks:
+                raise KeyError(f"unknown task: {task_id}")
+        if upstream_id == downstream_id:
+            raise ValueError(f"task {upstream_id} cannot depend on itself")
+        self._graph.add_edge(upstream_id, downstream_id)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(upstream_id, downstream_id)
+            raise ValueError(
+                f"adding edge {upstream_id} -> {downstream_id} would create a cycle"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._tasks
+
+    def __iter__(self):
+        return iter(self._tasks.values())
+
+    @property
+    def tasks(self) -> Dict[str, Task]:
+        return dict(self._tasks)
+
+    def task(self, task_id: str) -> Task:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise KeyError(f"unknown task: {task_id!r}") from None
+
+    def predecessors(self, task_id: str) -> List[Task]:
+        return [self._tasks[t] for t in self._graph.predecessors(task_id)]
+
+    def successors(self, task_id: str) -> List[Task]:
+        return [self._tasks[t] for t in self._graph.successors(task_id)]
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return list(self._graph.edges())
+
+    def roots(self) -> List[Task]:
+        return [self._tasks[t] for t in self._graph.nodes if self._graph.in_degree(t) == 0]
+
+    def leaves(self) -> List[Task]:
+        return [self._tasks[t] for t in self._graph.nodes if self._graph.out_degree(t) == 0]
+
+    def validate(self) -> None:
+        """Raise if the graph is empty or not a DAG."""
+        if not self._tasks:
+            raise ValueError("task graph is empty")
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise ValueError("task graph contains a cycle")
+
+    def topological_order(self) -> List[Task]:
+        """Tasks in a deterministic topological order (ties by task id)."""
+        order = nx.lexicographical_topological_sort(self._graph)
+        return [self._tasks[task_id] for task_id in order]
+
+    def ready_tasks(self) -> List[Task]:
+        """PENDING tasks whose predecessors are all COMPLETED."""
+        ready = []
+        for task in self._tasks.values():
+            if task.state is not TaskState.PENDING:
+                continue
+            if all(p.state is TaskState.COMPLETED for p in self.predecessors(task.task_id)):
+                ready.append(task)
+        return sorted(ready, key=lambda t: t.task_id)
+
+    def completed(self) -> List[Task]:
+        return [t for t in self._tasks.values() if t.state is TaskState.COMPLETED]
+
+    def is_complete(self) -> bool:
+        return all(t.state is TaskState.COMPLETED for t in self._tasks.values())
+
+    def tasks_by_interface(self, interface: AgentInterface) -> List[Task]:
+        return [t for t in self._tasks.values() if t.interface is interface]
+
+    def interfaces(self) -> List[AgentInterface]:
+        """Distinct interfaces present, in first-appearance (stage) order."""
+        seen: List[AgentInterface] = []
+        for task in self._tasks.values():
+            if task.interface not in seen:
+                seen.append(task.interface)
+        return seen
+
+    def counts_by_interface(self) -> Dict[AgentInterface, int]:
+        counts: Dict[AgentInterface, int] = {}
+        for task in self._tasks.values():
+            counts[task.interface] = counts.get(task.interface, 0) + 1
+        return counts
+
+    def pending_counts_by_interface(self) -> Dict[AgentInterface, int]:
+        """Remaining (non-completed) tasks per interface — the demand signal
+        the orchestrator announces to the cluster manager."""
+        counts: Dict[AgentInterface, int] = {}
+        for task in self._tasks.values():
+            if task.state is not TaskState.COMPLETED:
+                counts[task.interface] = counts.get(task.interface, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Analysis
+    # ------------------------------------------------------------------ #
+    def critical_path(
+        self, duration_fn: Callable[[Task], float]
+    ) -> Tuple[float, List[Task]]:
+        """Longest path through the DAG under ``duration_fn`` (per-task cost)."""
+        self.validate()
+        longest: Dict[str, float] = {}
+        parent: Dict[str, Optional[str]] = {}
+        for task in self.topological_order():
+            duration = duration_fn(task)
+            if duration < 0:
+                raise ValueError(f"negative duration for task {task.task_id}")
+            predecessors = list(self._graph.predecessors(task.task_id))
+            if predecessors:
+                best = max(predecessors, key=lambda p: longest[p])
+                longest[task.task_id] = longest[best] + duration
+                parent[task.task_id] = best
+            else:
+                longest[task.task_id] = duration
+                parent[task.task_id] = None
+        end = max(longest, key=lambda t: longest[t])
+        path: List[Task] = []
+        cursor: Optional[str] = end
+        while cursor is not None:
+            path.append(self._tasks[cursor])
+            cursor = parent[cursor]
+        path.reverse()
+        return longest[end], path
+
+    def stage_order(self) -> List[str]:
+        """Distinct stage names in topological order of first appearance."""
+        seen: List[str] = []
+        for task in self.topological_order():
+            if task.stage not in seen:
+                seen.append(task.stage)
+        return seen
+
+    def describe(self) -> str:
+        """A compact, human-readable rendering of the DAG."""
+        lines = [f"TaskGraph {self.workflow_id!r}: {len(self)} tasks"]
+        for stage in self.stage_order():
+            stage_tasks = [t for t in self._tasks.values() if t.stage == stage]
+            lines.append(f"  stage {stage}: {len(stage_tasks)} task(s)")
+        return "\n".join(lines)

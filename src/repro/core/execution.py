@@ -1,0 +1,551 @@
+"""Workflow execution on the simulated cluster.
+
+The executor drives a :class:`~repro.core.dag.TaskGraph` to completion on the
+discrete-event engine under an :class:`~repro.core.planner.ExecutionPlan`:
+
+* GPU (and hybrid GPU+CPU) assignments are backed by long-lived serving
+  instances deployed through the cluster manager; tasks queue on their
+  instance and serialise on its capacity,
+* CPU-only assignments allocate cores per task, bounded by the assignment's
+  concurrency (the "64 CPU cores for Speech-to-Text" style budget),
+* dataflow outputs of completed tasks are merged into their consumers'
+  inputs, so agents produce functional end-to-end results,
+* every execution is recorded as trace intervals (Figure-3-style timelines),
+  and progress is announced to the cluster manager so it can rebalance
+  (workflow-aware cluster management).
+
+The same executor also runs the OmAgent-style baseline: ``sequential=True``
+forces one task at a time in deterministic topological order, reproducing
+the rigid imperative execution the paper compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.agents.base import (
+    AgentImplementation,
+    AgentInterface,
+    AgentResult,
+    ExecutionEstimate,
+    WorkUnit,
+)
+from repro.agents.library import AgentLibrary
+from repro.agents.synthetic import stable_embedding
+from repro.cluster.allocator import Allocation, ResourceRequest
+from repro.cluster.manager import ClusterManager, ModelInstance
+from repro.cluster.telemetry_exchange import WorkflowAnnouncement
+from repro.core.dag import TaskGraph
+from repro.core.planner import ExecutionPlan, PlanAssignment
+from repro.core.task import Task, TaskState
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import ExecutionTrace
+
+#: Display categories used for Figure-3-style timelines.
+DISPLAY_CATEGORIES: Dict[AgentInterface, str] = {
+    AgentInterface.SCENE_SUMMARIZATION: "LLM (Text)",
+    AgentInterface.QUESTION_ANSWERING: "LLM (Text)",
+    AgentInterface.TEXT_GENERATION: "LLM (Text)",
+    AgentInterface.SPEECH_TO_TEXT: "Speech-to-Text",
+    AgentInterface.EMBEDDING: "LLM (Embeddings)",
+    AgentInterface.OBJECT_DETECTION: "Object Detection",
+    AgentInterface.FRAME_EXTRACTION: "Frame Extraction",
+    AgentInterface.VECTOR_DB: "Vector DB",
+    AgentInterface.SENTIMENT_ANALYSIS: "Sentiment",
+    AgentInterface.WEB_SEARCH: "Web Search",
+    AgentInterface.CALCULATION: "Tool",
+}
+
+
+def display_category(interface: AgentInterface) -> str:
+    """Human-readable timeline category for an interface."""
+    return DISPLAY_CATEGORIES.get(interface, interface.value.replace("_", " ").title())
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a workflow cannot make progress (e.g. cluster too small)."""
+
+
+@dataclass
+class ServerHandle:
+    """One deployed serving instance shared by all tasks routed to it."""
+
+    group: str
+    assignment_config_key: str
+    instance: ModelInstance
+    slots: int = 1
+    active: int = 0
+
+    @property
+    def gpu_ids(self) -> Tuple[str, ...]:
+        return self.instance.allocation.gpu_ids
+
+    @property
+    def node_id(self) -> str:
+        return self.instance.allocation.node_id
+
+    @property
+    def gpus(self) -> int:
+        return self.instance.gpus
+
+    def has_capacity(self) -> bool:
+        return self.active < self.slots
+
+
+class ServerPool:
+    """Deploys and shares serving instances keyed by (deployment group, config).
+
+    Implementations that declare the same ``server_group`` (e.g. NVLM
+    summarisation and NVLM question answering) share one instance, exactly as
+    one model server would serve both request types in a real deployment.
+    Pools can be shared across workflows to get the paper's multi-tenant
+    resource multiplexing.
+    """
+
+    def __init__(self, cluster_manager: ClusterManager, library: AgentLibrary) -> None:
+        self.cluster_manager = cluster_manager
+        self.library = library
+        self._handles: Dict[Tuple[str, str], ServerHandle] = {}
+
+    def ensure(self, assignment: PlanAssignment) -> ServerHandle:
+        """Return (deploying if necessary) the instance for an assignment."""
+        implementation = self.library.get(assignment.agent_name)
+        group = implementation.deployment_group
+        key = (group, assignment.config.describe())
+        handle = self._handles.get(key)
+        if handle is not None:
+            return handle
+        instance = self.cluster_manager.deploy_model(
+            agent_name=group,
+            gpus=assignment.config.gpus,
+            cpu_cores=assignment.config.cpu_cores,
+            gpu_generation=assignment.config.gpu_generation,
+        )
+        handle = ServerHandle(
+            group=group,
+            assignment_config_key=assignment.config.describe(),
+            instance=instance,
+            slots=assignment.max_concurrency,
+        )
+        self._handles[key] = handle
+        return handle
+
+    def handles(self) -> List[ServerHandle]:
+        return list(self._handles.values())
+
+    def total_gpus(self) -> int:
+        return sum(handle.gpus for handle in self._handles.values())
+
+    def teardown_all(self) -> None:
+        for handle in self._handles.values():
+            self.cluster_manager.teardown_model(handle.instance)
+        self._handles.clear()
+
+
+@dataclass
+class _Lane:
+    """Dispatch state for one plan assignment."""
+
+    assignment: PlanAssignment
+    implementation: AgentImplementation
+    server: Optional[ServerHandle] = None
+    active: int = 0
+    queue: List[Task] = field(default_factory=list)
+
+    def backlog(self) -> int:
+        return self.active + len(self.queue)
+
+    def has_capacity(self) -> bool:
+        if self.server is not None:
+            return self.server.has_capacity()
+        return self.active < self.assignment.max_concurrency
+
+
+class WorkflowExecutor:
+    """Runs one task graph to completion on the simulation engine."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        cluster_manager: ClusterManager,
+        library: AgentLibrary,
+        plan: ExecutionPlan,
+        server_pool: Optional[ServerPool] = None,
+        trace: Optional[ExecutionTrace] = None,
+        sequential: bool = False,
+        announce: bool = True,
+        workflow_id: str = "workflow",
+    ) -> None:
+        self.engine = engine
+        self.cluster_manager = cluster_manager
+        self.library = library
+        self.plan = plan
+        self.server_pool = server_pool or ServerPool(cluster_manager, library)
+        self.trace = trace if trace is not None else ExecutionTrace(label=workflow_id)
+        self.sequential = sequential
+        self.announce = announce
+        self.workflow_id = workflow_id
+
+        self.results: Dict[str, AgentResult] = {}
+        self._graph: Optional[TaskGraph] = None
+        self._lanes: Dict[AgentInterface, List[_Lane]] = {}
+        self._order_index: Dict[str, int] = {}
+        self._global_active = 0
+        self._retry_scheduled = False
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    #: How long to wait before re-trying dispatch when the cluster could not
+    #: satisfy a per-task allocation (another workflow may free resources).
+    ALLOCATION_RETRY_S = 1.0
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def start(self, graph: TaskGraph, delay: float = 0.0) -> None:
+        """Deploy serving instances and schedule the first dispatch pass."""
+        graph.validate()
+        self._graph = graph
+        self._order_index = {
+            task.task_id: index for index, task in enumerate(graph.topological_order())
+        }
+        self._build_lanes(graph)
+        if self.announce:
+            self._announce()
+        self.engine.schedule(delay, self._begin)
+
+    def execute(self, graph: TaskGraph, delay: float = 0.0) -> Dict[str, AgentResult]:
+        """Run ``graph`` to completion (drives the engine) and return results."""
+        self.start(graph, delay=delay)
+        self.engine.run()
+        if not graph.is_complete():
+            incomplete = [t.task_id for t in graph if t.state is not TaskState.COMPLETED]
+            raise ExecutionError(
+                f"workflow {self.workflow_id!r} stalled with incomplete tasks: {incomplete[:5]}"
+            )
+        return self.results
+
+    @property
+    def makespan(self) -> float:
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.started_at
+
+    # ------------------------------------------------------------------ #
+    # Setup
+    # ------------------------------------------------------------------ #
+    def _build_lanes(self, graph: TaskGraph) -> None:
+        for interface in graph.interfaces():
+            assignments = self.plan.assignments_for(interface)
+            lanes: List[_Lane] = []
+            for assignment in assignments:
+                implementation = self.library.get(assignment.agent_name)
+                server = None
+                if assignment.uses_gpu:
+                    server = self.server_pool.ensure(assignment)
+                lanes.append(
+                    _Lane(assignment=assignment, implementation=implementation, server=server)
+                )
+            self._lanes[interface] = lanes
+
+    def _begin(self) -> None:
+        self.started_at = self.engine.now
+        self._dispatch()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch loop
+    # ------------------------------------------------------------------ #
+    def _dispatch(self) -> None:
+        assert self._graph is not None
+        ready = self._graph.ready_tasks()
+        ready.sort(key=lambda task: self._order_index[task.task_id])
+        for task in ready:
+            lanes = self._lanes[task.interface]
+            lane = min(lanes, key=lambda l: l.backlog())
+            lane.queue.append(task)
+            lane.queue.sort(key=lambda t: self._order_index[t.task_id])
+            task.mark(TaskState.READY)
+        made_progress = False
+        for lanes in self._lanes.values():
+            for lane in lanes:
+                made_progress |= self._pump(lane)
+        if (
+            not made_progress
+            and self._global_active == 0
+            and not self._graph.is_complete()
+            and not any(lane.queue for lanes in self._lanes.values() for lane in lanes)
+            and not self._graph.ready_tasks()
+        ):
+            # Nothing queued, nothing running, nothing ready, graph unfinished:
+            # dependencies can never be satisfied.
+            raise ExecutionError(
+                f"workflow {self.workflow_id!r} deadlocked: no runnable tasks remain"
+            )
+
+    def _pump(self, lane: _Lane) -> bool:
+        """Start as many queued tasks on ``lane`` as capacity allows."""
+        started = False
+        while lane.queue and lane.has_capacity():
+            if self.sequential and self._global_active > 0:
+                break
+            if self.sequential and not self._is_next_in_order(lane.queue[0]):
+                break
+            task = lane.queue[0]
+            allocation: Optional[Allocation] = None
+            if lane.server is None:
+                cpu_cores = lane.assignment.config.cpu_cores
+                if cpu_cores > self.cluster_manager.cluster.total_cpu_cores:
+                    raise ExecutionError(
+                        f"task {task.task_id} needs {cpu_cores} CPU cores but the cluster "
+                        f"only has {self.cluster_manager.cluster.total_cpu_cores}"
+                    )
+                request = ResourceRequest(
+                    owner=f"{self.workflow_id}:{task.task_id}",
+                    cpu_cores=cpu_cores,
+                )
+                allocation = self.cluster_manager.allocate(request)
+                if allocation is None:
+                    # Resources are held elsewhere (possibly by another
+                    # workflow sharing the cluster); retry after a short wait
+                    # unless one of our own completions will re-trigger
+                    # dispatch anyway.
+                    if self._global_active == 0 and not self._retry_scheduled:
+                        self._retry_scheduled = True
+                        self.engine.schedule(self.ALLOCATION_RETRY_S, self._retry_dispatch)
+                    break
+            lane.queue.pop(0)
+            self._start_task(task, lane, allocation)
+            started = True
+        return started
+
+    #: Upper bound on consecutive allocation retries before declaring the
+    #: workflow stuck (prevents an un-runnable workflow from spinning the
+    #: event loop forever).
+    MAX_ALLOCATION_RETRIES = 10_000
+
+    def _retry_dispatch(self) -> None:
+        self._retry_scheduled = False
+        self._retry_count = getattr(self, "_retry_count", 0) + 1
+        if self._retry_count > self.MAX_ALLOCATION_RETRIES:
+            raise ExecutionError(
+                f"workflow {self.workflow_id!r} could not obtain resources after "
+                f"{self.MAX_ALLOCATION_RETRIES} retries"
+            )
+        assert self._graph is not None
+        if not self._graph.is_complete():
+            self._dispatch()
+
+    def _is_next_in_order(self, task: Task) -> bool:
+        """In sequential (baseline) mode, only the globally next pending task
+        in topological order may start."""
+        assert self._graph is not None
+        pending = [
+            t
+            for t in self._graph
+            if t.state in (TaskState.PENDING, TaskState.READY)
+        ]
+        if not pending:
+            return True
+        next_task = min(pending, key=lambda t: self._order_index[t.task_id])
+        return next_task.task_id == task.task_id
+
+    def _any_other_active_or_pending(self, lane: _Lane) -> bool:
+        for lanes in self._lanes.values():
+            for other in lanes:
+                if other is lane:
+                    continue
+                if other.active > 0 or other.queue:
+                    return True
+        return False
+
+    def _start_task(self, task: Task, lane: _Lane, allocation: Optional[Allocation]) -> None:
+        assignment = lane.assignment
+        estimate = lane.implementation.estimate(task.work, assignment.config, assignment.mode)
+        task.mark(TaskState.RUNNING)
+        task.started_at = self.engine.now
+        lane.active += 1
+        if lane.server is not None:
+            lane.server.active += 1
+        self._global_active += 1
+        self.engine.schedule(estimate.seconds, self._complete_task, task, lane, allocation, estimate)
+
+    def _complete_task(
+        self,
+        task: Task,
+        lane: _Lane,
+        allocation: Optional[Allocation],
+        estimate: ExecutionEstimate,
+    ) -> None:
+        assert self._graph is not None
+        task.finished_at = self.engine.now
+        self._record_trace(task, lane, allocation, estimate)
+
+        merged_work = self._compose_work(task)
+        result = lane.implementation.execute(merged_work, lane.assignment.config, lane.assignment.mode)
+        self.results[task.task_id] = result
+        task.mark(TaskState.COMPLETED)
+
+        lane.active -= 1
+        if lane.server is not None:
+            lane.server.active -= 1
+        self._global_active -= 1
+        if allocation is not None:
+            self.cluster_manager.release(allocation)
+
+        if self.announce:
+            self._announce()
+        if self._graph.is_complete():
+            self.finished_at = self.engine.now
+            if self.announce:
+                self.cluster_manager.retract_workflow(self.workflow_id)
+        else:
+            self._dispatch()
+
+    # ------------------------------------------------------------------ #
+    # Trace + telemetry
+    # ------------------------------------------------------------------ #
+    def _record_trace(
+        self,
+        task: Task,
+        lane: _Lane,
+        allocation: Optional[Allocation],
+        estimate: ExecutionEstimate,
+    ) -> None:
+        if lane.server is not None:
+            gpu_ids = lane.server.gpu_ids
+            node_id = lane.server.node_id
+            cpu_cores = lane.assignment.config.cpu_cores
+        else:
+            gpu_ids = allocation.gpu_ids if allocation else ()
+            node_id = allocation.node_id if allocation else ""
+            cpu_cores = allocation.cpu_cores if allocation else lane.assignment.config.cpu_cores
+        self.trace.add(
+            task_id=task.task_id,
+            task_name=task.description,
+            category=display_category(task.interface),
+            start=task.started_at if task.started_at is not None else self.engine.now,
+            end=self.engine.now,
+            node_id=node_id,
+            gpu_ids=tuple(gpu_ids),
+            cpu_cores=cpu_cores,
+            gpu_utilization=estimate.gpu_utilization,
+            cpu_utilization=estimate.cpu_utilization,
+            metadata={
+                "agent": lane.assignment.agent_name,
+                "stage": task.stage,
+                "workflow": self.workflow_id,
+            },
+        )
+
+    def _announce(self) -> None:
+        assert self._graph is not None
+        pending = self._graph.pending_counts_by_interface()
+        announcement = WorkflowAnnouncement(
+            workflow_id=self.workflow_id,
+            timestamp=self.engine.now,
+            upcoming_demand={iface.value: count for iface, count in pending.items()},
+            completed_tasks=len(self._graph.completed()),
+            total_tasks=len(self._graph),
+            critical_path=tuple(self._graph.stage_order()),
+        )
+        self.cluster_manager.announce_workflow(announcement)
+
+    # ------------------------------------------------------------------ #
+    # Dataflow composition
+    # ------------------------------------------------------------------ #
+    def _compose_work(self, task: Task) -> WorkUnit:
+        """Merge predecessor outputs into the task's input payload."""
+        assert self._graph is not None
+        payload = dict(task.work.payload)
+        for predecessor in self._graph.predecessors(task.task_id):
+            result = self.results.get(predecessor.task_id)
+            if result is None:
+                continue
+            self._merge_output(payload, predecessor.interface, result)
+        if task.interface is AgentInterface.QUESTION_ANSWERING:
+            self._prepare_question_answering(payload)
+        if task.interface is AgentInterface.TEXT_GENERATION:
+            self._prepare_text_generation(payload)
+        return WorkUnit(kind=task.work.kind, quantity=task.work.quantity, payload=payload)
+
+    @staticmethod
+    def _merge_output(payload: Dict[str, object], interface: AgentInterface, result: AgentResult) -> None:
+        output = result.output
+        if interface is AgentInterface.SPEECH_TO_TEXT:
+            payload["transcript"] = output.get("transcript", "")
+        elif interface is AgentInterface.OBJECT_DETECTION:
+            payload.setdefault("objects", [])
+            payload["objects"] = list(payload["objects"]) + [
+                obj for obj in output.get("objects", []) if obj not in payload["objects"]
+            ]
+        elif interface is AgentInterface.SCENE_SUMMARIZATION:
+            texts = list(payload.get("texts", []))
+            texts.append(output.get("summary", ""))
+            payload["texts"] = texts
+            summaries = list(payload.get("summaries", []))
+            summaries.append(output.get("summary", ""))
+            payload["summaries"] = summaries
+            objects = list(payload.get("objects", []))
+            for obj in output.get("objects", []):
+                if obj not in objects:
+                    objects.append(obj)
+            payload["objects"] = objects
+        elif interface is AgentInterface.EMBEDDING:
+            payload["embeddings"] = list(payload.get("embeddings", [])) + list(
+                output.get("embeddings", [])
+            )
+            payload["texts"] = list(payload.get("texts", [])) + list(output.get("texts", []))
+        elif interface is AgentInterface.VECTOR_DB:
+            payload["collection"] = output.get("collection", payload.get("collection"))
+        elif interface is AgentInterface.WEB_SEARCH:
+            snippets = [r.get("snippet", "") for r in output.get("results", [])]
+            payload["context"] = list(payload.get("context", [])) + snippets
+        elif interface is AgentInterface.SENTIMENT_ANALYSIS:
+            payload["labels"] = list(payload.get("labels", [])) + list(output.get("labels", []))
+            payload["texts"] = list(payload.get("texts", [])) + list(output.get("texts", []))
+        elif interface is AgentInterface.QUESTION_ANSWERING:
+            payload["context"] = list(payload.get("context", [])) + [output.get("answer", "")]
+        elif interface is AgentInterface.CALCULATION:
+            payload["context"] = list(payload.get("context", [])) + [str(output.get("value", ""))]
+        elif interface is AgentInterface.TEXT_GENERATION:
+            payload["context"] = list(payload.get("context", [])) + [output.get("text", "")]
+
+    def _prepare_question_answering(self, payload: Dict[str, object]) -> None:
+        """Gather context for the final answer: retrieved scenes + detected objects."""
+        summaries: List[str] = []
+        objects: List[str] = []
+        for result in self.results.values():
+            if result.interface is AgentInterface.SCENE_SUMMARIZATION:
+                summaries.append(str(result.output.get("summary", "")))
+                for obj in result.output.get("objects", []):
+                    if obj not in objects:
+                        objects.append(obj)
+        if summaries and not payload.get("context"):
+            payload["context"] = summaries
+        if objects:
+            existing = list(payload.get("objects", []))
+            for obj in objects:
+                if obj not in existing:
+                    existing.append(obj)
+            payload["objects"] = existing
+        collection = payload.get("collection")
+        question = str(payload.get("question", ""))
+        if collection and question and "vector-db" in self.library:
+            vectordb = self.library.get("vector-db")
+            store = getattr(vectordb, "collection", None)
+            if callable(store) and len(vectordb.collection(str(collection))):
+                matches = vectordb.collection(str(collection)).query(
+                    stable_embedding(question), top_k=int(payload.get("top_k", 5))
+                )
+                payload["context"] = [record.text for record, _score in matches]
+
+    def _prepare_text_generation(self, payload: Dict[str, object]) -> None:
+        prompt = str(payload.get("prompt", ""))
+        labels = payload.get("labels")
+        context = payload.get("context")
+        if labels:
+            prompt += " | observed sentiments: " + ", ".join(str(label) for label in labels)
+        if context:
+            prompt += " | context: " + " ".join(str(c) for c in list(context)[:3])
+        payload["prompt"] = prompt

@@ -1,0 +1,115 @@
+"""The declarative job API (paper Listing 2) and job results."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.agents.base import AgentResult
+from repro.core.constraints import Constraint, ConstraintSet
+from repro.sim.energy import EnergyBreakdown
+from repro.sim.trace import ExecutionTrace
+
+_job_counter = itertools.count()
+
+
+@dataclass
+class Job:
+    """A declarative job: natural-language description, inputs, and constraints.
+
+    Mirrors the paper's Listing 2::
+
+        result = Job(description=desc, inputs=videos,
+                     tasks=[t1, t2, t3],
+                     constraints=MIN_COST).execute()
+
+    ``tasks`` are optional hints; when absent or insufficient the orchestrator
+    LLM decomposes the description itself.  ``quality_target`` is the result
+    quality floor the runtime must respect while optimising for the
+    constraint.
+    """
+
+    description: str
+    inputs: Sequence[object] = ()
+    tasks: Sequence[str] = ()
+    constraints: Union[Constraint, ConstraintSet, Sequence[Constraint], None] = None
+    quality_target: float = 0.0
+    job_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.description:
+            raise ValueError("a job needs a natural-language description")
+        if not 0.0 <= self.quality_target <= 1.0:
+            raise ValueError(f"quality_target must be in [0, 1]: {self.quality_target}")
+        if not self.job_id:
+            self.job_id = f"job-{next(_job_counter)}"
+
+    def constraint_set(self) -> ConstraintSet:
+        """The normalised constraint set (priority order + quality floor)."""
+        return ConstraintSet.of(self.constraints, quality_floor=self.quality_target)
+
+    def execute(self, runtime: Optional[object] = None, **submit_kwargs) -> "JobResult":
+        """Execute this job on ``runtime`` (a fresh default one if omitted).
+
+        This is the Listing-2 convenience entry point; long-lived callers
+        should build a :class:`~repro.core.runtime.MurakkabRuntime` once and
+        call ``runtime.submit(job)`` so profiles and warm models are reused.
+        """
+        if runtime is None:
+            # Imported here to avoid a circular import at module load time.
+            from repro.core.runtime import MurakkabRuntime
+
+            runtime = MurakkabRuntime()
+        return runtime.submit(self, **submit_kwargs)
+
+
+@dataclass
+class JobResult:
+    """Everything the runtime reports about one executed job."""
+
+    job_id: str
+    #: Final answer / output payload (e.g. the object listing for the paper's
+    #: Video Understanding job).
+    output: Dict[str, object] = field(default_factory=dict)
+    #: Per-task functional results keyed by task id.
+    task_results: Dict[str, AgentResult] = field(default_factory=dict)
+    #: End-to-end completion time in seconds (simulated).
+    makespan_s: float = 0.0
+    #: Simulated start/end timestamps of the workflow.
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    #: GPU/CPU energy accounting for the workflow window.
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    #: Monetary cost of the resources held over the workflow window.
+    cost: float = 0.0
+    #: Estimated end-to-end result quality in [0, 1].
+    quality: float = 0.0
+    #: Execution trace (for Figure-3-style timelines).
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    #: The execution plan chosen by the planner (None for baseline runs that
+    #: bypass planning).
+    plan: Optional[object] = None
+    #: The task graph that was executed.
+    graph: Optional[object] = None
+    #: The orchestrator LLM's decomposition trace.
+    react_trace: Optional[object] = None
+    #: Number of GPUs provisioned for the workflow window.
+    provisioned_gpus: int = 0
+
+    @property
+    def energy_wh(self) -> float:
+        """GPU energy in Wh (the metric the paper's Table 2 reports)."""
+        return self.energy.gpu_wh
+
+    def summary(self) -> Dict[str, object]:
+        """A compact dictionary used by reports and benchmarks."""
+        return {
+            "job_id": self.job_id,
+            "makespan_s": round(self.makespan_s, 2),
+            "energy_wh": round(self.energy_wh, 2),
+            "cost": round(self.cost, 4),
+            "quality": round(self.quality, 4),
+            "tasks": len(self.task_results),
+            "provisioned_gpus": self.provisioned_gpus,
+        }

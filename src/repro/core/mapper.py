@@ -1,0 +1,68 @@
+"""Task-to-agent mapping and tool-call generation (paper §3.2)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.agents.base import AgentImplementation, AgentInterface
+from repro.agents.library import AgentLibrary
+from repro.core.dag import TaskGraph
+from repro.core.task import Task
+from repro.llm.tool_calling import ToolCall, ToolCallGenerator
+
+
+class TaskAgentMapper:
+    """Maps tasks to candidate agent implementations and emits tool calls."""
+
+    def __init__(
+        self,
+        library: AgentLibrary,
+        tool_call_generator: Optional[ToolCallGenerator] = None,
+    ) -> None:
+        self.library = library
+        self.tool_calls = tool_call_generator or ToolCallGenerator()
+
+    def candidates(self, task: Task) -> List[AgentImplementation]:
+        """Implementations in the library that provide the task's interface."""
+        implementations = self.library.implementations_for(task.interface)
+        if not implementations:
+            raise LookupError(
+                f"no agent in the library implements {task.interface.value!r} "
+                f"(needed by task {task.task_id})"
+            )
+        return implementations
+
+    def tool_call(self, task: Task, implementation: AgentImplementation) -> ToolCall:
+        """Synthesise the tool call the orchestrator LLM would emit."""
+        metadata: Dict[str, object] = {"description": task.description}
+        metadata.update(task.metadata)
+        payload = task.work.payload
+        metadata.update({k: v for k, v in payload.items() if not isinstance(v, dict)})
+        scene = payload.get("scene")
+        if isinstance(scene, dict):
+            metadata.setdefault("file", scene.get("video"))
+            metadata.setdefault("audio_seconds", scene.get("audio_seconds"))
+            metadata.setdefault("frames", scene.get("frames"))
+            metadata.setdefault("num_frames", len(scene.get("frames", [])))
+        video = payload.get("video")
+        if isinstance(video, dict):
+            metadata.setdefault("file", video.get("name"))
+            metadata.setdefault("end_time", video.get("duration_s"))
+        return self.tool_calls.generate(implementation.schema(), metadata)
+
+    def map_graph(
+        self,
+        graph: TaskGraph,
+        chosen: Dict[AgentInterface, str],
+    ) -> Dict[str, ToolCall]:
+        """Tool calls for every task, using the planner's chosen agent names."""
+        calls: Dict[str, ToolCall] = {}
+        for task in graph:
+            agent_name = chosen.get(task.interface)
+            implementation = (
+                self.library.get(agent_name)
+                if agent_name is not None
+                else self.candidates(task)[0]
+            )
+            calls[task.task_id] = self.tool_call(task, implementation)
+        return calls

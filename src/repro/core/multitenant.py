@@ -1,0 +1,176 @@
+"""Multi-tenant execution: independent workflows multiplexed on one cluster.
+
+Figure 2 of the paper shows the promise of managing independent workflows
+(Workflow A's tasks and Workflow B's tasks) jointly: the orchestrator and
+cluster manager multiplex them over the same serving instances and idle
+resources instead of giving each workflow a rigid, dedicated deployment.
+
+:class:`MultiTenantRuntime` extends the single-job runtime with an arrival
+schedule: each job is orchestrated when it arrives (seeing the then-current
+cluster stats), starts executing immediately, and shares the serving-instance
+pool with every other in-flight workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro import calibration
+from repro.agents.base import AgentInterface
+from repro.cluster.hardware import get_cpu_spec
+from repro.core.execution import ServerPool, WorkflowExecutor
+from repro.core.job import Job, JobResult
+from repro.core.planner import PlannerOverride
+from repro.core.runtime import MurakkabRuntime
+from repro.sim.energy import EnergyAccountant, EnergyBreakdown
+from repro.sim.trace import ExecutionTrace
+
+
+@dataclass
+class TenantSubmission:
+    """One tenant's job plus its arrival time and optional overrides."""
+
+    arrival_time: float
+    job: Job
+    overrides: Optional[Dict[AgentInterface, PlannerOverride]] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be non-negative")
+
+
+@dataclass
+class MultiTenantReport:
+    """Cluster-level metrics for a multi-tenant run."""
+
+    job_results: Dict[str, JobResult] = field(default_factory=dict)
+    merged_trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    total_energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    provisioned_gpus: int = 0
+    batch_start: float = 0.0
+    batch_end: float = 0.0
+
+    @property
+    def batch_makespan_s(self) -> float:
+        return self.batch_end - self.batch_start
+
+    @property
+    def total_energy_wh(self) -> float:
+        return self.total_energy.gpu_wh
+
+    def mean_job_makespan_s(self) -> float:
+        if not self.job_results:
+            return 0.0
+        return sum(result.makespan_s for result in self.job_results.values()) / len(
+            self.job_results
+        )
+
+
+class MultiTenantRuntime(MurakkabRuntime):
+    """A Murakkab runtime that multiplexes several workflows on one cluster."""
+
+    def run_all(self, submissions: Sequence[TenantSubmission]) -> MultiTenantReport:
+        """Run every submission to completion and report cluster-level metrics."""
+        if not submissions:
+            raise ValueError("at least one submission is required")
+        pool = ServerPool(self.cluster_manager, self.library)
+        merged_trace = ExecutionTrace(label="multi-tenant")
+        executors: Dict[str, WorkflowExecutor] = {}
+        orchestrations: Dict[str, object] = {}
+        jobs: Dict[str, Job] = {}
+
+        for submission in sorted(submissions, key=lambda s: s.arrival_time):
+            self.engine.schedule_at(
+                max(submission.arrival_time, self.engine.now),
+                self._admit,
+                submission,
+                pool,
+                merged_trace,
+                executors,
+                orchestrations,
+                jobs,
+            )
+
+        self.engine.run()
+
+        report = MultiTenantReport(provisioned_gpus=pool.total_gpus())
+        finish_times: List[float] = []
+        start_times: List[float] = []
+        for job_id, executor in executors.items():
+            job = jobs[job_id]
+            orchestration = orchestrations[job_id]
+            finished_at = executor.finished_at if executor.finished_at is not None else self.engine.now
+            started_at = executor.trace.start_time()
+            start_times.append(started_at)
+            finish_times.append(finished_at)
+            result = self._build_result(
+                job=job,
+                orchestration=orchestration,
+                results=executor.results,
+                trace=executor.trace,
+                pool=pool,
+                started_at=started_at,
+                finished_at=finished_at,
+            )
+            report.job_results[job_id] = result
+        report.batch_start = min(start_times) if start_times else 0.0
+        report.batch_end = max(finish_times) if finish_times else 0.0
+
+        for executor in executors.values():
+            merged_trace.extend(executor.trace.intervals)
+        report.merged_trace = merged_trace
+        accountant = EnergyAccountant(
+            gpu_power=self.cluster.nodes[0].gpu_spec.power,
+            cpu_power_per_core_w=get_cpu_spec().active_w_per_core,
+        )
+        report.total_energy = accountant.account(
+            merged_trace,
+            provisioned_gpus=pool.total_gpus(),
+            window=(report.batch_start, report.batch_end),
+        )
+        pool.teardown_all()
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _admit(
+        self,
+        submission: TenantSubmission,
+        pool: ServerPool,
+        merged_trace: ExecutionTrace,
+        executors: Dict[str, WorkflowExecutor],
+        orchestrations: Dict[str, object],
+        jobs: Dict[str, Job],
+    ) -> None:
+        job = submission.job
+        stats = self.cluster_manager.stats()
+        orchestration = self.orchestrator.prepare(
+            job, cluster_stats=stats, overrides=submission.overrides
+        )
+        dag_latency = orchestration.decomposition_latency_s or calibration.DAG_CREATION_SECONDS
+        trace = ExecutionTrace(label=job.job_id)
+        trace.add(
+            task_id=f"{job.job_id}/orchestration",
+            task_name="job decomposition (orchestrator LLM)",
+            category="Orchestration",
+            start=self.engine.now,
+            end=self.engine.now + dag_latency,
+            cpu_cores=1,
+            cpu_utilization=0.1,
+            metadata={"workflow": job.job_id},
+        )
+        executor = WorkflowExecutor(
+            engine=self.engine,
+            cluster_manager=self.cluster_manager,
+            library=self.library,
+            plan=orchestration.plan,
+            server_pool=pool,
+            trace=trace,
+            workflow_id=job.job_id,
+        )
+        executor.start(orchestration.graph, delay=dag_latency)
+        executors[job.job_id] = executor
+        orchestrations[job.job_id] = orchestration
+        jobs[job.job_id] = job

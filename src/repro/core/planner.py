@@ -1,0 +1,283 @@
+"""Configuration planning: choosing models, hardware, and execution modes.
+
+This is the paper's §3.2 "Model/Tool Selection" + "Resource Allocation" +
+"Execution Paths" combined into one greedy, hierarchy-of-objectives search
+(§3.3 notes the full space explodes, so Murakkab prunes it greedily):
+
+for every agent interface the task graph needs, rank the profiled
+(implementation, hardware, mode) triples by the job's primary constraint,
+drop those below the quality floor or infeasible on the current cluster,
+prefer already-warm models when nearly tied (resource-aware orchestration),
+and break remaining ties with the secondary constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro import calibration
+from repro.agents.base import AgentInterface, ExecutionMode, HardwareConfig
+from repro.agents.library import AgentLibrary
+from repro.agents.profiles import ExecutionProfile
+from repro.cluster.telemetry_exchange import ResourceStatsMessage
+from repro.core.constraints import ConstraintSet
+from repro.core.dag import TaskGraph
+from repro.profiling.store import ProfileStore
+
+
+class PlanningError(RuntimeError):
+    """Raised when no feasible configuration exists for an interface."""
+
+
+@dataclass(frozen=True)
+class PlannerOverride:
+    """Pin parts of the configuration for one interface (used by experiments
+    that sweep a single lever, e.g. the Table-2 STT configurations)."""
+
+    agent_name: Optional[str] = None
+    config: Optional[HardwareConfig] = None
+    mode: Optional[ExecutionMode] = None
+    max_concurrency: Optional[int] = None
+
+    def matches(self, profile: ExecutionProfile) -> bool:
+        if self.agent_name is not None and profile.agent_name != self.agent_name:
+            return False
+        if self.config is not None and profile.config != self.config:
+            return False
+        if self.mode is not None and profile.mode != self.mode:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class PlanAssignment:
+    """The chosen configuration for one agent interface."""
+
+    interface: AgentInterface
+    agent_name: str
+    config: HardwareConfig
+    mode: ExecutionMode
+    profile: ExecutionProfile
+    #: How many tasks of this interface may run concurrently under this
+    #: assignment (1 for a single serving instance; >1 for CPU task lanes).
+    max_concurrency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+
+    @property
+    def uses_gpu(self) -> bool:
+        return self.config.gpus > 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.interface.value}: {self.agent_name} on {self.config.describe()} "
+            f"[{self.mode.describe()}] x{self.max_concurrency}"
+        )
+
+
+@dataclass
+class ExecutionPlan:
+    """Per-interface assignments for one workflow execution."""
+
+    constraint_set: ConstraintSet
+    assignments: Dict[AgentInterface, List[PlanAssignment]] = field(default_factory=dict)
+
+    def add(self, assignment: PlanAssignment) -> None:
+        self.assignments.setdefault(assignment.interface, []).append(assignment)
+
+    def assignments_for(self, interface: AgentInterface) -> List[PlanAssignment]:
+        try:
+            return self.assignments[interface]
+        except KeyError:
+            raise KeyError(f"plan has no assignment for {interface.value!r}") from None
+
+    def primary_assignment(self, interface: AgentInterface) -> PlanAssignment:
+        return self.assignments_for(interface)[0]
+
+    def chosen_agents(self) -> Dict[AgentInterface, str]:
+        return {
+            interface: assignments[0].agent_name
+            for interface, assignments in self.assignments.items()
+        }
+
+    def gpu_assignments(self) -> List[PlanAssignment]:
+        """Assignments that require a long-lived GPU serving instance."""
+        return [
+            assignment
+            for assignments in self.assignments.values()
+            for assignment in assignments
+            if assignment.uses_gpu
+        ]
+
+    def stage_qualities(self) -> Dict[str, float]:
+        return {
+            interface.value: max(a.profile.quality for a in assignments)
+            for interface, assignments in self.assignments.items()
+        }
+
+    def describe(self) -> str:
+        lines = [f"ExecutionPlan ({self.constraint_set.describe()})"]
+        for assignments in self.assignments.values():
+            for assignment in assignments:
+                lines.append(f"  {assignment.describe()}")
+        return "\n".join(lines)
+
+
+class ConfigurationPlanner:
+    """Greedy, profile-driven configuration search."""
+
+    #: Profiles within this relative margin of the best objective value are
+    #: considered "nearly tied" and may be displaced by a warm model.
+    WARM_PREFERENCE_MARGIN = 0.10
+
+    def __init__(
+        self,
+        profile_store: ProfileStore,
+        library: AgentLibrary,
+        max_cpu_cores_per_agent: int = calibration.STT_CPU_TOTAL_CORES,
+    ) -> None:
+        if max_cpu_cores_per_agent <= 0:
+            raise ValueError("max_cpu_cores_per_agent must be positive")
+        self.profile_store = profile_store
+        self.library = library
+        self.max_cpu_cores_per_agent = max_cpu_cores_per_agent
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def plan(
+        self,
+        graph: TaskGraph,
+        constraint_set: ConstraintSet,
+        cluster_stats: Optional[ResourceStatsMessage] = None,
+        overrides: Optional[Dict[AgentInterface, PlannerOverride]] = None,
+    ) -> ExecutionPlan:
+        """Choose one configuration per interface appearing in ``graph``."""
+        overrides = overrides or {}
+        plan = ExecutionPlan(constraint_set=constraint_set)
+        for interface in graph.interfaces():
+            override = overrides.get(interface)
+            profile = self._select_profile(interface, constraint_set, cluster_stats, override)
+            assignment = self._assignment_from_profile(interface, profile, override)
+            plan.add(assignment)
+        return plan
+
+    def rank_candidates(
+        self,
+        interface: AgentInterface,
+        constraint_set: ConstraintSet,
+    ) -> List[ExecutionProfile]:
+        """All acceptable profiles for an interface, best-first (for reports)."""
+        candidates = [
+            p
+            for p in self.profile_store.profiles_for(interface)
+            if p.quality >= constraint_set.quality_floor
+        ]
+        return sorted(candidates, key=lambda p: self._sort_key(p, constraint_set))
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _select_profile(
+        self,
+        interface: AgentInterface,
+        constraint_set: ConstraintSet,
+        cluster_stats: Optional[ResourceStatsMessage],
+        override: Optional[PlannerOverride],
+    ) -> ExecutionProfile:
+        candidates = self.profile_store.profiles_for(interface)
+        if not candidates:
+            raise PlanningError(f"no profiled implementation for {interface.value!r}")
+        if override is not None:
+            candidates = [p for p in candidates if override.matches(p)]
+            if not candidates:
+                raise PlanningError(
+                    f"override for {interface.value!r} matches no profiled configuration"
+                )
+        acceptable = [p for p in candidates if p.quality >= constraint_set.quality_floor]
+        if not acceptable:
+            raise PlanningError(
+                f"no configuration for {interface.value!r} meets quality floor "
+                f"{constraint_set.quality_floor:.2f} "
+                f"(best available: {max(p.quality for p in candidates):.2f})"
+            )
+        if cluster_stats is not None:
+            feasible = [p for p in acceptable if self._fits_cluster(p, cluster_stats)]
+            if feasible:
+                acceptable = feasible
+        acceptable.sort(key=lambda p: self._sort_key(p, constraint_set))
+        best = acceptable[0]
+        if cluster_stats is not None:
+            best = self._prefer_warm(acceptable, best, cluster_stats, constraint_set)
+        return best
+
+    def _sort_key(self, profile: ExecutionProfile, constraint_set: ConstraintSet):
+        key = [profile.objective_value(constraint_set.objective)]
+        for objective in constraint_set.secondary_objectives():
+            key.append(profile.objective_value(objective))
+        key.append(-profile.quality)
+        key.append(profile.latency_s)
+        key.append(profile.agent_name)
+        key.append(profile.config.describe())
+        return tuple(key)
+
+    @staticmethod
+    def _fits_cluster(profile: ExecutionProfile, stats: ResourceStatsMessage) -> bool:
+        config = profile.config
+        if config.gpus > stats.total_gpus or config.cpu_cores > stats.total_cpu_cores:
+            return False
+        if config.gpus and stats.gpus_by_generation:
+            generation = config.gpu_generation.value
+            if stats.gpus_by_generation.get(generation, 0) < config.gpus:
+                return False
+        return True
+
+    def _prefer_warm(
+        self,
+        ranked: Sequence[ExecutionProfile],
+        best: ExecutionProfile,
+        stats: ResourceStatsMessage,
+        constraint_set: ConstraintSet,
+    ) -> ExecutionProfile:
+        """Resource-aware orchestration: prefer models already running when
+        the efficiency penalty is small (§3.2)."""
+        warm_agents = set(stats.per_model_gpus) | set(stats.per_model_cpu_cores)
+        if not warm_agents or best.agent_name in warm_agents:
+            return best
+        best_value = best.objective_value(constraint_set.objective)
+        threshold = best_value * (1.0 + self.WARM_PREFERENCE_MARGIN)
+        for profile in ranked:
+            if profile.agent_name in warm_agents and (
+                profile.objective_value(constraint_set.objective) <= threshold
+            ):
+                return profile
+        return best
+
+    def _assignment_from_profile(
+        self,
+        interface: AgentInterface,
+        profile: ExecutionProfile,
+        override: Optional[PlannerOverride],
+    ) -> PlanAssignment:
+        config = profile.config
+        if override is not None and override.max_concurrency is not None:
+            max_concurrency = override.max_concurrency
+        elif config.is_cpu_only:
+            # CPU tools run as per-task lanes carved out of a bounded core
+            # budget (the paper's "64 CPU cores" Speech-to-Text deployment).
+            max_concurrency = max(1, self.max_cpu_cores_per_agent // config.cpu_cores)
+        else:
+            # A GPU (or hybrid) configuration is a single serving instance;
+            # its requests serialise on the instance.
+            max_concurrency = 1
+        return PlanAssignment(
+            interface=interface,
+            agent_name=profile.agent_name,
+            config=config,
+            mode=profile.mode,
+            profile=profile,
+            max_concurrency=max_concurrency,
+        )

@@ -1,0 +1,67 @@
+"""End-to-end workflow quality estimation.
+
+The paper's §5 ("Quantifying and Controlling Quality") observes that model
+interactions cause cascading effects: an error early in the workflow
+propagates.  We model end-to-end quality as the product of per-stage
+qualities (a stage can only preserve, never repair, upstream losses), and
+provide a concrete scorer for the Video Understanding job's final answer
+against the workload generator's ground truth.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Mapping, Sequence
+
+
+def cascade_quality(stage_qualities: Mapping[str, float]) -> float:
+    """Combine per-stage qualities into an end-to-end estimate.
+
+    Empty input yields 0.0 (an unplanned workflow has no quality claim).
+    """
+    if not stage_qualities:
+        return 0.0
+    quality = 1.0
+    for stage, value in stage_qualities.items():
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"stage {stage!r} quality must be in [0, 1]: {value}")
+        quality *= value
+    return quality
+
+
+def most_impactful_stage(stage_qualities: Mapping[str, float]) -> str:
+    """The stage whose quality loss hurts the end-to-end result the most.
+
+    Used to "narrow the search space by identifying stages with the greatest
+    impact on cost and accuracy" (§5): improving the lowest-quality stage
+    gives the largest end-to-end gain.
+    """
+    if not stage_qualities:
+        raise ValueError("no stages given")
+    return min(stage_qualities, key=lambda stage: stage_qualities[stage])
+
+
+def score_object_listing_answer(answer: str, ground_truth_objects: Sequence[str]) -> float:
+    """Recall of ground-truth objects mentioned in the final answer text."""
+    if not ground_truth_objects:
+        return 1.0
+    answer_lower = answer.lower()
+    found = sum(1 for obj in ground_truth_objects if obj.lower() in answer_lower)
+    return found / len(ground_truth_objects)
+
+
+def token_recall(produced: Iterable[str], ground_truth: Sequence[str]) -> float:
+    """Fraction of ground-truth tokens present in the produced tokens."""
+    if not ground_truth:
+        return 1.0
+    produced_set = {token.lower() for token in produced}
+    found = sum(1 for token in ground_truth if token.lower() in produced_set)
+    return found / len(ground_truth)
+
+
+def extract_listed_objects(answer: str) -> Sequence[str]:
+    """Parse an "Objects shown or mentioned: a, b, c." style answer."""
+    match = re.search(r":\s*(.+?)\.?$", answer.strip())
+    if not match:
+        return ()
+    return tuple(part.strip() for part in match.group(1).split(",") if part.strip())

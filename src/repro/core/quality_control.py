@@ -1,0 +1,205 @@
+"""Quality control for end-to-end workflows (paper §5).
+
+The paper's discussion section raises two open problems this module
+addresses in prototype form:
+
+* **Quantifying cost/quality trade-offs end to end** — evaluating every
+  combination of per-stage choices is "costly and impractical", so Murakkab
+  needs to "narrow the search space by identifying stages with the greatest
+  impact on cost and accuracy".  :class:`QualityController` ranks stages by
+  their end-to-end quality impact and proposes the cheapest single-stage
+  upgrade that meets a quality target.
+* **Correctness checkpoints** — "hallucinations in early stages can derail
+  workflows, highlighting the need for more correctness checkpoints".
+  :func:`plan_checkpoints` places checkpoints after the stages whose failure
+  would invalidate the most downstream work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.agents.base import AgentInterface
+from repro.core.dag import TaskGraph
+from repro.core.planner import ExecutionPlan, PlanAssignment
+from repro.core.quality import cascade_quality
+from repro.profiling.store import ProfileStore
+
+
+@dataclass(frozen=True)
+class StageImpact:
+    """How much one stage limits end-to-end quality and what it costs."""
+
+    interface: AgentInterface
+    quality: float
+    #: End-to-end quality of the plan as chosen.
+    current_workflow_quality: float
+    #: End-to-end quality if this stage alone were made perfect.
+    quality_if_perfect: float
+    cost_per_unit: float
+
+    @property
+    def improvement_headroom(self) -> float:
+        """End-to-end quality gained by fixing only this stage."""
+        return max(0.0, self.quality_if_perfect - self.current_workflow_quality)
+
+
+@dataclass(frozen=True)
+class UpgradeProposal:
+    """A single-stage substitution that raises end-to-end quality."""
+
+    interface: AgentInterface
+    current: PlanAssignment
+    upgraded_agent: str
+    upgraded_quality: float
+    extra_cost_per_unit: float
+    projected_workflow_quality: float
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A correctness checkpoint inserted after a stage."""
+
+    after_interface: AgentInterface
+    downstream_tasks_protected: int
+    reason: str
+
+
+class QualityController:
+    """Analyses a plan's quality cascade and proposes targeted fixes."""
+
+    def __init__(self, profile_store: ProfileStore) -> None:
+        self.profile_store = profile_store
+
+    # ------------------------------------------------------------------ #
+    # Impact analysis
+    # ------------------------------------------------------------------ #
+    def stage_impacts(self, plan: ExecutionPlan) -> List[StageImpact]:
+        """Stages ordered by how much fixing them alone would help."""
+        qualities = plan.stage_qualities()
+        baseline = cascade_quality(qualities)
+        impacts: List[StageImpact] = []
+        for interface, assignments in plan.assignments.items():
+            assignment = assignments[0]
+            if_perfect = cascade_quality({**qualities, interface.value: 1.0})
+            impacts.append(
+                StageImpact(
+                    interface=interface,
+                    quality=assignment.profile.quality,
+                    current_workflow_quality=baseline,
+                    quality_if_perfect=if_perfect,
+                    cost_per_unit=assignment.profile.cost,
+                )
+            )
+        impacts.sort(key=lambda impact: impact.improvement_headroom, reverse=True)
+        return impacts
+
+    def most_impactful_interface(self, plan: ExecutionPlan) -> AgentInterface:
+        """The stage whose quality loss hurts the end-to-end result the most."""
+        impacts = self.stage_impacts(plan)
+        if not impacts:
+            raise ValueError("plan has no assignments")
+        return impacts[0].interface
+
+    # ------------------------------------------------------------------ #
+    # Targeted upgrades
+    # ------------------------------------------------------------------ #
+    def propose_upgrade(
+        self,
+        plan: ExecutionPlan,
+        quality_target: float,
+    ) -> Optional[UpgradeProposal]:
+        """Cheapest single-stage substitution that meets ``quality_target``.
+
+        Returns ``None`` when the plan already meets the target or when no
+        single-stage substitution can reach it (the caller then has to accept
+        lower quality or upgrade multiple stages).
+        """
+        if not 0.0 <= quality_target <= 1.0:
+            raise ValueError("quality_target must be in [0, 1]")
+        qualities = plan.stage_qualities()
+        current_quality = cascade_quality(qualities)
+        if current_quality >= quality_target:
+            return None
+
+        best: Optional[UpgradeProposal] = None
+        for interface, assignments in plan.assignments.items():
+            assignment = assignments[0]
+            for profile in self.profile_store.profiles_for(interface):
+                if profile.quality <= assignment.profile.quality:
+                    continue
+                projected = cascade_quality(
+                    {**qualities, interface.value: profile.quality}
+                )
+                if projected < quality_target:
+                    continue
+                extra_cost = profile.cost - assignment.profile.cost
+                proposal = UpgradeProposal(
+                    interface=interface,
+                    current=assignment,
+                    upgraded_agent=profile.agent_name,
+                    upgraded_quality=profile.quality,
+                    extra_cost_per_unit=extra_cost,
+                    projected_workflow_quality=projected,
+                )
+                if best is None or extra_cost < best.extra_cost_per_unit:
+                    best = proposal
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Cost-quality frontier
+    # ------------------------------------------------------------------ #
+    def cost_quality_frontier(
+        self, interface: AgentInterface
+    ) -> List[Tuple[float, float]]:
+        """(cost, quality) points on the Pareto frontier for one interface."""
+        points = [
+            (profile.cost, profile.quality)
+            for profile in self.profile_store.pareto_front(interface)
+        ]
+        return sorted(points)
+
+
+def plan_checkpoints(graph: TaskGraph, max_checkpoints: int = 2) -> List[Checkpoint]:
+    """Place correctness checkpoints after the most load-bearing stages.
+
+    A stage's "load" is the number of downstream tasks that would be invalid
+    if its output were hallucinated; checkpoints go after the stages with the
+    largest load, earliest stages first on ties.
+    """
+    if max_checkpoints <= 0:
+        raise ValueError("max_checkpoints must be positive")
+    graph.validate()
+    stage_order = graph.stage_order()
+    loads: Dict[str, int] = {}
+    for stage in stage_order:
+        stage_tasks = [task for task in graph if task.stage == stage]
+        downstream: set = set()
+        frontier = [task.task_id for task in stage_tasks]
+        while frontier:
+            current = frontier.pop()
+            for successor in graph.successors(current):
+                if successor.task_id not in downstream:
+                    downstream.add(successor.task_id)
+                    frontier.append(successor.task_id)
+        loads[stage] = len(downstream)
+    ranked = sorted(
+        stage_order, key=lambda stage: (-loads[stage], stage_order.index(stage))
+    )
+    checkpoints: List[Checkpoint] = []
+    for stage in ranked[:max_checkpoints]:
+        if loads[stage] == 0:
+            continue
+        interface = next(task.interface for task in graph if task.stage == stage)
+        checkpoints.append(
+            Checkpoint(
+                after_interface=interface,
+                downstream_tasks_protected=loads[stage],
+                reason=(
+                    f"a hallucinated {stage} output would invalidate "
+                    f"{loads[stage]} downstream tasks"
+                ),
+            )
+        )
+    return checkpoints

@@ -1,0 +1,222 @@
+"""The Murakkab adaptive runtime.
+
+The runtime owns the simulated cluster, the agent library and its profiles,
+and the discrete-event engine.  ``submit`` runs one declarative job end to
+end: orchestration (decompose -> map -> plan against live cluster stats),
+DAG announcement to the cluster manager, execution with serving instances
+and per-task CPU lanes, and finally energy / cost / quality accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro import calibration
+from repro.agents.base import AgentInterface, AgentResult
+from repro.agents.library import AgentLibrary, default_library
+from repro.cluster.cluster import Cluster, paper_testbed
+from repro.cluster.hardware import get_cpu_spec
+from repro.cluster.manager import ClusterManager
+from repro.cluster.scheduler import PlacementPolicy, WorkflowAwarePolicy
+from repro.core.execution import ServerPool, WorkflowExecutor
+from repro.core.job import Job, JobResult
+from repro.core.orchestrator import OrchestrationResult, WorkflowOrchestrator
+from repro.core.planner import PlannerOverride
+from repro.core.quality import cascade_quality, score_object_listing_answer
+from repro.profiling.profiler import Profiler
+from repro.profiling.store import ProfileStore
+from repro.sim.energy import EnergyAccountant
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import ExecutionTrace
+from repro.workloads.video import SyntheticVideo
+
+SECONDS_PER_HOUR = 3600.0
+
+
+class MurakkabRuntime:
+    """End-to-end runtime: declarative jobs in, measured results out."""
+
+    def __init__(
+        self,
+        cluster: Optional[Cluster] = None,
+        library: Optional[AgentLibrary] = None,
+        profile_store: Optional[ProfileStore] = None,
+        engine: Optional[SimulationEngine] = None,
+        placement_policy: Optional[PlacementPolicy] = None,
+        max_cpu_cores_per_agent: int = calibration.STT_CPU_TOTAL_CORES,
+    ) -> None:
+        self.engine = engine or SimulationEngine()
+        self.cluster = cluster or paper_testbed()
+        self.cluster_manager = ClusterManager(
+            self.cluster,
+            policy=placement_policy or WorkflowAwarePolicy(),
+            time_source=lambda: self.engine.now,
+        )
+        self.library = library or default_library()
+        self.profile_store = profile_store or Profiler().profile_library(self.library)
+        self.orchestrator = WorkflowOrchestrator(self.library, self.profile_store)
+        self.orchestrator.planner.max_cpu_cores_per_agent = max_cpu_cores_per_agent
+
+    # ------------------------------------------------------------------ #
+    # Job submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        job: Job,
+        overrides: Optional[Dict[AgentInterface, PlannerOverride]] = None,
+        keep_warm: bool = False,
+        server_pool: Optional[ServerPool] = None,
+    ) -> JobResult:
+        """Run ``job`` to completion and return its result and metrics."""
+        submit_time = self.engine.now
+        stats = self.cluster_manager.stats()
+        orchestration = self.orchestrator.prepare(job, cluster_stats=stats, overrides=overrides)
+
+        pool = server_pool or ServerPool(self.cluster_manager, self.library)
+        trace = ExecutionTrace(label=job.job_id)
+        dag_latency = orchestration.decomposition_latency_s or calibration.DAG_CREATION_SECONDS
+        trace.add(
+            task_id=f"{job.job_id}/orchestration",
+            task_name="job decomposition (orchestrator LLM)",
+            category="Orchestration",
+            start=submit_time,
+            end=submit_time + dag_latency,
+            cpu_cores=1,
+            cpu_utilization=0.1,
+            metadata={"workflow": job.job_id},
+        )
+
+        executor = WorkflowExecutor(
+            engine=self.engine,
+            cluster_manager=self.cluster_manager,
+            library=self.library,
+            plan=orchestration.plan,
+            server_pool=pool,
+            trace=trace,
+            workflow_id=job.job_id,
+        )
+        results = executor.execute(orchestration.graph, delay=dag_latency)
+        finished_at = executor.finished_at if executor.finished_at is not None else self.engine.now
+
+        result = self._build_result(
+            job=job,
+            orchestration=orchestration,
+            results=results,
+            trace=trace,
+            pool=pool,
+            started_at=submit_time,
+            finished_at=finished_at,
+        )
+        if not keep_warm and server_pool is None:
+            pool.teardown_all()
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    def _build_result(
+        self,
+        job: Job,
+        orchestration: OrchestrationResult,
+        results: Dict[str, AgentResult],
+        trace: ExecutionTrace,
+        pool: ServerPool,
+        started_at: float,
+        finished_at: float,
+    ) -> JobResult:
+        provisioned_gpus = pool.total_gpus()
+        accountant = EnergyAccountant(
+            gpu_power=self.cluster.nodes[0].gpu_spec.power,
+            cpu_power_per_core_w=get_cpu_spec().active_w_per_core,
+        )
+        energy = accountant.account(
+            trace, provisioned_gpus=provisioned_gpus, window=(started_at, finished_at)
+        )
+        cost = self._estimate_cost(trace, pool, finished_at - started_at)
+        output = self._collect_output(orchestration, results)
+        quality = self._estimate_quality(job, orchestration, output)
+
+        return JobResult(
+            job_id=job.job_id,
+            output=output,
+            task_results=results,
+            makespan_s=finished_at - started_at,
+            started_at=started_at,
+            finished_at=finished_at,
+            energy=energy,
+            cost=cost,
+            quality=quality,
+            trace=trace,
+            plan=orchestration.plan,
+            graph=orchestration.graph,
+            react_trace=orchestration.react_trace,
+            provisioned_gpus=provisioned_gpus,
+        )
+
+    def _estimate_cost(self, trace: ExecutionTrace, pool: ServerPool, duration_s: float) -> float:
+        gpu_spec = self.cluster.nodes[0].gpu_spec
+        cpu_spec = get_cpu_spec()
+        cost = 0.0
+        for handle in pool.handles():
+            cost += handle.gpus * gpu_spec.cost_per_hour * duration_s / SECONDS_PER_HOUR
+            cost += (
+                handle.instance.cpu_cores
+                * cpu_spec.cost_per_core_hour
+                * duration_s
+                / SECONDS_PER_HOUR
+            )
+        for interval in trace:
+            if interval.gpu_count == 0 and interval.cpu_cores > 0:
+                cost += (
+                    interval.cpu_cores
+                    * cpu_spec.cost_per_core_hour
+                    * interval.duration
+                    / SECONDS_PER_HOUR
+                )
+            agent_name = interval.metadata.get("agent")
+            if agent_name and agent_name in self.library:
+                implementation = self.library.get(str(agent_name))
+                if getattr(implementation, "external", False):
+                    cost += getattr(implementation, "cost_per_request", 0.0)
+        return cost
+
+    @staticmethod
+    def _collect_output(
+        orchestration: OrchestrationResult, results: Dict[str, AgentResult]
+    ) -> Dict[str, object]:
+        output: Dict[str, object] = {}
+        for task in orchestration.graph.leaves():
+            result = results.get(task.task_id)
+            if result is None:
+                continue
+            output.update(result.output)
+        return output
+
+    def _estimate_quality(
+        self,
+        job: Job,
+        orchestration: OrchestrationResult,
+        output: Dict[str, object],
+    ) -> float:
+        planned = cascade_quality(orchestration.plan.stage_qualities())
+        answer = str(output.get("answer", ""))
+        ground_truth = self._ground_truth_objects(job)
+        if answer and ground_truth:
+            measured = score_object_listing_answer(answer, ground_truth)
+            return min(planned, measured) if planned else measured
+        return planned
+
+    @staticmethod
+    def _ground_truth_objects(job: Job) -> List[str]:
+        objects: List[str] = []
+        for item in job.inputs:
+            if isinstance(item, SyntheticVideo):
+                for obj in item.all_objects():
+                    if obj not in objects:
+                        objects.append(obj)
+            elif isinstance(item, dict) and "scenes" in item:
+                for scene in item["scenes"]:
+                    for obj in scene.get("objects", []):
+                        if obj not in objects:
+                            objects.append(obj)
+        return objects

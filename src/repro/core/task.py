@@ -1,0 +1,80 @@
+"""Task instances: the nodes of a workflow DAG."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.agents.base import AgentInterface, WorkUnit
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task instance."""
+
+    PENDING = "pending"
+    READY = "ready"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (TaskState.COMPLETED, TaskState.FAILED, TaskState.CANCELLED)
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work bound to an agent interface.
+
+    ``stage`` names the decomposition stage this task was expanded from
+    (e.g. ``"speech_to_text"``); ``metadata`` carries expansion context such
+    as the scene or video identity, used for dependency wiring and data-flow
+    composition.
+    """
+
+    task_id: str
+    description: str
+    interface: AgentInterface
+    work: WorkUnit
+    stage: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+    state: TaskState = TaskState.PENDING
+    #: Populated by the executor.
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise ValueError("task_id must be non-empty")
+        if not self.stage:
+            self.stage = self.interface.value
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def mark(self, state: TaskState) -> None:
+        """Advance the task's state (no backwards transitions)."""
+        order = [
+            TaskState.PENDING,
+            TaskState.READY,
+            TaskState.RUNNING,
+            TaskState.COMPLETED,
+        ]
+        if state in (TaskState.FAILED, TaskState.CANCELLED):
+            self.state = state
+            return
+        if self.state in order and order.index(state) < order.index(self.state):
+            raise ValueError(
+                f"cannot move task {self.task_id} from {self.state} back to {state}"
+            )
+        self.state = state
+
+    def __repr__(self) -> str:
+        return (
+            f"Task({self.task_id!r}, {self.interface.value}, state={self.state.value})"
+        )

@@ -1,0 +1,37 @@
+"""Experiment harnesses that regenerate the paper's tables and figures.
+
+Each module corresponds to one table/figure (or one of our own ablations)
+and exposes a ``run_*`` function returning structured results; the pytest
+benchmarks in ``benchmarks/`` and the examples call these functions and
+render/validate their output.
+"""
+
+from repro.experiments.configs import (
+    STT_CONFIG_LABELS,
+    paper_quality_target,
+    stt_override,
+)
+from repro.experiments.table2 import Table2Results, run_table2
+from repro.experiments.figure3 import Figure3Results, run_figure3
+from repro.experiments.table1 import LeverObservation, run_table1
+from repro.experiments.headline import HeadlineClaims, run_headline
+from repro.experiments.ablation import AblationStep, run_ablation
+from repro.experiments.multitenant import MultiTenantComparison, run_multitenant
+
+__all__ = [
+    "STT_CONFIG_LABELS",
+    "stt_override",
+    "paper_quality_target",
+    "Table2Results",
+    "run_table2",
+    "Figure3Results",
+    "run_figure3",
+    "LeverObservation",
+    "run_table1",
+    "HeadlineClaims",
+    "run_headline",
+    "AblationStep",
+    "run_ablation",
+    "MultiTenantComparison",
+    "run_multitenant",
+]

@@ -1,0 +1,48 @@
+"""Shared experiment configuration helpers.
+
+The paper's Table 2 / Figure 3 compare four configurations of the Video
+Understanding workflow that differ only in where Speech-to-Text runs:
+the imperative baseline, and Murakkab with STT on 1 GPU, on 64 CPU cores
+(4 x 16-core lanes), or on a GPU+CPU combination.  The helpers here build
+the planner overrides that pin those STT configurations while leaving every
+other decision to the planner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import calibration
+from repro.agents.base import AgentInterface, HardwareConfig, SEQUENTIAL_MODE
+from repro.core.planner import PlannerOverride
+from repro.workflows.video_understanding import PAPER_QUALITY_TARGET
+
+#: Row labels, in the order the paper's Table 2 lists them.
+STT_CONFIG_LABELS = ("baseline", "murakkab-cpu", "murakkab-gpu", "murakkab-gpu+cpu")
+
+
+def paper_quality_target() -> float:
+    """Quality floor used in the reproduction experiments."""
+    return PAPER_QUALITY_TARGET
+
+
+def stt_override(config: str) -> Dict[AgentInterface, PlannerOverride]:
+    """Planner override pinning Whisper's hardware configuration.
+
+    ``config`` is one of ``"gpu"``, ``"cpu"``, or ``"gpu+cpu"``.
+    """
+    if config == "gpu":
+        hardware = HardwareConfig(gpus=1)
+    elif config == "cpu":
+        hardware = HardwareConfig(cpu_cores=calibration.STT_CPU_CORES_PER_SCENE)
+    elif config in ("gpu+cpu", "hybrid"):
+        hardware = HardwareConfig(gpus=1, cpu_cores=calibration.STT_CPU_CORES_PER_SCENE)
+    else:
+        raise ValueError(f"unknown STT config {config!r}; expected gpu, cpu, or gpu+cpu")
+    # The paper's GPU configuration is "similar to the baseline" (one GPU, no
+    # request batching), so pin the sequential execution mode as well.
+    return {
+        AgentInterface.SPEECH_TO_TEXT: PlannerOverride(
+            agent_name="whisper", config=hardware, mode=SEQUENTIAL_MODE
+        )
+    }

@@ -1,0 +1,59 @@
+"""Figure 3: execution traces and CPU/GPU utilisation of each configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro import calibration
+from repro.core.job import JobResult
+from repro.experiments.table2 import Table2Results, run_table2
+from repro.telemetry.timeline import UtilizationTimeline, gantt_text
+from repro.workloads.video import SyntheticVideo
+
+
+@dataclass
+class Figure3Results:
+    """Per-configuration traces and utilisation curves (the Figure 3 panels)."""
+
+    results: Dict[str, JobResult] = field(default_factory=dict)
+    timelines: Dict[str, UtilizationTimeline] = field(default_factory=dict)
+
+    def makespan_s(self, label: str) -> float:
+        return self.results[label].makespan_s
+
+    def speedup_over_baseline(self, label: str) -> float:
+        return self.results["baseline"].makespan_s / self.results[label].makespan_s
+
+    def render_traces(self, width: int = 72) -> str:
+        sections = []
+        for label, result in self.results.items():
+            sections.append(f"[{label}] completes in {result.makespan_s:.1f}s")
+            sections.append(gantt_text(result.trace, width=width))
+            timeline = self.timelines[label]
+            sections.append(
+                f"mean GPU util {timeline.mean_gpu_percent:.1f}% | "
+                f"mean CPU util {timeline.mean_cpu_percent:.1f}%"
+            )
+            sections.append("")
+        return "\n".join(sections)
+
+
+def run_figure3(
+    videos: Optional[Sequence[SyntheticVideo]] = None,
+    table2: Optional[Table2Results] = None,
+    resolution_s: float = 1.0,
+) -> Figure3Results:
+    """Regenerate Figure 3 from the Table-2 runs (same four configurations)."""
+    table2 = table2 or run_table2(videos)
+    total_gpus = calibration.NODE_COUNT * calibration.NODE_GPUS
+    total_cores = calibration.NODE_COUNT * calibration.NODE_VCPUS
+    figure = Figure3Results(results=dict(table2.results))
+    for label, result in figure.results.items():
+        figure.timelines[label] = UtilizationTimeline.from_trace(
+            result.trace,
+            total_gpus=total_gpus,
+            total_cpu_cores=total_cores,
+            resolution_s=resolution_s,
+        )
+    return figure

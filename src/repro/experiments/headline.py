@@ -1,0 +1,52 @@
+"""The paper's headline claims: ~3.4x speedup and ~4.5x energy efficiency."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import calibration
+from repro.experiments.table2 import Table2Results, run_table2
+from repro.telemetry.metrics import energy_efficiency_gain, speedup
+
+
+@dataclass
+class HeadlineClaims:
+    """Measured headline numbers next to the paper's reported values."""
+
+    measured_speedup: float
+    measured_energy_gain: float
+    paper_speedup: float = calibration.PAPER_SPEEDUP
+    paper_energy_gain: float = calibration.PAPER_ENERGY_EFFICIENCY_GAIN
+    murakkab_choice: str = "murakkab-cpu"
+
+    def render(self) -> str:
+        return (
+            f"speedup: measured {self.measured_speedup:.2f}x vs paper ~{self.paper_speedup}x\n"
+            f"energy efficiency: measured {self.measured_energy_gain:.2f}x vs "
+            f"paper ~{self.paper_energy_gain}x (Murakkab selects {self.murakkab_choice})"
+        )
+
+
+def run_headline(table2: Optional[Table2Results] = None) -> HeadlineClaims:
+    """Derive the headline claims from the Table-2 runs.
+
+    The speedup compares the baseline against the *fastest* Murakkab
+    configuration; the energy-efficiency gain compares the baseline against
+    the configuration Murakkab selects under MIN_COST (the CPU one).
+    """
+    table2 = table2 or run_table2()
+    fastest = min(
+        (label for label in table2.results if label != "baseline"),
+        key=lambda label: table2.time_s(label),
+    )
+    chosen = table2.autonomous_choice or "murakkab-cpu"
+    measured_speedup = speedup(table2.time_s("baseline"), table2.time_s(fastest))
+    measured_gain = energy_efficiency_gain(
+        table2.energy_wh("baseline"), table2.energy_wh(chosen)
+    )
+    return HeadlineClaims(
+        measured_speedup=measured_speedup,
+        measured_energy_gain=measured_gain,
+        murakkab_choice=chosen,
+    )

@@ -1,0 +1,34 @@
+"""LLM substrate: model catalogue, serving simulator, and the orchestrator LLM.
+
+Murakkab uses an LLM (NVLM in the paper) in two roles: as a workload agent
+(scene summarisation, question answering) and as the *orchestrator* that
+decomposes a natural-language job description into a task DAG and emits tool
+calls (§3.2 "Job Decomposition" / "Task-to-Agent Mapping").  This package
+provides:
+
+* a model catalogue with sizes and serving shapes (:mod:`repro.llm.models`),
+* a token-level serving simulator with batching and KV-cache accounting
+  (:mod:`repro.llm.serving`),
+* a deterministic, rule-based stand-in for the orchestrator LLM's ReAct
+  decomposition (:mod:`repro.llm.orchestrator_llm`), and
+* structured tool-call generation (:mod:`repro.llm.tool_calling`).
+"""
+
+from repro.llm.models import LLM_CATALOG, LlmModelSpec, get_model_spec
+from repro.llm.serving import LlmRequest, LlmServingSimulator, ServingMetrics
+from repro.llm.orchestrator_llm import DecomposedTask, OrchestratorLLM, ReActTrace
+from repro.llm.tool_calling import ToolCall, ToolCallGenerator
+
+__all__ = [
+    "LLM_CATALOG",
+    "LlmModelSpec",
+    "get_model_spec",
+    "LlmRequest",
+    "LlmServingSimulator",
+    "ServingMetrics",
+    "DecomposedTask",
+    "OrchestratorLLM",
+    "ReActTrace",
+    "ToolCall",
+    "ToolCallGenerator",
+]

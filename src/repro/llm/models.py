@@ -1,0 +1,96 @@
+"""Catalogue of LLMs available to the runtime.
+
+Throughput numbers are per serving instance on A100s and follow public
+serving benchmarks in order of magnitude; they feed the token-level serving
+simulator and the orchestration-overhead accounting (the paper's §3.3 notes
+DAG-creation queries are short-input/short-output and take <1% of workflow
+time — the catalogue is what makes that statement checkable here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class LlmModelSpec:
+    """Static description of an LLM and its serving shape."""
+
+    name: str
+    parameters_b: float
+    #: GPUs a serving instance occupies (tensor/pipeline parallel degree).
+    gpus_per_instance: int
+    #: Prefill throughput (prompt tokens/s) for a single request.
+    prefill_tokens_per_s: float
+    #: Decode throughput (output tokens/s) for a single request (batch 1).
+    decode_tokens_per_s: float
+    #: KV-cache bytes per token across the whole instance.
+    kv_cache_bytes_per_token: int
+    #: Total HBM available for KV cache across the instance (bytes).
+    kv_cache_capacity_bytes: int
+    #: Relative answer quality in [0, 1].
+    quality: float
+    #: Whether the model is externally hosted (proprietary API).
+    external: bool = False
+
+    def max_resident_tokens(self) -> int:
+        """How many tokens of KV cache fit in the instance's memory."""
+        if self.kv_cache_bytes_per_token <= 0:
+            return 0
+        return self.kv_cache_capacity_bytes // self.kv_cache_bytes_per_token
+
+
+_GB = 1024**3
+
+LLM_CATALOG: Dict[str, LlmModelSpec] = {
+    "nvlm-72b": LlmModelSpec(
+        name="nvlm-72b",
+        parameters_b=72.0,
+        gpus_per_instance=8,
+        prefill_tokens_per_s=12_000.0,
+        decode_tokens_per_s=45.0,
+        kv_cache_bytes_per_token=1_310_720,
+        kv_cache_capacity_bytes=320 * _GB,
+        quality=0.97,
+    ),
+    "llama-3-70b": LlmModelSpec(
+        name="llama-3-70b",
+        parameters_b=70.0,
+        gpus_per_instance=4,
+        prefill_tokens_per_s=10_000.0,
+        decode_tokens_per_s=40.0,
+        kv_cache_bytes_per_token=1_310_720,
+        kv_cache_capacity_bytes=160 * _GB,
+        quality=0.92,
+    ),
+    "llama-3-8b": LlmModelSpec(
+        name="llama-3-8b",
+        parameters_b=8.0,
+        gpus_per_instance=1,
+        prefill_tokens_per_s=25_000.0,
+        decode_tokens_per_s=120.0,
+        kv_cache_bytes_per_token=131_072,
+        kv_cache_capacity_bytes=60 * _GB,
+        quality=0.82,
+    ),
+    "gpt-4o": LlmModelSpec(
+        name="gpt-4o",
+        parameters_b=200.0,
+        gpus_per_instance=0,
+        prefill_tokens_per_s=8_000.0,
+        decode_tokens_per_s=70.0,
+        kv_cache_bytes_per_token=0,
+        kv_cache_capacity_bytes=0,
+        quality=0.98,
+        external=True,
+    ),
+}
+
+
+def get_model_spec(name: str) -> LlmModelSpec:
+    """Look up a model by name."""
+    try:
+        return LLM_CATALOG[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(LLM_CATALOG)}") from None

@@ -1,0 +1,181 @@
+"""Token-level LLM serving simulator.
+
+Models the two phases of LLM inference that matter for scheduling decisions:
+prefill (compute-bound, parallel over prompt tokens) and decode
+(memory-bandwidth-bound, one token per step).  Batching multiple requests
+raises decode throughput sub-linearly, which is exactly why the OmAgent-style
+frame-by-frame summarisation is so much less efficient than Murakkab's
+batched summarisation — the effect the agent cost models in
+:mod:`repro.agents.summarizer` encode at coarser granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.llm.models import LlmModelSpec
+
+
+@dataclass(frozen=True)
+class LlmRequest:
+    """One inference request: a prompt and an expected output length."""
+
+    request_id: str
+    prompt_tokens: int
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens < 0 or self.output_tokens < 0:
+            raise ValueError("token counts must be non-negative")
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.output_tokens
+
+
+@dataclass
+class ServingMetrics:
+    """Aggregate metrics for a batch/sequence of simulated requests."""
+
+    requests: int = 0
+    total_prompt_tokens: int = 0
+    total_output_tokens: int = 0
+    total_latency_s: float = 0.0
+    batch_latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def tokens_per_second(self) -> float:
+        if self.total_latency_s <= 0:
+            return 0.0
+        return (self.total_prompt_tokens + self.total_output_tokens) / self.total_latency_s
+
+    @property
+    def mean_batch_latency_s(self) -> float:
+        if not self.batch_latencies_s:
+            return 0.0
+        return sum(self.batch_latencies_s) / len(self.batch_latencies_s)
+
+
+class LlmServingSimulator:
+    """Analytic latency model for one serving instance of a model."""
+
+    def __init__(self, spec: LlmModelSpec, batching_efficiency: float = 0.85) -> None:
+        """``batching_efficiency`` in (0, 1]: 1.0 means decode throughput
+        scales perfectly with batch size; lower values model contention."""
+        if not 0.0 < batching_efficiency <= 1.0:
+            raise ValueError("batching_efficiency must be in (0, 1]")
+        self.spec = spec
+        self.batching_efficiency = batching_efficiency
+
+    # ------------------------------------------------------------------ #
+    # Latency model
+    # ------------------------------------------------------------------ #
+    def prefill_latency_s(self, prompt_tokens: int) -> float:
+        """Time to ingest the prompt."""
+        if prompt_tokens < 0:
+            raise ValueError("prompt_tokens must be non-negative")
+        return prompt_tokens / self.spec.prefill_tokens_per_s
+
+    def decode_latency_s(self, output_tokens: int, batch_size: int = 1) -> float:
+        """Time to generate ``output_tokens`` at the given batch size.
+
+        With batch size ``b``, per-request decode throughput degrades by
+        ``b ** (1 - efficiency)`` — near-free batching when efficiency is
+        high, linear slowdown when it is 0.
+        """
+        if output_tokens < 0:
+            raise ValueError("output_tokens must be non-negative")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        per_request_rate = self.spec.decode_tokens_per_s / (
+            batch_size ** (1.0 - self.batching_efficiency)
+        )
+        return output_tokens / per_request_rate
+
+    def request_latency_s(self, request: LlmRequest, batch_size: int = 1) -> float:
+        """End-to-end latency of one request executed within a batch."""
+        return self.prefill_latency_s(request.prompt_tokens) + self.decode_latency_s(
+            request.output_tokens, batch_size
+        )
+
+    def batch_latency_s(self, requests: Sequence[LlmRequest]) -> float:
+        """Latency of running ``requests`` together as one batch.
+
+        Prefill is processed sequentially (shared compute); decode runs for
+        as long as the longest output in the batch at the batch's degraded
+        per-request rate.
+        """
+        if not requests:
+            return 0.0
+        prefill = sum(self.prefill_latency_s(r.prompt_tokens) for r in requests)
+        longest_output = max(r.output_tokens for r in requests)
+        decode = self.decode_latency_s(longest_output, batch_size=len(requests))
+        return prefill + decode
+
+    def batch_throughput_tokens_per_s(self, requests: Sequence[LlmRequest]) -> float:
+        """Aggregate generated-token throughput of a batch."""
+        latency = self.batch_latency_s(requests)
+        if latency <= 0:
+            return 0.0
+        return sum(r.output_tokens for r in requests) / latency
+
+    # ------------------------------------------------------------------ #
+    # KV-cache admission
+    # ------------------------------------------------------------------ #
+    def max_batch_size(self, request: LlmRequest) -> int:
+        """Largest batch of identical ``request``s whose KV cache fits."""
+        capacity = self.spec.max_resident_tokens()
+        if capacity <= 0:
+            return 1
+        per_request = max(request.total_tokens, 1)
+        return max(1, capacity // per_request)
+
+    def fits(self, requests: Sequence[LlmRequest]) -> bool:
+        """Whether the batch's total KV footprint fits in instance memory."""
+        capacity = self.spec.max_resident_tokens()
+        if capacity <= 0:
+            return True
+        return sum(r.total_tokens for r in requests) <= capacity
+
+    # ------------------------------------------------------------------ #
+    # Workload helpers
+    # ------------------------------------------------------------------ #
+    def run_sequential(self, requests: Sequence[LlmRequest]) -> ServingMetrics:
+        """Simulate running requests one at a time (the baseline pattern)."""
+        metrics = ServingMetrics()
+        for request in requests:
+            latency = self.request_latency_s(request, batch_size=1)
+            metrics.requests += 1
+            metrics.total_prompt_tokens += request.prompt_tokens
+            metrics.total_output_tokens += request.output_tokens
+            metrics.total_latency_s += latency
+            metrics.batch_latencies_s.append(latency)
+        return metrics
+
+    def run_batched(
+        self, requests: Sequence[LlmRequest], max_batch_size: Optional[int] = None
+    ) -> ServingMetrics:
+        """Simulate running requests in KV-cache-feasible batches."""
+        metrics = ServingMetrics()
+        pending = list(requests)
+        while pending:
+            batch: List[LlmRequest] = []
+            for request in list(pending):
+                candidate = batch + [request]
+                if max_batch_size is not None and len(candidate) > max_batch_size:
+                    break
+                if not self.fits(candidate):
+                    break
+                batch.append(request)
+                pending.remove(request)
+            if not batch:
+                # A single oversized request: run it alone.
+                batch = [pending.pop(0)]
+            latency = self.batch_latency_s(batch)
+            metrics.requests += len(batch)
+            metrics.total_prompt_tokens += sum(r.prompt_tokens for r in batch)
+            metrics.total_output_tokens += sum(r.output_tokens for r in batch)
+            metrics.total_latency_s += latency
+            metrics.batch_latencies_s.append(latency)
+        return metrics

@@ -1,0 +1,109 @@
+"""Structured tool-call generation.
+
+After mapping a task to an agent, Murakkab "supplies task metadata and input
+details to the LLM, requesting a tool call for the selected agent.  The LLM
+generates an executable code snippet with the necessary arguments to invoke
+the agent directly" (§3.2).  This module reproduces that step: given an
+agent's schema and the task's metadata, it synthesises a validated,
+renderable tool call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.agents.base import AgentSchema
+
+
+@dataclass(frozen=True)
+class ToolCall:
+    """A concrete agent invocation with keyword arguments."""
+
+    agent_name: str
+    arguments: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def kwargs(self) -> Dict[str, object]:
+        return dict(self.arguments)
+
+    def render(self) -> str:
+        """Render as an executable-looking snippet, e.g.
+        ``FrameExtractor(file='cats.mov', num_frames=10)``."""
+        class_name = "".join(part.capitalize() for part in self.agent_name.split("-"))
+        rendered_args = ", ".join(f"{key}={value!r}" for key, value in self.arguments)
+        return f"{class_name}({rendered_args})"
+
+
+#: For each schema parameter name, the metadata keys that can supply it.
+_PARAMETER_SOURCES: Dict[str, Tuple[str, ...]] = {
+    "file": ("file", "video", "path", "name"),
+    "audio_file": ("audio_file", "file", "video", "scene_id"),
+    "start_time": ("start_time",),
+    "end_time": ("end_time", "duration", "audio_seconds"),
+    "num_frames": ("num_frames", "frame_count", "frames_per_scene"),
+    "language": ("language",),
+    "frames": ("frames",),
+    "labels": ("labels", "candidate_objects"),
+    "transcript": ("transcript",),
+    "objects": ("objects",),
+    "texts": ("texts", "summaries"),
+    "question": ("question", "description"),
+    "context": ("context", "summaries"),
+    "expression": ("expression",),
+    "query": ("query", "question", "description"),
+    "top_k": ("top_k",),
+    "prompt": ("prompt", "description"),
+    "max_tokens": ("max_tokens",),
+    "operation": ("operation",),
+    "collection": ("collection",),
+    "embeddings": ("embeddings",),
+    "query_vector": ("query_vector",),
+}
+
+#: Defaults used when the metadata does not carry a value for a parameter.
+_PARAMETER_DEFAULTS: Dict[str, object] = {
+    "start_time": 0,
+    "language": "en",
+    "top_k": 3,
+    "max_tokens": 256,
+    "operation": "insert",
+    "collection": "default",
+}
+
+
+class ToolCallGenerator:
+    """Synthesises :class:`ToolCall` objects from schemas and task metadata."""
+
+    def generate(
+        self,
+        schema: AgentSchema,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> ToolCall:
+        """Build a tool call for ``schema`` from ``metadata``.
+
+        Parameters without a metadata source or default are omitted (the
+        agent's ``execute`` treats missing optional inputs gracefully).
+        """
+        metadata = metadata or {}
+        arguments = []
+        for parameter_name, _parameter_type in schema.parameters:
+            value = self._resolve(parameter_name, metadata)
+            if value is not None:
+                arguments.append((parameter_name, value))
+        return ToolCall(agent_name=schema.name, arguments=tuple(arguments))
+
+    def _resolve(self, parameter_name: str, metadata: Dict[str, object]):
+        for source in _PARAMETER_SOURCES.get(parameter_name, (parameter_name,)):
+            if source in metadata and metadata[source] is not None:
+                return self._summarise(metadata[source])
+        if parameter_name in metadata:
+            return self._summarise(metadata[parameter_name])
+        return _PARAMETER_DEFAULTS.get(parameter_name)
+
+    @staticmethod
+    def _summarise(value: object) -> object:
+        """Keep rendered calls readable: long collections become counts."""
+        if isinstance(value, (list, tuple)) and len(value) > 8:
+            return f"<{len(value)} items>"
+        return value

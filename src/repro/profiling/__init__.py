@@ -1,0 +1,18 @@
+"""Profiling subsystem.
+
+Murakkab "generates an execution profile for each model/tool and hardware
+resource pair when a new one is added to the library" (§3.2).  The profiler
+enumerates every (implementation, hardware configuration, execution mode)
+triple an agent supports, runs its cost model against a reference work unit,
+and stores the resulting :class:`~repro.agents.profiles.ExecutionProfile`
+in a queryable :class:`~repro.profiling.store.ProfileStore`.
+
+The paper notes the profiling overhead is amortised over the lifetime of all
+workflows that use an agent (§3.3); here the store can be built once and
+shared across runtimes.
+"""
+
+from repro.profiling.profiler import Profiler, REFERENCE_WORK_UNITS
+from repro.profiling.store import ProfileStore
+
+__all__ = ["Profiler", "ProfileStore", "REFERENCE_WORK_UNITS"]

@@ -1,0 +1,98 @@
+"""The profiler: cost-model sweeps over configurations and modes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.agents.base import (
+    AgentImplementation,
+    AgentInterface,
+    ExecutionMode,
+    HardwareConfig,
+    WorkUnit,
+)
+from repro.agents.library import AgentLibrary
+from repro.agents.profiles import ExecutionProfile, ProfileKey, build_profile
+from repro.profiling.store import ProfileStore
+
+#: Reference work units used to normalise profiles per interface.  One scene,
+#: one video, one query, one item — matching the granularity at which the
+#: runtime dispatches tasks.
+REFERENCE_WORK_UNITS: Dict[AgentInterface, WorkUnit] = {
+    AgentInterface.FRAME_EXTRACTION: WorkUnit(kind="video", quantity=1.0),
+    AgentInterface.SPEECH_TO_TEXT: WorkUnit(kind="scene", quantity=1.0),
+    AgentInterface.OBJECT_DETECTION: WorkUnit(kind="scene", quantity=1.0),
+    AgentInterface.SCENE_SUMMARIZATION: WorkUnit(kind="scene", quantity=1.0),
+    AgentInterface.EMBEDDING: WorkUnit(kind="scene", quantity=1.0),
+    AgentInterface.VECTOR_DB: WorkUnit(kind="item", quantity=1.0),
+    AgentInterface.QUESTION_ANSWERING: WorkUnit(kind="query", quantity=1.0),
+    AgentInterface.SENTIMENT_ANALYSIS: WorkUnit(kind="item", quantity=1.0),
+    AgentInterface.WEB_SEARCH: WorkUnit(kind="query", quantity=1.0),
+    AgentInterface.CALCULATION: WorkUnit(kind="expression", quantity=1.0),
+    AgentInterface.TEXT_GENERATION: WorkUnit(kind="item", quantity=1.0),
+}
+
+
+class Profiler:
+    """Builds execution profiles for agent implementations."""
+
+    def __init__(
+        self,
+        reference_work: Optional[Dict[AgentInterface, WorkUnit]] = None,
+    ) -> None:
+        self.reference_work = dict(REFERENCE_WORK_UNITS)
+        if reference_work:
+            self.reference_work.update(reference_work)
+
+    def profile_implementation(
+        self, implementation: AgentImplementation
+    ) -> List[ExecutionProfile]:
+        """Profile every (config, mode) pair the implementation supports."""
+        work = self.reference_work.get(implementation.interface)
+        if work is None:
+            raise KeyError(
+                f"no reference work unit for interface {implementation.interface!r}"
+            )
+        profiles: List[ExecutionProfile] = []
+        for config in implementation.supported_configs():
+            for mode in implementation.supported_modes():
+                profiles.append(self.profile_one(implementation, config, mode, work))
+        return profiles
+
+    def profile_one(
+        self,
+        implementation: AgentImplementation,
+        config: HardwareConfig,
+        mode: ExecutionMode,
+        work: Optional[WorkUnit] = None,
+    ) -> ExecutionProfile:
+        """Profile a single (implementation, config, mode) triple."""
+        if work is None:
+            work = self.reference_work[implementation.interface]
+        estimate = implementation.estimate(work, config, mode)
+        key = ProfileKey(agent_name=implementation.name, config=config, mode=mode)
+        return build_profile(
+            key=key,
+            interface=implementation.interface,
+            estimate=estimate,
+            quality=implementation.effective_quality(mode),
+        )
+
+    def profile_library(self, library: AgentLibrary) -> ProfileStore:
+        """Profile every implementation in ``library`` into a new store."""
+        store = ProfileStore()
+        for name in library.names():
+            implementation = library.get(name)
+            for profile in self.profile_implementation(implementation):
+                store.add(profile)
+        return store
+
+    def profile_implementations(
+        self, implementations: Iterable[AgentImplementation]
+    ) -> ProfileStore:
+        """Profile an explicit set of implementations into a new store."""
+        store = ProfileStore()
+        for implementation in implementations:
+            for profile in self.profile_implementation(implementation):
+                store.add(profile)
+        return store

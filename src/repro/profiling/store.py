@@ -1,0 +1,121 @@
+"""A queryable store of execution profiles."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.agents.base import AgentInterface
+from repro.agents.profiles import ExecutionProfile, ProfileKey
+
+
+class ProfileStore:
+    """Holds :class:`ExecutionProfile` objects and answers selection queries."""
+
+    def __init__(self) -> None:
+        self._by_key: Dict[ProfileKey, ExecutionProfile] = {}
+        self._by_interface: Dict[AgentInterface, List[ExecutionProfile]] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __contains__(self, key: ProfileKey) -> bool:
+        return key in self._by_key
+
+    def add(self, profile: ExecutionProfile) -> ExecutionProfile:
+        """Add or replace the profile for its key."""
+        existing = self._by_key.get(profile.key)
+        if existing is not None:
+            self._by_interface[existing.interface].remove(existing)
+        self._by_key[profile.key] = profile
+        self._by_interface.setdefault(profile.interface, []).append(profile)
+        return profile
+
+    def remove_agent(self, agent_name: str) -> int:
+        """Drop every profile belonging to ``agent_name`` (model retirement).
+
+        Returns the number of profiles removed.
+        """
+        to_remove = [key for key, profile in self._by_key.items() if profile.agent_name == agent_name]
+        for key in to_remove:
+            profile = self._by_key.pop(key)
+            self._by_interface[profile.interface].remove(profile)
+            if not self._by_interface[profile.interface]:
+                del self._by_interface[profile.interface]
+        return len(to_remove)
+
+    def get(self, key: ProfileKey) -> ExecutionProfile:
+        try:
+            return self._by_key[key]
+        except KeyError:
+            raise KeyError(f"no profile for {key.describe()}") from None
+
+    def profiles_for(
+        self,
+        interface: AgentInterface,
+        agent_name: Optional[str] = None,
+    ) -> List[ExecutionProfile]:
+        """All profiles for an interface, optionally restricted to one agent."""
+        profiles = list(self._by_interface.get(interface, []))
+        if agent_name is not None:
+            profiles = [p for p in profiles if p.agent_name == agent_name]
+        return profiles
+
+    def interfaces(self) -> List[AgentInterface]:
+        return list(self._by_interface.keys())
+
+    # ------------------------------------------------------------------ #
+    # Selection queries (used by the planner)
+    # ------------------------------------------------------------------ #
+    def best(
+        self,
+        interface: AgentInterface,
+        objective: str,
+        quality_floor: float = 0.0,
+        feasible: Optional[Callable[[ExecutionProfile], bool]] = None,
+        agent_name: Optional[str] = None,
+    ) -> Optional[ExecutionProfile]:
+        """Best profile for ``interface`` under ``objective``.
+
+        ``quality_floor`` excludes profiles below the target quality (the
+        paper: "maximize efficiency while meeting the target quality");
+        ``feasible`` lets the caller exclude profiles whose resources are not
+        currently available (resource-aware orchestration).
+        """
+        candidates = self.profiles_for(interface, agent_name)
+        candidates = [p for p in candidates if p.quality >= quality_floor]
+        if feasible is not None:
+            candidates = [p for p in candidates if feasible(p)]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda p: (p.objective_value(objective), -p.quality, p.latency_s, p.energy_wh),
+        )
+
+    def rank(
+        self,
+        interface: AgentInterface,
+        objective: str,
+        quality_floor: float = 0.0,
+    ) -> List[ExecutionProfile]:
+        """Profiles for ``interface`` ordered best-first under ``objective``."""
+        candidates = [
+            p for p in self.profiles_for(interface) if p.quality >= quality_floor
+        ]
+        return sorted(
+            candidates,
+            key=lambda p: (p.objective_value(objective), -p.quality, p.latency_s, p.energy_wh),
+        )
+
+    def pareto_front(self, interface: AgentInterface) -> List[ExecutionProfile]:
+        """Profiles not dominated on (cost, latency, energy, -quality)."""
+        candidates = self.profiles_for(interface)
+        front = [
+            p
+            for p in candidates
+            if not any(other.dominates(p) for other in candidates if other is not p)
+        ]
+        return front
+
+    def all_profiles(self) -> List[ExecutionProfile]:
+        return list(self._by_key.values())

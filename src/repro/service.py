@@ -1,0 +1,130 @@
+"""AI Workflows-as-a-Service (AIWaaS) façade (paper §5).
+
+"Similar to Functions-as-a-Service, we propose an AI Workflows-as-a-Service
+model ... Applications will not need rewriting when new models or tools are
+available — the runtime system will transparently adopt newer
+implementations and resources as needed."
+
+:class:`AIWorkflowService` is that façade over the Murakkab runtime: callers
+submit natural-language jobs and constraints; the service keeps serving
+instances warm across jobs, keeps service-level accounting, and adopts newly
+registered agent implementations (re-profiling them) without any change to
+submitted jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.agents.base import AgentImplementation
+from repro.core.constraints import Constraint, ConstraintSet
+from repro.core.execution import ServerPool
+from repro.core.job import Job, JobResult
+from repro.core.runtime import MurakkabRuntime
+from repro.profiling.profiler import Profiler
+
+
+@dataclass
+class ServiceStats:
+    """Service-level accounting across every job served."""
+
+    jobs_completed: int = 0
+    total_energy_wh: float = 0.0
+    total_cost: float = 0.0
+    total_makespan_s: float = 0.0
+    per_job: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def mean_makespan_s(self) -> float:
+        if not self.jobs_completed:
+            return 0.0
+        return self.total_makespan_s / self.jobs_completed
+
+    def record(self, result: JobResult) -> None:
+        self.jobs_completed += 1
+        self.total_energy_wh += result.energy_wh
+        self.total_cost += result.cost
+        self.total_makespan_s += result.makespan_s
+        self.per_job[result.job_id] = {
+            "makespan_s": result.makespan_s,
+            "energy_wh": result.energy_wh,
+            "cost": result.cost,
+            "quality": result.quality,
+        }
+
+
+class AIWorkflowService:
+    """A long-lived service endpoint over one Murakkab runtime."""
+
+    def __init__(self, runtime: Optional[MurakkabRuntime] = None, keep_warm: bool = True) -> None:
+        self.runtime = runtime or MurakkabRuntime()
+        self.keep_warm = keep_warm
+        self.stats = ServiceStats()
+        self._profiler = Profiler()
+        self._pool: Optional[ServerPool] = None
+        if keep_warm:
+            self._pool = ServerPool(self.runtime.cluster_manager, self.runtime.library)
+
+    # ------------------------------------------------------------------ #
+    # Job submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        description: str,
+        inputs: Sequence[object] = (),
+        tasks: Sequence[str] = (),
+        constraints: Union[Constraint, ConstraintSet, None] = None,
+        quality_target: float = 0.0,
+        job_id: str = "",
+    ) -> JobResult:
+        """Submit a declarative job described entirely by its intent."""
+        job = Job(
+            description=description,
+            inputs=inputs,
+            tasks=tasks,
+            constraints=constraints,
+            quality_target=quality_target,
+            job_id=job_id,
+        )
+        return self.submit_job(job)
+
+    def submit_job(self, job: Job) -> JobResult:
+        """Submit a pre-built :class:`Job`."""
+        result = self.runtime.submit(job, server_pool=self._pool)
+        self.stats.record(result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Library evolution (transparent adoption of new models/tools)
+    # ------------------------------------------------------------------ #
+    def register_agent(self, implementation: AgentImplementation) -> None:
+        """Make a new model/tool available to every subsequent job.
+
+        The implementation is profiled immediately so the planner can select
+        it; running jobs are unaffected, and no submitted job needs to change.
+        """
+        self.runtime.library.register(implementation)
+        for profile in self._profiler.profile_implementation(implementation):
+            self.runtime.profile_store.add(profile)
+
+    def retire_agent(self, name: str) -> None:
+        """Remove a deprecated model/tool from the library and its profiles."""
+        self.runtime.library.unregister(name)
+        self.runtime.profile_store.remove_agent(name)
+
+    def available_agents(self) -> List[str]:
+        return self.runtime.library.names()
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+    def warm_agents(self) -> List[str]:
+        """Serving instances currently kept warm between jobs."""
+        return self.runtime.cluster_manager.warm_agents()
+
+    def shutdown(self) -> None:
+        """Tear down warm serving instances and release all resources."""
+        if self._pool is not None:
+            self._pool.teardown_all()
+            self._pool = ServerPool(self.runtime.cluster_manager, self.runtime.library)

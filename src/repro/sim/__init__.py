@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate.
+
+This package provides the execution substrate that replaces the paper's
+physical testbed (two Azure ND96amsr_A100_v4 VMs): a deterministic
+discrete-event engine, execution traces, and an energy model.  Every other
+subsystem (cluster manager, agents, the Murakkab runtime) runs on top of it.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import ExecutionTrace, TraceInterval
+from repro.sim.energy import DevicePowerModel, EnergyAccountant, EnergyBreakdown
+
+__all__ = [
+    "SimClock",
+    "Event",
+    "EventQueue",
+    "SimulationEngine",
+    "ExecutionTrace",
+    "TraceInterval",
+    "DevicePowerModel",
+    "EnergyAccountant",
+    "EnergyBreakdown",
+]

@@ -1,0 +1,50 @@
+"""Simulated wall-clock.
+
+The clock is deliberately tiny: it only knows the current simulated time and
+refuses to move backwards.  The :class:`~repro.sim.engine.SimulationEngine`
+owns a clock and advances it as events fire.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonically increasing simulated time, in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"start time must be non-negative, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> float:
+        """Move the clock forward to ``time``.
+
+        Raises:
+            ValueError: if ``time`` is earlier than the current time.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now}, requested={time}"
+            )
+        self._now = float(time)
+        return self._now
+
+    def advance_by(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds."""
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        return self.advance_to(self._now + delta)
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock to ``start`` (used when reusing an engine)."""
+        if start < 0:
+            raise ValueError(f"start time must be non-negative, got {start}")
+        self._now = float(start)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.3f})"

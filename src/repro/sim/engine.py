@@ -1,0 +1,101 @@
+"""The discrete-event simulation engine.
+
+The engine advances a :class:`~repro.sim.clock.SimClock` from event to event.
+Callbacks may schedule further events.  The engine is deterministic: events at
+the same timestamp fire in scheduling order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+
+
+class SimulationEngine:
+    """Deterministic discrete-event simulator."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._clock = SimClock(start_time)
+        self._queue = EventQueue()
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._clock.now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (useful for debugging/limits)."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self._queue.push(self.now + delay, callback, *args, **kwargs)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> Event:
+        """Schedule ``callback`` to fire at absolute simulated ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: now={self.now}, requested={time}"
+            )
+        return self._queue.push(time, callback, *args, **kwargs)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        event.cancel()
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns ``False`` when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._clock.advance_to(event.time)
+        event.fire()
+        self._events_fired += 1
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the simulated time at which the run stopped.
+        """
+        fired = 0
+        while True:
+            if max_events is not None and fired >= max_events:
+                break
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._clock.advance_to(until)
+                break
+            if not self.step():
+                break
+            fired += 1
+        if until is not None and self.now < until and self._queue.peek_time() is None:
+            self._clock.advance_to(until)
+        return self.now
+
+    def reset(self) -> None:
+        """Clear all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._clock.reset()
+        self._events_fired = 0

@@ -1,0 +1,95 @@
+"""Event and event-queue primitives for the discrete-event engine."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A callback scheduled at a point in simulated time.
+
+    Events are ordered by ``(time, sequence)`` where ``sequence`` is a
+    monotonically increasing counter, so two events scheduled for the same
+    instant fire in the order they were scheduled.  Cancelled events stay in
+    the queue but are skipped when popped.
+    """
+
+    __slots__ = ("time", "sequence", "callback", "args", "kwargs", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+    ) -> None:
+        self.time = float(time)
+        self.sequence = int(sequence)
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs or {}
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when its time comes."""
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        """Invoke the callback.  The engine calls this; tests may too."""
+        return self.callback(*self.args, **self.kwargs)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __repr__(self) -> str:
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.3f}, seq={self.sequence}, {name}, {state})"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` objects keyed by (time, sequence)."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        **kwargs: Any,
+    ) -> Event:
+        """Create an event at ``time`` and add it to the queue."""
+        event = Event(time, next(self._counter), callback, args, kwargs)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest non-cancelled event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        self._heap.clear()

@@ -1,0 +1,28 @@
+"""Telemetry: utilisation timelines, energy reports, and text renderers.
+
+These are the reporting tools the benchmark harness uses to regenerate the
+paper's Figure 3 (execution traces + CPU/GPU utilisation curves) and Table 2
+(energy and completion time per configuration) from simulation results.
+"""
+
+from repro.telemetry.timeline import UtilizationTimeline, gantt_text
+from repro.telemetry.metrics import (
+    average_utilization,
+    energy_efficiency_gain,
+    speedup,
+)
+from repro.telemetry.energy_report import Table2Row, build_table2_rows, render_table2
+from repro.telemetry.reporting import render_comparison_table, render_table
+
+__all__ = [
+    "UtilizationTimeline",
+    "gantt_text",
+    "speedup",
+    "energy_efficiency_gain",
+    "average_utilization",
+    "Table2Row",
+    "build_table2_rows",
+    "render_table2",
+    "render_table",
+    "render_comparison_table",
+]

@@ -1,0 +1,64 @@
+"""Table-2-style energy/time reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro import calibration
+from repro.core.job import JobResult
+from repro.telemetry.reporting import render_table
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of the paper's Table 2: a Speech-to-Text configuration."""
+
+    config: str
+    energy_wh: float
+    time_s: float
+    paper_energy_wh: Optional[float] = None
+    paper_time_s: Optional[float] = None
+
+    def as_cells(self) -> List[str]:
+        cells = [self.config, f"{self.energy_wh:.1f}", f"{self.time_s:.1f}"]
+        if self.paper_energy_wh is not None and self.paper_time_s is not None:
+            cells.extend([f"{self.paper_energy_wh:.0f}", f"{self.paper_time_s:.0f}"])
+        return cells
+
+
+def build_table2_rows(
+    results: Mapping[str, JobResult],
+    paper_values: Optional[Mapping[str, Dict[str, float]]] = None,
+) -> List[Table2Row]:
+    """Build Table-2 rows from labelled job results.
+
+    ``results`` maps a configuration label (``baseline``, ``murakkab-cpu``,
+    ``murakkab-gpu``, ``murakkab-gpu+cpu``) to its :class:`JobResult`;
+    ``paper_values`` defaults to the numbers reported in the paper so the
+    rendered table shows paper-vs-measured side by side.
+    """
+    if paper_values is None:
+        paper_values = calibration.PAPER_TABLE2
+    rows: List[Table2Row] = []
+    for label, result in results.items():
+        paper = paper_values.get(label, {})
+        rows.append(
+            Table2Row(
+                config=label,
+                energy_wh=result.energy_wh,
+                time_s=result.makespan_s,
+                paper_energy_wh=paper.get("energy_wh"),
+                paper_time_s=paper.get("time_s"),
+            )
+        )
+    return rows
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    """Render Table 2 as text, with paper columns when available."""
+    with_paper = all(row.paper_energy_wh is not None for row in rows)
+    headers = ["Speech-to-Text Config.", "Energy (Wh)", "Time (s)"]
+    if with_paper:
+        headers += ["Paper Energy (Wh)", "Paper Time (s)"]
+    return render_table(headers, [row.as_cells() for row in rows])

@@ -1,0 +1,50 @@
+"""Headline metrics: speedup, energy-efficiency gain, utilisation."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.sim.trace import ExecutionTrace
+
+
+def speedup(baseline_seconds: float, optimized_seconds: float) -> float:
+    """How many times faster the optimised run is (the paper's ~3.4x)."""
+    if optimized_seconds <= 0:
+        raise ValueError("optimized_seconds must be positive")
+    if baseline_seconds < 0:
+        raise ValueError("baseline_seconds must be non-negative")
+    return baseline_seconds / optimized_seconds
+
+
+def energy_efficiency_gain(baseline_wh: float, optimized_wh: float) -> float:
+    """How many times more energy efficient the optimised run is (~4.5x)."""
+    if optimized_wh <= 0:
+        raise ValueError("optimized_wh must be positive")
+    if baseline_wh < 0:
+        raise ValueError("baseline_wh must be non-negative")
+    return baseline_wh / optimized_wh
+
+
+def average_utilization(
+    trace: ExecutionTrace, total_gpus: int, window: float = 0.0
+) -> float:
+    """Mean GPU utilisation fraction over the trace span (0..1)."""
+    if total_gpus <= 0:
+        return 0.0
+    span = window or trace.makespan()
+    if span <= 0:
+        return 0.0
+    return min(1.0, trace.busy_gpu_seconds() / (total_gpus * span))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, used when aggregating per-workflow speedups."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric_mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,39 @@
+"""Plain-text table renderers used by benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Render an aligned text table with a header separator."""
+    rows = [list(map(str, row)) for row in rows]
+    headers = list(map(str, headers))
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers: {row}"
+            )
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def _format(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)).rstrip()
+
+    lines = [_format(headers), "  ".join("-" * width for width in widths)]
+    lines.extend(_format(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_comparison_table(
+    metric_name: str,
+    paper_vs_measured: Mapping[str, Sequence[float]],
+) -> str:
+    """Render ``{label: (paper_value, measured_value)}`` with ratio column."""
+    rows: List[List[str]] = []
+    for label, (paper_value, measured_value) in paper_vs_measured.items():
+        ratio = measured_value / paper_value if paper_value else float("nan")
+        rows.append([label, f"{paper_value:.2f}", f"{measured_value:.2f}", f"{ratio:.2f}x"])
+    return render_table([metric_name, "paper", "measured", "measured/paper"], rows)

@@ -1,0 +1,115 @@
+"""Utilisation timelines and Gantt-style renderings (Figure 3).
+
+The paper's Figure 3 has two kinds of panels: per-category execution traces
+(which agent ran when) and cluster CPU/GPU utilisation over time.  Both are
+derived here from an :class:`~repro.sim.trace.ExecutionTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.trace import ExecutionTrace
+
+
+@dataclass
+class UtilizationTimeline:
+    """Sampled CPU and GPU utilisation (%) over a trace's duration."""
+
+    times: List[float] = field(default_factory=list)
+    gpu_percent: List[float] = field(default_factory=list)
+    cpu_percent: List[float] = field(default_factory=list)
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: ExecutionTrace,
+        total_gpus: int,
+        total_cpu_cores: int,
+        resolution_s: float = 1.0,
+    ) -> "UtilizationTimeline":
+        """Sample device utilisation from busy intervals.
+
+        GPU utilisation counts a GPU as busy (weighted by its interval's
+        utilisation level) while a task runs on it; CPU utilisation counts
+        busy cores.  Both are normalised by the cluster totals, matching the
+        "% Utilization" panels of Figure 3.
+        """
+        if resolution_s <= 0:
+            raise ValueError("resolution_s must be positive")
+        if total_gpus < 0 or total_cpu_cores < 0:
+            raise ValueError("device totals must be non-negative")
+        timeline = cls()
+        if len(trace) == 0:
+            return timeline
+        start = trace.start_time()
+        end = trace.end_time()
+        steps = max(1, int(np.ceil((end - start) / resolution_s)))
+        for step in range(steps):
+            window_start = start + step * resolution_s
+            window_end = min(window_start + resolution_s, end)
+            window = max(window_end - window_start, 1e-9)
+            gpu_busy = 0.0
+            cpu_busy = 0.0
+            for interval in trace:
+                overlap = interval.overlaps(window_start, window_end)
+                if overlap <= 0:
+                    continue
+                gpu_busy += interval.gpu_count * interval.gpu_utilization * overlap
+                cpu_busy += interval.cpu_cores * interval.cpu_utilization * overlap
+            timeline.times.append(window_start - start)
+            if total_gpus > 0:
+                timeline.gpu_percent.append(100.0 * gpu_busy / (total_gpus * window))
+            else:
+                timeline.gpu_percent.append(0.0)
+            if total_cpu_cores > 0:
+                timeline.cpu_percent.append(100.0 * cpu_busy / (total_cpu_cores * window))
+            else:
+                timeline.cpu_percent.append(0.0)
+        return timeline
+
+    @property
+    def mean_gpu_percent(self) -> float:
+        return float(np.mean(self.gpu_percent)) if self.gpu_percent else 0.0
+
+    @property
+    def mean_cpu_percent(self) -> float:
+        return float(np.mean(self.cpu_percent)) if self.cpu_percent else 0.0
+
+    @property
+    def peak_gpu_percent(self) -> float:
+        return float(np.max(self.gpu_percent)) if self.gpu_percent else 0.0
+
+    @property
+    def peak_cpu_percent(self) -> float:
+        return float(np.max(self.cpu_percent)) if self.cpu_percent else 0.0
+
+
+def gantt_text(trace: ExecutionTrace, width: int = 80) -> str:
+    """A text rendering of the per-category execution trace (Figure 3 top).
+
+    Each category becomes one row; ``#`` marks time bins in which at least
+    one task of that category was running.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if len(trace) == 0:
+        return "(empty trace)"
+    start = trace.start_time()
+    end = trace.end_time()
+    span = max(end - start, 1e-9)
+    lines = [f"timeline 0s .. {span:.1f}s ({width} bins)"]
+    rows = trace.gantt_rows()
+    label_width = max(len(category) for category in rows)
+    for category, bars in rows.items():
+        cells = [" "] * width
+        for bar_start, bar_end in bars:
+            first = int((bar_start - start) / span * (width - 1))
+            last = int((bar_end - start) / span * (width - 1))
+            for index in range(first, last + 1):
+                cells[index] = "#"
+        lines.append(f"{category.ljust(label_width)} |{''.join(cells)}|")
+    return "\n".join(lines)

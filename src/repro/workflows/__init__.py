@@ -1,0 +1,30 @@
+"""Workflow definitions: the imperative (Listing 1) and declarative (Listing 2)
+APIs plus the named workloads used in the paper and in the examples."""
+
+from repro.workflows.imperative import (
+    LLM,
+    ImperativeComponent,
+    ImperativeWorkflow,
+    MLModel,
+    Tool,
+)
+from repro.workflows.video_understanding import (
+    omagent_imperative_workflow,
+    video_understanding_job,
+)
+from repro.workflows.newsfeed import newsfeed_job
+from repro.workflows.document_qa import document_qa_job
+from repro.workflows.chain_of_thought import chain_of_thought_job
+
+__all__ = [
+    "Tool",
+    "MLModel",
+    "LLM",
+    "ImperativeComponent",
+    "ImperativeWorkflow",
+    "video_understanding_job",
+    "omagent_imperative_workflow",
+    "newsfeed_job",
+    "document_qa_job",
+    "chain_of_thought_job",
+]

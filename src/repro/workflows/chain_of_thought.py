@@ -1,0 +1,31 @@
+"""A chain-of-thought style reasoning workflow.
+
+Used by the Table-1 "Execution Paths" lever experiments: allocating more
+resources lets the runtime explore additional reasoning paths in parallel,
+raising answer quality at higher cost and power (§3.2 "Execution Paths").
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.constraints import Constraint, ConstraintSet, MAX_QUALITY
+from repro.core.job import Job
+
+
+def chain_of_thought_job(
+    question: str = "Which speech-to-text configuration minimises energy for 16 scenes?",
+    constraints: Union[Constraint, ConstraintSet] = MAX_QUALITY,
+    quality_target: float = 0.9,
+    job_id: str = "",
+) -> Job:
+    """A single-question reasoning job whose quality benefits from multiple
+    parallel reasoning paths."""
+    return Job(
+        description=question,
+        inputs=(),
+        tasks=("Answer the question with step-by-step reasoning",),
+        constraints=constraints,
+        quality_target=quality_target,
+        job_id=job_id,
+    )

@@ -1,0 +1,37 @@
+"""A retrieval-augmented document question-answering workflow.
+
+This exercises the embedding -> vector database -> question answering slice
+of the agent library on text inputs (no video substrate involved), the kind
+of "unstructured analytics" workload the paper cites as related work.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.core.constraints import Constraint, ConstraintSet, MIN_COST
+from repro.core.job import Job
+from repro.workloads.documents import generate_documents
+
+
+def document_qa_job(
+    question: str = "Which documents discuss energy efficiency?",
+    documents: Optional[Sequence[dict]] = None,
+    constraints: Union[Constraint, ConstraintSet] = MIN_COST,
+    quality_target: float = 0.8,
+    job_id: str = "",
+) -> Job:
+    """A declarative document-QA job over a synthetic corpus."""
+    inputs = list(documents) if documents is not None else generate_documents()
+    return Job(
+        description=question,
+        inputs=inputs,
+        tasks=(
+            "Embed each document",
+            "Insert the embeddings into a vector database",
+            "Answer the question from the most relevant documents",
+        ),
+        constraints=constraints,
+        quality_target=quality_target,
+        job_id=job_id,
+    )

@@ -1,0 +1,224 @@
+"""Today's imperative workflow API (paper Listing 1).
+
+The imperative API is what the paper argues *against*: the developer pins
+each component to a specific model/tool, provider credentials, hardware
+resources, and hyperparameters.  We reproduce it so the baseline can be
+expressed exactly as in Listing 1 and executed with a fixed plan::
+
+    frame_ext = Tool(name="OpenCV", params={"sampling_rate": 15},
+                     resources={"CPUs": 2})
+    stt = MLModel(name="Whisper", resources={"GPUs": 1})
+    ...
+    result = Workflow([frame_ext, stt, obj_det, summarize]).compile(videos)
+
+Components are compiled into the same task-graph IR the Murakkab runtime
+uses, but with a *fixed* execution plan derived from the declared resources
+instead of the profile-driven planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.agents.base import AgentInterface, ExecutionMode, HardwareConfig, SEQUENTIAL_MODE
+from repro.agents.library import AgentLibrary, default_library
+from repro.cluster.hardware import GpuGeneration
+from repro.core.constraints import ConstraintSet
+from repro.core.dag import TaskGraph
+from repro.core.decomposer import JobDecomposer
+from repro.core.job import Job
+from repro.core.planner import ExecutionPlan, PlanAssignment
+from repro.llm.orchestrator_llm import DecomposedTask, _CONSUMES, _GRANULARITY
+from repro.profiling.profiler import Profiler
+
+#: Mapping from the component names developers write in Listing 1 to the
+#: implementation names registered in the agent library.
+_COMPONENT_NAME_ALIASES: Dict[str, str] = {
+    "opencv": "opencv-frame-extractor",
+    "whisper": "whisper",
+    "fast conformer": "fast-conformer",
+    "fastconformer": "fast-conformer",
+    "deepspeech": "deepspeech",
+    "clip": "clip",
+    "siglip": "siglip",
+    "nvlm": "nvlm-summarizer",
+    "llama": "llama-summarizer",
+    "nvlm-embeddings": "nvlm-embedder",
+    "vectordb": "vector-db",
+    "gpt-4o": "gpt-4o-textgen",
+}
+
+
+@dataclass
+class ImperativeComponent:
+    """One pinned component of an imperative workflow."""
+
+    name: str
+    interface: AgentInterface
+    params: Dict[str, object] = field(default_factory=dict)
+    resources: Dict[str, object] = field(default_factory=dict)
+    key: str = ""
+    system_prompt: str = ""
+    user_prompt: str = ""
+    #: Explicit implementation name override (otherwise derived from ``name``).
+    implementation: str = ""
+    #: Expansion granularity override (otherwise the interface default).
+    granularity: str = ""
+
+    def implementation_name(self) -> str:
+        if self.implementation:
+            return self.implementation
+        return _COMPONENT_NAME_ALIASES.get(self.name.lower(), self.name.lower())
+
+    def hardware_config(self) -> HardwareConfig:
+        """Translate the Listing-1 ``resources={...}`` dict to a config."""
+        gpus = int(self.resources.get("GPUs", self.resources.get("gpus", 0)))
+        cpus = int(self.resources.get("CPUs", self.resources.get("cpus", 0)))
+        ptus = int(self.resources.get("PTUs", self.resources.get("ptus", 0)))
+        generation_name = str(self.resources.get("GPU_Type", self.resources.get("gpu_type", "A100")))
+        generation = (
+            GpuGeneration.H100 if generation_name.upper() == "H100" else GpuGeneration.A100
+        )
+        # Provisioned-throughput units are an opaque provider-side metric; we
+        # translate 1 PTU into 1 GPU of the default generation.
+        gpus = gpus or ptus
+        if gpus == 0 and cpus == 0:
+            cpus = 1
+        return HardwareConfig(
+            gpus=gpus,
+            gpu_generation=generation if gpus else None,
+            cpu_cores=cpus,
+        )
+
+    def execution_mode(self) -> ExecutionMode:
+        """Imperative components execute exactly as written: sequentially."""
+        return SEQUENTIAL_MODE
+
+
+def Tool(name: str, **kwargs) -> ImperativeComponent:
+    """Listing-1 ``Tool(...)`` constructor."""
+    return _component(name, default_interface=AgentInterface.FRAME_EXTRACTION, **kwargs)
+
+
+def MLModel(name: str, **kwargs) -> ImperativeComponent:
+    """Listing-1 ``MLModel(...)`` constructor."""
+    return _component(name, default_interface=AgentInterface.SPEECH_TO_TEXT, **kwargs)
+
+
+def LLM(name: str, **kwargs) -> ImperativeComponent:
+    """Listing-1 ``LLM(...)`` constructor."""
+    return _component(name, default_interface=AgentInterface.SCENE_SUMMARIZATION, **kwargs)
+
+
+_INTERFACE_HINTS: Tuple[Tuple[str, AgentInterface], ...] = (
+    ("opencv", AgentInterface.FRAME_EXTRACTION),
+    ("whisper", AgentInterface.SPEECH_TO_TEXT),
+    ("conformer", AgentInterface.SPEECH_TO_TEXT),
+    ("deepspeech", AgentInterface.SPEECH_TO_TEXT),
+    ("clip", AgentInterface.OBJECT_DETECTION),
+    ("siglip", AgentInterface.OBJECT_DETECTION),
+    ("embed", AgentInterface.EMBEDDING),
+    ("vector", AgentInterface.VECTOR_DB),
+)
+
+
+def _component(
+    name: str,
+    default_interface: AgentInterface,
+    interface: Optional[AgentInterface] = None,
+    **kwargs,
+) -> ImperativeComponent:
+    if interface is None:
+        lowered = name.lower()
+        interface = default_interface
+        for hint, hinted_interface in _INTERFACE_HINTS:
+            if hint in lowered:
+                interface = hinted_interface
+                break
+    return ImperativeComponent(name=name, interface=interface, **kwargs)
+
+
+class ImperativeWorkflow:
+    """An ordered chain of pinned components (Listing 1's ``Workflow``)."""
+
+    def __init__(self, components: Sequence[ImperativeComponent], name: str = "imperative") -> None:
+        if not components:
+            raise ValueError("an imperative workflow needs at least one component")
+        self.components = list(components)
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Compilation to the shared IR
+    # ------------------------------------------------------------------ #
+    def to_stages(self) -> List[DecomposedTask]:
+        """Stage-level representation with dataflow dependencies.
+
+        Dependencies follow dataflow (a speech-to-text stage consumes frame
+        extraction, summarisation consumes both, ...) limited to stages that
+        actually appear in this workflow, falling back to simple chain order
+        for interfaces without a known producer/consumer relationship.
+        """
+        present = {component.interface for component in self.components}
+        stages: List[DecomposedTask] = []
+        previous_name: Optional[str] = None
+        for component in self.components:
+            consumed = tuple(
+                producer.value
+                for producer in _CONSUMES.get(component.interface, ())
+                if producer in present
+            )
+            if not consumed and previous_name is not None:
+                consumed = (previous_name,)
+            granularity = component.granularity or _GRANULARITY.get(component.interface, "once")
+            stages.append(
+                DecomposedTask(
+                    name=component.interface.value,
+                    description=f"{component.name} ({component.interface.value})",
+                    interface=component.interface,
+                    depends_on=consumed,
+                    granularity=granularity,
+                )
+            )
+            previous_name = component.interface.value
+        return stages
+
+    def compile(
+        self,
+        inputs: Sequence[object],
+        description: str = "",
+        library: Optional[AgentLibrary] = None,
+    ) -> Tuple[Job, TaskGraph, ExecutionPlan]:
+        """Compile to (job, task graph, fixed execution plan)."""
+        library = library or default_library()
+        job = Job(
+            description=description or f"imperative workflow {self.name}",
+            inputs=inputs,
+            job_id=f"{self.name}",
+        )
+        decomposer = JobDecomposer()
+        graph = decomposer.expand_stages(job, self.to_stages())
+        plan = self.fixed_plan(library)
+        return job, graph, plan
+
+    def fixed_plan(self, library: Optional[AgentLibrary] = None) -> ExecutionPlan:
+        """The rigid execution plan implied by the declared resources."""
+        library = library or default_library()
+        profiler = Profiler()
+        plan = ExecutionPlan(constraint_set=ConstraintSet())
+        for component in self.components:
+            implementation = library.get(component.implementation_name())
+            config = component.hardware_config()
+            mode = component.execution_mode()
+            profile = profiler.profile_one(implementation, config, mode)
+            plan.add(
+                PlanAssignment(
+                    interface=component.interface,
+                    agent_name=implementation.name,
+                    config=config,
+                    mode=mode,
+                    profile=profile,
+                    max_concurrency=1,
+                )
+            )
+        return plan

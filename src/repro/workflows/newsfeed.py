@@ -1,0 +1,36 @@
+"""The social-media newsfeed workflow (paper Figure 1/2, "Workflow B").
+
+"Generate social media newsfeed for Alice": classify the sentiment of recent
+posts relevant to the user, then generate the personalised feed text.  This
+is the second tenant used in the multi-tenant experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.core.constraints import Constraint, ConstraintSet, MIN_COST
+from repro.core.job import Job
+from repro.workloads.posts import generate_posts
+
+
+def newsfeed_job(
+    posts: Optional[Sequence[dict]] = None,
+    user: str = "Alice",
+    constraints: Union[Constraint, ConstraintSet] = MIN_COST,
+    quality_target: float = 0.85,
+    job_id: str = "",
+) -> Job:
+    """The declarative newsfeed-generation job (paper Figure 2, Workflow B)."""
+    inputs = list(posts) if posts is not None else generate_posts()
+    return Job(
+        description=f"Generate social media newsfeed for {user}",
+        inputs=inputs,
+        tasks=(
+            "Run sentiment analysis on the recent posts",
+            f"Compose a personalised newsfeed for {user} from the posts",
+        ),
+        constraints=constraints,
+        quality_target=quality_target,
+        job_id=job_id,
+    )

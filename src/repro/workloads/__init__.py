@@ -1,0 +1,24 @@
+"""Synthetic workload generators.
+
+These stand in for the paper's input data (videos such as ``cats.mov`` and
+``formula_1.mov``, user posts for the newsfeed workflow, documents for RAG):
+only the *statistics* of the inputs (scene counts, audio durations, ground
+truth labels) feed the agents' cost models and quality accounting.
+"""
+
+from repro.workloads.video import Scene, SyntheticVideo, generate_videos, paper_videos
+from repro.workloads.documents import generate_documents
+from repro.workloads.posts import generate_posts
+from repro.workloads.arrival import JobArrival, poisson_arrivals, uniform_arrivals
+
+__all__ = [
+    "Scene",
+    "SyntheticVideo",
+    "generate_videos",
+    "paper_videos",
+    "generate_documents",
+    "generate_posts",
+    "JobArrival",
+    "poisson_arrivals",
+    "uniform_arrivals",
+]

@@ -1,0 +1,68 @@
+"""Arrival processes for multi-tenant experiments.
+
+The paper's Figure 2 shows independent workflows (Workflow A and Workflow B)
+multiplexed on shared resources.  These helpers generate deterministic
+arrival schedules for such experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class JobArrival:
+    """One job arrival: when it arrives and which workload template it uses."""
+
+    arrival_time: float
+    workload: str
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be non-negative")
+
+
+def poisson_arrivals(
+    rate_per_s: float,
+    horizon_s: float,
+    workloads: Sequence[str] = ("video-understanding",),
+    seed: int = 3,
+) -> List[JobArrival]:
+    """Poisson arrivals over ``[0, horizon_s)`` cycling through ``workloads``."""
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be positive")
+    if horizon_s <= 0:
+        raise ValueError("horizon_s must be positive")
+    if not workloads:
+        raise ValueError("workloads must be non-empty")
+    rng = np.random.default_rng(seed)
+    arrivals: List[JobArrival] = []
+    time = 0.0
+    index = 0
+    while True:
+        time += float(rng.exponential(1.0 / rate_per_s))
+        if time >= horizon_s:
+            break
+        arrivals.append(JobArrival(arrival_time=time, workload=workloads[index % len(workloads)]))
+        index += 1
+    return arrivals
+
+
+def uniform_arrivals(
+    count: int,
+    interval_s: float,
+    workloads: Sequence[str] = ("video-understanding",),
+    start_time: float = 0.0,
+) -> List[JobArrival]:
+    """``count`` arrivals spaced ``interval_s`` apart, cycling workloads."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if interval_s < 0:
+        raise ValueError("interval_s must be non-negative")
+    return [
+        JobArrival(arrival_time=start_time + i * interval_s, workload=workloads[i % len(workloads)])
+        for i in range(count)
+    ]

@@ -1,0 +1,46 @@
+"""Synthetic documents for retrieval-augmented (document QA) workflows."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+_TOPICS = (
+    "gpu scheduling", "energy efficiency", "llm serving", "vector databases",
+    "video understanding", "cluster management", "spot instances", "batching",
+    "speech recognition", "workflow orchestration",
+)
+
+_SENTENCE_TEMPLATES = (
+    "This document discusses {topic} in production systems.",
+    "A key challenge in {topic} is balancing cost and quality.",
+    "We describe measurements of {topic} on shared clusters.",
+    "Practitioners report that {topic} benefits from better profiling.",
+    "The section concludes with open problems in {topic}.",
+)
+
+
+def generate_documents(count: int = 12, sentences_per_document: int = 4, seed: int = 11) -> List[Dict[str, object]]:
+    """Generate ``count`` synthetic documents, each tagged with a topic."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if sentences_per_document <= 0:
+        raise ValueError("sentences_per_document must be positive")
+    rng = np.random.default_rng(seed)
+    documents: List[Dict[str, object]] = []
+    for index in range(count):
+        topic = str(rng.choice(_TOPICS))
+        sentences = [
+            str(rng.choice(_SENTENCE_TEMPLATES)).format(topic=topic)
+            for _ in range(sentences_per_document)
+        ]
+        documents.append(
+            {
+                "id": f"doc-{index}",
+                "title": f"Report {index}: {topic}",
+                "topic": topic,
+                "text": " ".join(sentences),
+            }
+        )
+    return documents

@@ -1,0 +1,36 @@
+"""Synthetic social-media posts for the newsfeed workflow (paper Workflow B)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+_AUTHORS = ("alice", "bob", "carol", "dave", "erin", "frank")
+_TOPICS = ("f1 racing", "cats", "gpu prices", "marathon training", "cooking", "travel")
+_TEMPLATES = (
+    "Just watched an incredible moment in {topic}!",
+    "Honestly disappointed by the latest news about {topic}.",
+    "Can anyone recommend resources about {topic}?",
+    "Spent the whole weekend on {topic} and loved it.",
+    "Hot take: {topic} is overrated.",
+)
+
+
+def generate_posts(count: int = 20, seed: int = 23) -> List[Dict[str, object]]:
+    """Generate ``count`` synthetic posts with authors and topics."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = np.random.default_rng(seed)
+    posts: List[Dict[str, object]] = []
+    for index in range(count):
+        topic = str(rng.choice(_TOPICS))
+        posts.append(
+            {
+                "id": f"post-{index}",
+                "author": str(rng.choice(_AUTHORS)),
+                "topic": topic,
+                "text": str(rng.choice(_TEMPLATES)).format(topic=topic),
+            }
+        )
+    return posts

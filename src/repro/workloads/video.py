@@ -1,0 +1,130 @@
+"""Synthetic video generation for the Video Understanding workflow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import calibration
+
+#: Object vocabulary sampled into scenes (ground truth for quality scoring).
+_OBJECT_VOCABULARY = (
+    "cat", "dog", "car", "tree", "person", "bicycle", "racing car", "helmet",
+    "track", "grass", "sofa", "window", "ball", "flag", "crowd", "steering wheel",
+    "bird", "road", "building", "traffic light",
+)
+
+#: Transcript vocabulary (ground truth tokens the STT agents must recover).
+_TRANSCRIPT_VOCABULARY = (
+    "the", "quick", "driver", "turns", "into", "corner", "cat", "jumps", "over",
+    "fence", "and", "lands", "on", "the", "mat", "engine", "roars", "down",
+    "straight", "crowd", "cheers", "loudly", "commentator", "says", "amazing",
+)
+
+
+@dataclass
+class Scene:
+    """One scene of a video: frames, audio, and ground-truth annotations."""
+
+    scene_id: str
+    video: str
+    index: int
+    audio_seconds: float
+    frames: List[str] = field(default_factory=list)
+    transcript_tokens: List[str] = field(default_factory=list)
+    objects: List[str] = field(default_factory=list)
+
+    def as_payload(self) -> Dict[str, object]:
+        """Plain-dict form consumed by agent ``execute`` implementations."""
+        return {
+            "id": self.scene_id,
+            "video": self.video,
+            "index": self.index,
+            "audio_seconds": self.audio_seconds,
+            "frames": list(self.frames),
+            "transcript_tokens": list(self.transcript_tokens),
+            "objects": list(self.objects),
+        }
+
+
+@dataclass
+class SyntheticVideo:
+    """A synthetic video: a name plus a list of scenes."""
+
+    name: str
+    scenes: List[Scene] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        return sum(scene.audio_seconds for scene in self.scenes)
+
+    @property
+    def scene_count(self) -> int:
+        return len(self.scenes)
+
+    def all_objects(self) -> List[str]:
+        """Ground-truth union of objects across scenes (stable order)."""
+        seen: List[str] = []
+        for scene in self.scenes:
+            for item in scene.objects:
+                if item not in seen:
+                    seen.append(item)
+        return seen
+
+    def as_payload(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "scenes": [scene.as_payload() for scene in self.scenes],
+        }
+
+
+def generate_videos(
+    count: int = calibration.VIDEO_COUNT,
+    scenes_per_video: int = calibration.SCENES_PER_VIDEO,
+    frames_per_scene: int = calibration.FRAMES_PER_SCENE,
+    audio_seconds_per_scene: float = calibration.AUDIO_SECONDS_PER_SCENE,
+    names: Optional[Sequence[str]] = None,
+    seed: int = 7,
+) -> List[SyntheticVideo]:
+    """Generate ``count`` synthetic videos with deterministic content."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if scenes_per_video <= 0 or frames_per_scene <= 0:
+        raise ValueError("scenes_per_video and frames_per_scene must be positive")
+    rng = np.random.default_rng(seed)
+    videos: List[SyntheticVideo] = []
+    for video_index in range(count):
+        if names is not None and video_index < len(names):
+            name = names[video_index]
+        else:
+            name = f"video_{video_index}.mov"
+        scenes: List[Scene] = []
+        for scene_index in range(scenes_per_video):
+            objects = list(
+                rng.choice(_OBJECT_VOCABULARY, size=min(5, len(_OBJECT_VOCABULARY)), replace=False)
+            )
+            transcript = list(rng.choice(_TRANSCRIPT_VOCABULARY, size=12, replace=True))
+            scenes.append(
+                Scene(
+                    scene_id=f"{name}:scene{scene_index}",
+                    video=name,
+                    index=scene_index,
+                    audio_seconds=audio_seconds_per_scene,
+                    frames=[
+                        f"{name}:scene{scene_index}:frame{frame_index}"
+                        for frame_index in range(frames_per_scene)
+                    ],
+                    transcript_tokens=[str(token) for token in transcript],
+                    objects=[str(obj) for obj in objects],
+                )
+            )
+        videos.append(SyntheticVideo(name=name, scenes=scenes))
+    return videos
+
+
+def paper_videos() -> List[SyntheticVideo]:
+    """The two-video workload used in the paper's evaluation (§4)."""
+    return generate_videos(names=("cats.mov", "formula_1.mov"))

@@ -1,0 +1,100 @@
+"""Unit tests for the agent base abstractions."""
+
+import pytest
+
+from repro.agents.base import (
+    AgentResult,
+    AgentInterface,
+    ExecutionMode,
+    HardwareConfig,
+    SEQUENTIAL_MODE,
+    WorkUnit,
+)
+from repro.agents.speech_to_text import WhisperSTT
+from repro.cluster.hardware import GpuGeneration
+
+
+def test_hardware_config_requires_some_device():
+    with pytest.raises(ValueError):
+        HardwareConfig()
+    with pytest.raises(ValueError):
+        HardwareConfig(gpus=-1)
+
+
+def test_hardware_config_defaults_gpu_generation():
+    config = HardwareConfig(gpus=2)
+    assert config.gpu_generation is GpuGeneration.A100
+    assert config.is_gpu and not config.is_cpu_only
+
+
+def test_hardware_config_describe():
+    assert HardwareConfig(gpus=8).describe() == "8xA100"
+    assert HardwareConfig(cpu_cores=16).describe() == "16xCPU"
+    assert HardwareConfig(gpus=1, cpu_cores=16).describe() == "1xA100+16xCPU"
+
+
+def test_hardware_config_cost_scales_with_devices():
+    assert HardwareConfig(gpus=2).cost_per_hour() == pytest.approx(
+        2 * HardwareConfig(gpus=1).cost_per_hour()
+    )
+    hybrid = HardwareConfig(gpus=1, cpu_cores=16)
+    assert hybrid.cost_per_hour() > HardwareConfig(gpus=1).cost_per_hour()
+
+
+def test_hardware_config_power_model():
+    config = HardwareConfig(gpus=1)
+    assert config.power_w(1.0, 0.0) > config.power_w(0.0, 0.0)
+    cpu_config = HardwareConfig(cpu_cores=10)
+    assert cpu_config.power_w(0.0, 1.0) > 0
+
+
+def test_execution_mode_validation_and_describe():
+    with pytest.raises(ValueError):
+        ExecutionMode(intra_task_parallelism=0)
+    with pytest.raises(ValueError):
+        ExecutionMode(speculative_paths=0)
+    mode = ExecutionMode(intra_task_parallelism=4, batched=True, speculative_paths=2)
+    description = mode.describe()
+    assert "par=4" in description and "batched" in description and "paths=2" in description
+
+
+def test_work_unit_rejects_negative_quantity():
+    with pytest.raises(ValueError):
+        WorkUnit(kind="scene", quantity=-1.0)
+
+
+def test_work_unit_get_reads_payload():
+    work = WorkUnit(kind="scene", payload={"a": 1})
+    assert work.get("a") == 1
+    assert work.get("missing", "default") == "default"
+
+
+def test_agent_result_quality_bounds():
+    with pytest.raises(ValueError):
+        AgentResult(agent_name="x", interface=AgentInterface.CALCULATION, quality=1.5)
+
+
+def test_schema_render_contains_name_and_interface():
+    schema = WhisperSTT().schema()
+    rendered = schema.render()
+    assert "whisper" in rendered
+    assert "speech_to_text" in rendered
+
+
+def test_effective_quality_improves_with_more_paths():
+    agent = WhisperSTT()
+    base = agent.effective_quality(SEQUENTIAL_MODE)
+    boosted = agent.effective_quality(ExecutionMode(speculative_paths=3))
+    assert boosted > base
+    assert boosted <= 1.0
+
+
+def test_deployment_group_defaults_to_name():
+    agent = WhisperSTT()
+    assert agent.deployment_group == "whisper"
+
+
+def test_supports_checks_membership():
+    agent = WhisperSTT()
+    assert agent.supports(HardwareConfig(gpus=1))
+    assert not agent.supports(HardwareConfig(gpus=4))

@@ -1,0 +1,238 @@
+"""Unit tests for the concrete agent implementations (cost models + execution)."""
+
+import pytest
+
+from repro import calibration
+from repro.agents.base import ExecutionMode, HardwareConfig, SEQUENTIAL_MODE, WorkUnit
+from repro.agents.embeddings import MiniLmEmbedder, NvlmEmbedder
+from repro.agents.frame_extractor import OpenCVFrameExtractor
+from repro.agents.object_detection import ClipDetector, SigLipDetector
+from repro.agents.speech_to_text import DeepSpeechSTT, FastConformerSTT, WhisperSTT
+from repro.agents.summarizer import LlamaSummarizer, NvlmSummarizer
+from repro.cluster.hardware import GpuGeneration
+from repro.workloads.video import generate_videos
+
+BATCHED = ExecutionMode(batched=True, intra_task_parallelism=10)
+
+
+@pytest.fixture(scope="module")
+def scene_payload():
+    video = generate_videos(count=1, scenes_per_video=1)[0]
+    return video.scenes[0].as_payload()
+
+
+def scene_work(scene_payload, quantity=1.0):
+    return WorkUnit(kind="scene", quantity=quantity, payload={"scene": scene_payload})
+
+
+# --------------------------------------------------------------------------- #
+# Frame extraction
+# --------------------------------------------------------------------------- #
+def test_frame_extractor_calibrated_latency():
+    agent = OpenCVFrameExtractor()
+    estimate = agent.estimate(WorkUnit(kind="video", quantity=1.0), HardwareConfig(cpu_cores=2))
+    assert estimate.seconds == pytest.approx(calibration.FRAME_EXTRACT_SECONDS_PER_VIDEO)
+
+
+def test_frame_extractor_chunking_speedup_capped():
+    agent = OpenCVFrameExtractor()
+    chunked = agent.estimate(
+        WorkUnit(kind="video", quantity=1.0),
+        HardwareConfig(cpu_cores=8),
+        ExecutionMode(intra_task_parallelism=4),
+    )
+    assert chunked.seconds == pytest.approx(
+        calibration.FRAME_EXTRACT_SECONDS_PER_VIDEO / calibration.FRAME_EXTRACT_MAX_CHUNKS
+    )
+    # More parallelism than cores or chunk limit does not help further.
+    over = agent.estimate(
+        WorkUnit(kind="video", quantity=1.0),
+        HardwareConfig(cpu_cores=8),
+        ExecutionMode(intra_task_parallelism=16),
+    )
+    assert over.seconds == pytest.approx(chunked.seconds)
+
+
+def test_frame_extractor_rejects_gpu():
+    with pytest.raises(ValueError):
+        OpenCVFrameExtractor().estimate(WorkUnit(kind="video"), HardwareConfig(gpus=1))
+
+
+def test_frame_extractor_execute_lists_frames():
+    video = generate_videos(count=1, scenes_per_video=2, frames_per_scene=3)[0]
+    work = WorkUnit(kind="video", quantity=1.0, payload={"video": video.as_payload()})
+    result = OpenCVFrameExtractor().execute(work, HardwareConfig(cpu_cores=2))
+    assert result.output["scene_count"] == 2
+    assert len(result.output["frames"]) == 6
+
+
+# --------------------------------------------------------------------------- #
+# Speech-to-text
+# --------------------------------------------------------------------------- #
+def test_whisper_gpu_latency_matches_calibration(scene_payload):
+    estimate = WhisperSTT().estimate(scene_work(scene_payload), HardwareConfig(gpus=1))
+    assert estimate.seconds == pytest.approx(calibration.STT_GPU_SECONDS_PER_SCENE)
+    assert estimate.gpu_utilization == pytest.approx(calibration.STT_GPU_UTILIZATION)
+
+
+def test_whisper_cpu_latency_scales_with_cores(scene_payload):
+    whisper = WhisperSTT()
+    base = whisper.estimate(scene_work(scene_payload), HardwareConfig(cpu_cores=16))
+    double = whisper.estimate(scene_work(scene_payload), HardwareConfig(cpu_cores=32))
+    assert base.seconds == pytest.approx(calibration.STT_CPU_SECONDS_PER_SCENE)
+    assert double.seconds == pytest.approx(base.seconds / 2)
+
+
+def test_whisper_hybrid_config_lowers_gpu_utilization(scene_payload):
+    whisper = WhisperSTT()
+    hybrid = whisper.estimate(
+        scene_work(scene_payload), HardwareConfig(gpus=1, cpu_cores=16)
+    )
+    assert hybrid.seconds == pytest.approx(calibration.STT_HYBRID_SECONDS_PER_SCENE)
+    assert hybrid.gpu_utilization < calibration.STT_GPU_UTILIZATION
+
+
+def test_whisper_batched_gpu_mode_is_faster(scene_payload):
+    whisper = WhisperSTT()
+    sequential = whisper.estimate(scene_work(scene_payload), HardwareConfig(gpus=1))
+    batched = whisper.estimate(
+        scene_work(scene_payload), HardwareConfig(gpus=1), ExecutionMode(batched=True)
+    )
+    assert batched.seconds < sequential.seconds
+    assert batched.gpu_utilization > sequential.gpu_utilization
+
+
+def test_deepspeech_is_cpu_only(scene_payload):
+    with pytest.raises(ValueError):
+        DeepSpeechSTT().estimate(scene_work(scene_payload), HardwareConfig(gpus=1))
+    assert all(config.is_cpu_only for config in DeepSpeechSTT().supported_configs())
+
+
+def test_stt_quality_ordering():
+    assert WhisperSTT().quality > FastConformerSTT().quality > DeepSpeechSTT().quality
+
+
+def test_stt_execute_recovers_fraction_of_transcript(scene_payload):
+    result = WhisperSTT().execute(scene_work(scene_payload), HardwareConfig(gpus=1))
+    tokens = scene_payload["transcript_tokens"]
+    assert 0 < result.output["token_count"] <= len(tokens)
+    low_quality = DeepSpeechSTT().execute(scene_work(scene_payload), HardwareConfig(cpu_cores=16))
+    assert low_quality.output["token_count"] <= result.output["token_count"]
+
+
+def test_stt_execute_is_deterministic(scene_payload):
+    first = WhisperSTT().execute(scene_work(scene_payload), HardwareConfig(gpus=1))
+    second = WhisperSTT().execute(scene_work(scene_payload), HardwareConfig(gpus=1))
+    assert first.output["transcript"] == second.output["transcript"]
+
+
+# --------------------------------------------------------------------------- #
+# Object detection
+# --------------------------------------------------------------------------- #
+def test_clip_cpu_latency_and_gpu_speedup(scene_payload):
+    clip = ClipDetector()
+    cpu = clip.estimate(scene_work(scene_payload), HardwareConfig(cpu_cores=2))
+    gpu = clip.estimate(scene_work(scene_payload), HardwareConfig(gpus=1))
+    assert cpu.seconds == pytest.approx(calibration.OBJECT_DETECTION_SECONDS_PER_SCENE)
+    assert gpu.seconds < cpu.seconds
+
+
+def test_detector_execute_detects_subset_of_ground_truth(scene_payload):
+    result = ClipDetector().execute(scene_work(scene_payload), HardwareConfig(cpu_cores=2))
+    assert set(result.output["objects"]) <= set(scene_payload["objects"])
+
+
+def test_siglip_quality_higher_than_clip():
+    assert SigLipDetector().quality > ClipDetector().quality
+
+
+# --------------------------------------------------------------------------- #
+# Summarisation
+# --------------------------------------------------------------------------- #
+def test_summarizer_batched_much_faster_and_busier(scene_payload):
+    nvlm = NvlmSummarizer()
+    sequential = nvlm.estimate(scene_work(scene_payload), HardwareConfig(gpus=8))
+    batched = nvlm.estimate(scene_work(scene_payload), HardwareConfig(gpus=8), BATCHED)
+    assert sequential.seconds == pytest.approx(
+        calibration.SUMMARIZE_SEQUENTIAL_SECONDS_PER_SCENE
+    )
+    assert batched.seconds == pytest.approx(calibration.SUMMARIZE_BATCHED_SECONDS_PER_SCENE)
+    assert batched.gpu_utilization > sequential.gpu_utilization
+
+
+def test_summarizer_h100_is_faster_than_a100(scene_payload):
+    nvlm = NvlmSummarizer()
+    a100 = nvlm.estimate(scene_work(scene_payload), HardwareConfig(gpus=8), BATCHED)
+    h100 = nvlm.estimate(
+        scene_work(scene_payload),
+        HardwareConfig(gpus=8, gpu_generation=GpuGeneration.H100),
+        BATCHED,
+    )
+    assert h100.seconds < a100.seconds
+
+
+def test_summarizer_fewer_gpus_costs_more_gpu_seconds(scene_payload):
+    nvlm = NvlmSummarizer()
+    full = nvlm.estimate(scene_work(scene_payload), HardwareConfig(gpus=8), BATCHED)
+    half = nvlm.estimate(scene_work(scene_payload), HardwareConfig(gpus=4), BATCHED)
+    assert half.seconds * 4 > full.seconds * 8
+
+
+def test_summarizer_requires_gpus(scene_payload):
+    with pytest.raises(ValueError):
+        NvlmSummarizer().estimate(scene_work(scene_payload), HardwareConfig(cpu_cores=8))
+
+
+def test_summarizer_execute_mentions_objects_and_transcript(scene_payload):
+    work = WorkUnit(
+        kind="scene",
+        quantity=1.0,
+        payload={
+            "scene": scene_payload,
+            "objects": ["cat", "dog"],
+            "transcript": "a cat jumps",
+        },
+    )
+    result = NvlmSummarizer().execute(work, HardwareConfig(gpus=8), BATCHED)
+    assert "cat" in result.output["summary"]
+    assert result.output["batched"] is True
+
+
+def test_llama_summarizer_is_cheaper_but_lower_quality(scene_payload):
+    assert LlamaSummarizer().quality < NvlmSummarizer().quality
+    assert LlamaSummarizer().reference_gpus < NvlmSummarizer().reference_gpus
+
+
+def test_nvlm_summarizer_and_answerer_share_server_group():
+    from repro.agents.question_answering import NvlmAnswerer
+
+    assert NvlmSummarizer().deployment_group == NvlmAnswerer().deployment_group
+
+
+# --------------------------------------------------------------------------- #
+# Embeddings
+# --------------------------------------------------------------------------- #
+def test_embedder_latency_and_batched_speedup():
+    embedder = NvlmEmbedder()
+    work = WorkUnit(kind="scene", quantity=1.0, payload={"texts": ["a summary"]})
+    base = embedder.estimate(work, HardwareConfig(gpus=2))
+    batched = embedder.estimate(work, HardwareConfig(gpus=2), ExecutionMode(batched=True))
+    assert base.seconds == pytest.approx(calibration.EMBEDDING_SECONDS_PER_SCENE)
+    assert batched.seconds < base.seconds
+
+
+def test_embedder_produces_unit_norm_vectors():
+    import numpy as np
+
+    work = WorkUnit(kind="scene", quantity=1.0, payload={"texts": ["hello world", "cats"]})
+    result = NvlmEmbedder().execute(work, HardwareConfig(gpus=2))
+    assert len(result.output["embeddings"]) == 2
+    for vector in result.output["embeddings"]:
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+
+def test_minilm_is_cpu_only_and_lower_quality():
+    assert all(config.is_cpu_only for config in MiniLmEmbedder().supported_configs())
+    assert MiniLmEmbedder().quality < NvlmEmbedder().quality
+    with pytest.raises(ValueError):
+        MiniLmEmbedder().estimate(WorkUnit(kind="scene"), HardwareConfig(gpus=1))

@@ -1,0 +1,101 @@
+"""Unit tests for the agent library registry."""
+
+import pytest
+
+from repro.agents.base import AgentInterface
+from repro.agents.library import AgentLibrary, default_library
+from repro.agents.speech_to_text import FastConformerSTT, WhisperSTT
+
+
+def test_default_library_covers_every_paper_agent(library):
+    for name in (
+        "opencv-frame-extractor",
+        "whisper",
+        "fast-conformer",
+        "deepspeech",
+        "clip",
+        "siglip",
+        "nvlm-summarizer",
+        "nvlm-embedder",
+        "vector-db",
+        "nvlm-answerer",
+        "web-search",
+        "calculator",
+    ):
+        assert name in library
+
+
+def test_default_library_covers_every_interface_needed_by_workflows(library):
+    for interface in (
+        AgentInterface.FRAME_EXTRACTION,
+        AgentInterface.SPEECH_TO_TEXT,
+        AgentInterface.OBJECT_DETECTION,
+        AgentInterface.SCENE_SUMMARIZATION,
+        AgentInterface.EMBEDDING,
+        AgentInterface.VECTOR_DB,
+        AgentInterface.QUESTION_ANSWERING,
+        AgentInterface.SENTIMENT_ANALYSIS,
+        AgentInterface.TEXT_GENERATION,
+    ):
+        assert library.implementations_for(interface), interface
+
+
+def test_register_rejects_duplicates():
+    library = AgentLibrary([WhisperSTT()])
+    with pytest.raises(ValueError):
+        library.register(WhisperSTT())
+
+
+def test_register_rejects_empty_name():
+    anonymous = WhisperSTT()
+    anonymous.name = ""
+    with pytest.raises(ValueError):
+        AgentLibrary([anonymous])
+
+
+def test_unregister_removes_agent():
+    library = AgentLibrary([WhisperSTT(), FastConformerSTT()])
+    library.unregister("whisper")
+    assert "whisper" not in library
+    assert len(library.implementations_for(AgentInterface.SPEECH_TO_TEXT)) == 1
+
+
+def test_unregister_last_of_interface_removes_interface():
+    library = AgentLibrary([WhisperSTT()])
+    library.unregister("whisper")
+    assert AgentInterface.SPEECH_TO_TEXT not in library.interfaces()
+
+
+def test_get_unknown_raises_with_known_names():
+    library = AgentLibrary([WhisperSTT()])
+    with pytest.raises(KeyError, match="whisper"):
+        library.get("nonexistent")
+
+
+def test_schemas_and_system_prompt(library):
+    prompt = library.render_system_prompt()
+    assert "whisper" in prompt
+    assert prompt.count("-") >= len(library.schemas())
+
+
+def test_best_quality_for_interface(library):
+    best = library.best_quality_for(AgentInterface.SPEECH_TO_TEXT)
+    assert best.name == "whisper"
+    assert library.best_quality_for(AgentInterface.CALCULATION).name == "calculator"
+
+
+def test_best_quality_for_missing_interface_returns_none():
+    library = AgentLibrary([WhisperSTT()])
+    assert library.best_quality_for(AgentInterface.WEB_SEARCH) is None
+
+
+def test_names_are_sorted(library):
+    names = library.names()
+    assert names == sorted(names)
+
+
+def test_fresh_default_library_instances_are_independent():
+    first = default_library()
+    second = default_library()
+    first.unregister("whisper")
+    assert "whisper" in second

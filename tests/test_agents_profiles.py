@@ -1,0 +1,81 @@
+"""Unit tests for execution profiles."""
+
+import pytest
+
+from repro.agents.base import (
+    AgentInterface,
+    ExecutionEstimate,
+    ExecutionMode,
+    HardwareConfig,
+    SEQUENTIAL_MODE,
+)
+from repro.agents.profiles import ExecutionProfile, ProfileKey, build_profile
+
+
+def _profile(latency=2.0, cost=1.0, energy=0.5, quality=0.9, power=100.0, config=None):
+    key = ProfileKey(
+        agent_name="agent",
+        config=config or HardwareConfig(gpus=1),
+        mode=SEQUENTIAL_MODE,
+    )
+    return ExecutionProfile(
+        key=key,
+        interface=AgentInterface.SPEECH_TO_TEXT,
+        latency_s=latency,
+        power_w=power,
+        energy_wh=energy,
+        cost=cost,
+        quality=quality,
+    )
+
+
+def test_profile_key_describe():
+    key = ProfileKey("whisper", HardwareConfig(gpus=1), SEQUENTIAL_MODE)
+    assert "whisper" in key.describe()
+    assert "1xA100" in key.describe()
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        _profile(latency=-1.0)
+    with pytest.raises(ValueError):
+        _profile(quality=1.2)
+
+
+def test_objective_values():
+    profile = _profile(latency=2.0, cost=1.0, energy=0.5, power=100.0, quality=0.9)
+    assert profile.objective_value("latency") == 2.0
+    assert profile.objective_value("cost") == 1.0
+    assert profile.objective_value("energy") == 0.5
+    assert profile.objective_value("power") == 100.0
+    assert profile.objective_value("quality") == -0.9
+    with pytest.raises(ValueError):
+        profile.objective_value("happiness")
+
+
+def test_dominates_requires_all_dimensions():
+    better = _profile(latency=1.0, cost=0.5, energy=0.2, quality=0.95)
+    worse = _profile(latency=2.0, cost=1.0, energy=0.5, quality=0.90)
+    mixed = _profile(latency=0.5, cost=2.0, energy=0.5, quality=0.90)
+    assert better.dominates(worse)
+    assert not worse.dominates(better)
+    assert not mixed.dominates(worse)
+    assert not better.dominates(better)
+
+
+def test_build_profile_derives_power_energy_and_cost():
+    config = HardwareConfig(gpus=2)
+    key = ProfileKey("agent", config, SEQUENTIAL_MODE)
+    estimate = ExecutionEstimate(seconds=3600.0, gpu_utilization=1.0, cpu_utilization=0.0)
+    profile = build_profile(key, AgentInterface.SCENE_SUMMARIZATION, estimate, quality=0.9)
+    assert profile.power_w == pytest.approx(config.power_w(1.0, 0.0))
+    assert profile.energy_wh == pytest.approx(profile.power_w)  # one hour
+    assert profile.cost == pytest.approx(config.cost_per_hour())
+    assert profile.quality == 0.9
+
+
+def test_profile_accessors():
+    profile = _profile()
+    assert profile.agent_name == "agent"
+    assert profile.config == HardwareConfig(gpus=1)
+    assert profile.mode == SEQUENTIAL_MODE

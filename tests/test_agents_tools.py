@@ -1,0 +1,236 @@
+"""Unit tests for tool agents: vector DB, QA, sentiment, web search, calculator,
+text generation."""
+
+import numpy as np
+import pytest
+
+from repro.agents.base import ExecutionMode, HardwareConfig, SEQUENTIAL_MODE, WorkUnit
+from repro.agents.calculator import CalculationError, CalculatorTool, evaluate_expression
+from repro.agents.question_answering import LlamaAnswerer, NvlmAnswerer
+from repro.agents.sentiment import DistilBertSentiment, LlamaSentiment
+from repro.agents.synthetic import stable_embedding
+from repro.agents.text_generation import GptTextGenerator, LlamaTextGenerator
+from repro.agents.vectordb import InMemoryVectorDB, VectorRecord
+from repro.agents.web_search import WebSearchTool
+
+
+# --------------------------------------------------------------------------- #
+# Vector DB
+# --------------------------------------------------------------------------- #
+def test_vectordb_insert_and_query_roundtrip():
+    db = InMemoryVectorDB()
+    texts = ["a cat on a sofa", "a racing car on a track", "a bird in a tree"]
+    insert = WorkUnit(
+        kind="batch",
+        quantity=3,
+        payload={
+            "operation": "insert",
+            "collection": "test",
+            "texts": texts,
+            "embeddings": [stable_embedding(t) for t in texts],
+        },
+    )
+    db.execute(insert, HardwareConfig(cpu_cores=1))
+    query = WorkUnit(
+        kind="batch",
+        quantity=1,
+        payload={
+            "operation": "query",
+            "collection": "test",
+            "query_vector": stable_embedding("racing car track"),
+            "top_k": 1,
+        },
+    )
+    result = db.execute(query, HardwareConfig(cpu_cores=1))
+    assert result.output["matches"][0]["text"] == "a racing car on a track"
+
+
+def test_vectordb_query_empty_collection_returns_no_matches():
+    db = InMemoryVectorDB()
+    query = WorkUnit(
+        kind="batch",
+        quantity=1,
+        payload={"operation": "query", "collection": "empty", "query_vector": stable_embedding("x")},
+    )
+    assert db.execute(query, HardwareConfig(cpu_cores=1)).output["matches"] == []
+
+
+def test_vectordb_rejects_unknown_operation_and_bad_vectors():
+    db = InMemoryVectorDB()
+    with pytest.raises(ValueError):
+        db.execute(
+            WorkUnit(kind="batch", payload={"operation": "drop"}), HardwareConfig(cpu_cores=1)
+        )
+    collection = db.collection("dims")
+    collection.insert(VectorRecord("r0", np.ones(4), "text"))
+    with pytest.raises(ValueError):
+        collection.insert(VectorRecord("r1", np.ones(8), "other"))
+    with pytest.raises(ValueError):
+        collection.query(np.ones(4), top_k=0)
+
+
+def test_vectordb_estimate_differs_for_insert_and_query():
+    db = InMemoryVectorDB()
+    insert = db.estimate(WorkUnit(kind="batch", quantity=10, payload={"operation": "insert"}),
+                         HardwareConfig(cpu_cores=1))
+    query = db.estimate(WorkUnit(kind="batch", quantity=10, payload={"operation": "query"}),
+                        HardwareConfig(cpu_cores=1))
+    assert query.seconds > insert.seconds
+
+
+def test_vectordb_is_cpu_only():
+    with pytest.raises(ValueError):
+        InMemoryVectorDB().estimate(WorkUnit(kind="batch"), HardwareConfig(gpus=1))
+
+
+# --------------------------------------------------------------------------- #
+# Question answering
+# --------------------------------------------------------------------------- #
+def test_answerer_lists_objects_when_available():
+    work = WorkUnit(
+        kind="query",
+        quantity=1.0,
+        payload={"question": "List objects", "objects": ["cat", "car"], "context": ["s1"]},
+    )
+    result = NvlmAnswerer().execute(work, HardwareConfig(gpus=8))
+    assert "cat" in result.output["answer"] and "car" in result.output["answer"]
+
+
+def test_answerer_falls_back_to_context_then_nothing():
+    with_context = NvlmAnswerer().execute(
+        WorkUnit(kind="query", payload={"question": "q", "context": ["scene one summary"]}),
+        HardwareConfig(gpus=8),
+    )
+    assert "scene one summary" in with_context.output["answer"]
+    empty = NvlmAnswerer().execute(
+        WorkUnit(kind="query", payload={"question": "q"}), HardwareConfig(gpus=8)
+    )
+    assert "No relevant context" in empty.output["answer"]
+
+
+def test_answerer_paths_increase_latency_unless_parallel():
+    answerer = NvlmAnswerer()
+    work = WorkUnit(kind="query", quantity=1.0)
+    single = answerer.estimate(work, HardwareConfig(gpus=8))
+    serial_paths = answerer.estimate(work, HardwareConfig(gpus=8), ExecutionMode(speculative_paths=3))
+    parallel_paths = answerer.estimate(
+        work, HardwareConfig(gpus=8), ExecutionMode(speculative_paths=3, intra_task_parallelism=3)
+    )
+    assert serial_paths.seconds == pytest.approx(3 * single.seconds)
+    assert parallel_paths.seconds == pytest.approx(single.seconds)
+    assert parallel_paths.gpu_utilization > single.gpu_utilization
+
+
+def test_llama_answerer_smaller_and_lower_quality():
+    assert LlamaAnswerer().reference_gpus < NvlmAnswerer().reference_gpus
+    assert LlamaAnswerer().quality < NvlmAnswerer().quality
+
+
+# --------------------------------------------------------------------------- #
+# Sentiment analysis
+# --------------------------------------------------------------------------- #
+def test_sentiment_labels_every_text():
+    texts = ["great race!", "terrible weather", "just a normal day"]
+    result = DistilBertSentiment().execute(
+        WorkUnit(kind="item", quantity=3, payload={"texts": texts}), HardwareConfig(cpu_cores=2)
+    )
+    assert len(result.output["labels"]) == 3
+    assert set(result.output["labels"]) <= {"negative", "neutral", "positive"}
+
+
+def test_sentiment_is_deterministic():
+    texts = ["great race!"]
+    work = WorkUnit(kind="item", quantity=1, payload={"texts": texts})
+    first = LlamaSentiment().execute(work, HardwareConfig(gpus=1))
+    second = LlamaSentiment().execute(work, HardwareConfig(gpus=1))
+    assert first.output["labels"] == second.output["labels"]
+
+
+def test_sentiment_hardware_restrictions():
+    with pytest.raises(ValueError):
+        DistilBertSentiment().estimate(WorkUnit(kind="item"), HardwareConfig(gpus=1))
+    with pytest.raises(ValueError):
+        LlamaSentiment().estimate(WorkUnit(kind="item"), HardwareConfig(cpu_cores=2))
+
+
+def test_llama_sentiment_batched_mode_is_faster():
+    work = WorkUnit(kind="item", quantity=4)
+    base = LlamaSentiment().estimate(work, HardwareConfig(gpus=1))
+    batched = LlamaSentiment().estimate(work, HardwareConfig(gpus=1), ExecutionMode(batched=True))
+    assert batched.seconds < base.seconds
+
+
+# --------------------------------------------------------------------------- #
+# Web search
+# --------------------------------------------------------------------------- #
+def test_web_search_returns_requested_number_of_results():
+    result = WebSearchTool().execute(
+        WorkUnit(kind="query", payload={"query": "gpu prices", "top_k": 4}),
+        HardwareConfig(cpu_cores=1),
+    )
+    assert len(result.output["results"]) == 4
+    relevances = [r["relevance"] for r in result.output["results"]]
+    assert relevances == sorted(relevances, reverse=True)
+
+
+def test_web_search_parallel_queries_faster():
+    tool = WebSearchTool()
+    work = WorkUnit(kind="query", quantity=4)
+    base = tool.estimate(work, HardwareConfig(cpu_cores=1))
+    fanned = tool.estimate(work, HardwareConfig(cpu_cores=1), ExecutionMode(intra_task_parallelism=4))
+    assert fanned.seconds < base.seconds
+
+
+# --------------------------------------------------------------------------- #
+# Calculator
+# --------------------------------------------------------------------------- #
+def test_calculator_evaluates_arithmetic():
+    assert evaluate_expression("2 + 3 * 4") == 14
+    assert evaluate_expression("(1 + 1) ** 3") == 8
+    assert evaluate_expression("-5 + 2.5") == pytest.approx(-2.5)
+    assert evaluate_expression("7 // 2") == 3
+    assert evaluate_expression("7 % 2") == 1
+
+
+def test_calculator_rejects_unsafe_expressions():
+    for expression in ("__import__('os')", "x + 1", "'a' * 3", "1 if True else 2"):
+        with pytest.raises(CalculationError):
+            evaluate_expression(expression)
+    with pytest.raises(CalculationError):
+        evaluate_expression("1/0")
+    with pytest.raises(CalculationError):
+        evaluate_expression("1 +")
+
+
+def test_calculator_agent_execute():
+    result = CalculatorTool().execute(
+        WorkUnit(kind="expression", payload={"expression": "6 * 7"}), HardwareConfig(cpu_cores=1)
+    )
+    assert result.output["value"] == 42
+
+
+# --------------------------------------------------------------------------- #
+# Text generation
+# --------------------------------------------------------------------------- #
+def test_llama_textgen_more_gpus_is_faster():
+    generator = LlamaTextGenerator()
+    work = WorkUnit(kind="item", quantity=1.0)
+    one = generator.estimate(work, HardwareConfig(gpus=1))
+    four = generator.estimate(work, HardwareConfig(gpus=4))
+    assert four.seconds < one.seconds
+
+
+def test_gpt_textgen_is_external_and_uses_no_cluster_gpus():
+    gpt = GptTextGenerator()
+    assert gpt.external is True
+    assert all(config.is_cpu_only for config in gpt.supported_configs())
+    with pytest.raises(ValueError):
+        gpt.estimate(WorkUnit(kind="item"), HardwareConfig(gpus=1))
+
+
+def test_textgen_execute_includes_prompt():
+    result = LlamaTextGenerator().execute(
+        WorkUnit(kind="item", payload={"prompt": "Write a newsfeed for Alice"}),
+        HardwareConfig(gpus=1),
+    )
+    assert "Alice" in result.output["text"]

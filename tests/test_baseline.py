@@ -1,0 +1,69 @@
+"""Integration tests for the OmAgent-style sequential baseline."""
+
+import pytest
+
+from repro.agents.base import AgentInterface
+from repro.baselines.omagent import OmAgentBaseline
+from repro.core.execution import display_category
+from repro.workloads.video import generate_videos
+
+
+@pytest.fixture(scope="module")
+def baseline_result(videos):
+    return OmAgentBaseline().run(inputs=videos)
+
+
+def test_baseline_completes_all_tasks(baseline_result):
+    assert baseline_result.makespan_s > 0
+    assert baseline_result.graph.is_complete()
+    assert len(baseline_result.task_results) == len(baseline_result.graph.tasks)
+
+
+def test_baseline_is_strictly_sequential(baseline_result):
+    intervals = sorted(baseline_result.trace, key=lambda i: i.start)
+    for earlier, later in zip(intervals, intervals[1:]):
+        assert later.start >= earlier.end - 1e-9
+
+
+def test_baseline_provisions_paper_gpu_count(baseline_result):
+    # 8 (NVLM text) + 2 (embeddings) + 1 (Whisper) GPUs.
+    assert baseline_result.provisioned_gpus == 11
+
+
+def test_baseline_energy_and_cost_positive(baseline_result):
+    assert baseline_result.energy_wh > 0
+    assert baseline_result.cost > 0
+    assert baseline_result.energy.idle_wh > 0
+
+
+def test_baseline_answer_produced(baseline_result):
+    assert "answer" in baseline_result.output
+
+
+def test_baseline_trace_categories_cover_figure3(baseline_result):
+    categories = set(baseline_result.trace.categories())
+    for interface in (
+        AgentInterface.SPEECH_TO_TEXT,
+        AgentInterface.SCENE_SUMMARIZATION,
+        AgentInterface.EMBEDDING,
+        AgentInterface.OBJECT_DETECTION,
+    ):
+        assert display_category(interface) in categories
+
+
+def test_baseline_releases_cluster():
+    baseline = OmAgentBaseline()
+    baseline.run(inputs=generate_videos(count=1, scenes_per_video=2))
+    assert baseline.cluster.free_gpus == baseline.cluster.total_gpus
+    assert baseline.cluster.free_cpu_cores == baseline.cluster.total_cpu_cores
+
+
+def test_baseline_scales_linearly_with_scene_count():
+    small = OmAgentBaseline().run(inputs=generate_videos(count=1, scenes_per_video=2))
+    large = OmAgentBaseline().run(inputs=generate_videos(count=1, scenes_per_video=4))
+    assert large.makespan_s > small.makespan_s
+    per_scene_small = small.makespan_s / 2
+    per_scene_large = large.makespan_s / 4
+    # Per-scene time is roughly constant for the sequential baseline (the
+    # fixed per-video and per-job stages amortise as scenes grow).
+    assert per_scene_large == pytest.approx(per_scene_small, rel=0.35)

@@ -1,0 +1,38 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_lists_all_subcommands():
+    parser = build_parser()
+    help_text = parser.format_help()
+    for command in ("quickstart", "table2", "figure3", "table1", "ablation", "multitenant"):
+        assert command in help_text
+
+
+def test_cli_requires_a_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_cli_quickstart_runs_small_job(capsys):
+    exit_code = main(["quickstart", "--scenes", "2"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "makespan_s" in output
+    assert "answer" in output
+
+
+def test_cli_table1_reports_consistency(capsys):
+    exit_code = main(["table1"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "GPU Generation" in output
+    assert "consistent with the paper" in output

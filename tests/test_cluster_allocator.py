@@ -1,0 +1,102 @@
+"""Unit tests for resource requests, allocations, and the allocator."""
+
+import pytest
+
+from repro.cluster.allocator import Allocator, ResourceRequest
+from repro.cluster.cluster import Cluster, paper_testbed
+from repro.cluster.hardware import GpuGeneration
+from repro.cluster.node import Node
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        ResourceRequest(owner="x")  # empty request
+    with pytest.raises(ValueError):
+        ResourceRequest(owner="x", gpus=-1)
+
+
+def test_allocate_gpus_and_release():
+    allocator = Allocator(paper_testbed())
+    allocation = allocator.allocate(ResourceRequest(owner="wf", gpus=8))
+    assert allocation is not None
+    assert allocation.gpu_count == 8
+    assert allocator.cluster.free_gpus == 8
+    allocator.release(allocation)
+    assert allocator.cluster.free_gpus == 16
+
+
+def test_allocate_cpu_cores():
+    allocator = Allocator(paper_testbed())
+    allocation = allocator.allocate(ResourceRequest(owner="wf", cpu_cores=64))
+    assert allocation is not None
+    assert allocation.cpu_cores == 64
+    assert allocator.cluster.free_cpu_cores == 2 * 96 - 64
+
+
+def test_allocation_does_not_span_nodes():
+    allocator = Allocator(paper_testbed())
+    assert allocator.allocate(ResourceRequest(owner="wf", gpus=9)) is None
+
+
+def test_release_twice_raises():
+    allocator = Allocator(paper_testbed())
+    allocation = allocator.allocate(ResourceRequest(owner="wf", gpus=1))
+    allocator.release(allocation)
+    with pytest.raises(KeyError):
+        allocator.release(allocation)
+
+
+def test_release_owner_bulk():
+    allocator = Allocator(paper_testbed())
+    allocator.allocate(ResourceRequest(owner="wf", gpus=2))
+    allocator.allocate(ResourceRequest(owner="wf", cpu_cores=8))
+    allocator.allocate(ResourceRequest(owner="other", gpus=1))
+    released = allocator.release_owner("wf")
+    assert released == 2
+    assert len(allocator.allocations_for("other")) == 1
+
+
+def test_can_satisfy_without_allocating():
+    allocator = Allocator(paper_testbed())
+    assert allocator.can_satisfy(ResourceRequest(owner="x", gpus=8))
+    assert not allocator.can_satisfy(ResourceRequest(owner="x", gpus=9))
+    assert allocator.cluster.free_gpus == 16
+
+
+def test_generation_constrained_request():
+    cluster = Cluster(
+        [
+            Node("a", 2, 8, gpu_generation=GpuGeneration.A100),
+            Node("h", 2, 8, gpu_generation=GpuGeneration.H100),
+        ]
+    )
+    allocator = Allocator(cluster)
+    allocation = allocator.allocate(
+        ResourceRequest(owner="x", gpus=1, gpu_generation=GpuGeneration.H100)
+    )
+    assert allocation.node_id == "h"
+
+
+def test_exhaustion_returns_none_then_recovers():
+    cluster = Cluster([Node("n", 2, 8)])
+    allocator = Allocator(cluster)
+    first = allocator.allocate(ResourceRequest(owner="a", gpus=2))
+    assert allocator.allocate(ResourceRequest(owner="b", gpus=1)) is None
+    allocator.release(first)
+    assert allocator.allocate(ResourceRequest(owner="b", gpus=1)) is not None
+
+
+def test_fragmentation_metric():
+    cluster = Cluster([Node("n0", 4, 8), Node("n1", 4, 8)])
+    allocator = Allocator(cluster)
+    assert allocator.gpu_fragmentation() == 0.0
+    allocator.allocate(ResourceRequest(owner="a", gpus=1))
+    # node n0 now has 3 free GPUs stranded on a partially used node.
+    assert allocator.gpu_fragmentation() == pytest.approx(3 / 7)
+
+
+def test_allocation_ids_are_unique():
+    allocator = Allocator(paper_testbed())
+    first = allocator.allocate(ResourceRequest(owner="a", gpus=1))
+    second = allocator.allocate(ResourceRequest(owner="a", gpus=1))
+    assert first.allocation_id != second.allocation_id

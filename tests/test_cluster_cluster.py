@@ -1,0 +1,80 @@
+"""Unit tests for the cluster container."""
+
+import pytest
+
+from repro import calibration
+from repro.cluster.cluster import Cluster, paper_testbed
+from repro.cluster.hardware import GpuGeneration
+from repro.cluster.node import Node
+
+
+def test_paper_testbed_matches_setup_section():
+    cluster = paper_testbed()
+    assert len(cluster) == calibration.NODE_COUNT
+    assert cluster.total_gpus == calibration.NODE_COUNT * calibration.NODE_GPUS
+    assert cluster.total_cpu_cores == calibration.NODE_COUNT * calibration.NODE_VCPUS
+
+
+def test_paper_testbed_generation_override():
+    cluster = paper_testbed(node_count=1, gpu_generation=GpuGeneration.H100)
+    assert len(cluster) == 1
+    assert cluster.nodes[0].gpu_generation is GpuGeneration.H100
+
+
+def test_duplicate_node_ids_rejected():
+    with pytest.raises(ValueError):
+        Cluster([Node("a", 1, 1), Node("a", 1, 1)])
+
+
+def test_node_lookup_and_unknown():
+    cluster = paper_testbed()
+    assert cluster.node("node0").node_id == "node0"
+    with pytest.raises(KeyError):
+        cluster.node("node99")
+
+
+def test_add_and_remove_node():
+    cluster = paper_testbed(node_count=1)
+    cluster.add_node(Node("extra", 2, 16))
+    assert cluster.total_gpus == calibration.NODE_GPUS + 2
+    removed = cluster.remove_node("extra")
+    assert removed.node_id == "extra"
+    assert len(cluster) == 1
+
+
+def test_add_duplicate_node_rejected():
+    cluster = paper_testbed(node_count=1)
+    with pytest.raises(ValueError):
+        cluster.add_node(Node("node0", 1, 1))
+
+
+def test_remove_node_with_allocations_rejected():
+    cluster = paper_testbed(node_count=1)
+    cluster.node("node0").claim_gpus(1, owner="x")
+    with pytest.raises(ValueError):
+        cluster.remove_node("node0")
+
+
+def test_utilization_fractions():
+    cluster = paper_testbed(node_count=1)
+    assert cluster.gpu_utilization_fraction() == 0.0
+    cluster.node("node0").claim_gpus(4, owner="x")
+    assert cluster.gpu_utilization_fraction() == pytest.approx(0.5)
+    cluster.node("node0").claim_cpu_cores(48, owner="x")
+    assert cluster.cpu_utilization_fraction() == pytest.approx(0.5)
+
+
+def test_nodes_with_generation_filter():
+    cluster = Cluster(
+        [
+            Node("a", 1, 1, gpu_generation=GpuGeneration.A100),
+            Node("h", 1, 1, gpu_generation=GpuGeneration.H100),
+        ]
+    )
+    assert [n.node_id for n in cluster.nodes_with_generation(GpuGeneration.H100)] == ["h"]
+
+
+def test_empty_cluster_utilization_is_zero():
+    cluster = Cluster([])
+    assert cluster.gpu_utilization_fraction() == 0.0
+    assert cluster.cpu_utilization_fraction() == 0.0

@@ -1,0 +1,58 @@
+"""Unit tests for the hardware SKU catalogue."""
+
+import pytest
+
+from repro.cluster.hardware import (
+    CPU_SKUS,
+    GPU_SKUS,
+    GpuGeneration,
+    get_cpu_spec,
+    get_gpu_spec,
+)
+
+
+def test_catalogue_contains_both_generations():
+    assert set(GPU_SKUS) == {GpuGeneration.A100, GpuGeneration.H100}
+
+
+def test_get_gpu_spec_roundtrip():
+    spec = get_gpu_spec(GpuGeneration.A100)
+    assert spec.name == "A100"
+    assert spec.memory_gb == 80
+
+
+def test_get_gpu_spec_unknown_raises():
+    with pytest.raises(KeyError):
+        get_gpu_spec("B200")  # type: ignore[arg-type]
+
+
+def test_h100_is_faster_and_more_power_hungry_than_a100():
+    a100 = get_gpu_spec(GpuGeneration.A100)
+    h100 = get_gpu_spec(GpuGeneration.H100)
+    assert h100.relative_speed(a100) > 1.0
+    assert h100.power.peak_w > a100.power.peak_w
+    assert h100.cost_per_hour > a100.cost_per_hour
+
+
+def test_gpu_power_model_is_consistent():
+    for spec in GPU_SKUS.values():
+        assert spec.power.idle_w <= spec.power.active_w <= spec.power.peak_w
+
+
+def test_cpu_sku_lookup():
+    spec = get_cpu_spec()
+    assert spec.name in CPU_SKUS
+    assert spec.active_w_per_core > 0
+    assert spec.cost_per_core_hour > 0
+
+
+def test_cpu_sku_unknown_raises():
+    with pytest.raises(KeyError):
+        get_cpu_spec("Xeon-Phi")
+
+
+def test_gpu_rated_power_much_higher_than_cpu_core():
+    """The paper: GPU power rated ~16x higher than CPU."""
+    gpu = get_gpu_spec(GpuGeneration.A100)
+    cpu = get_cpu_spec()
+    assert gpu.power.peak_w / (cpu.active_w_per_core * 8) > 10

@@ -1,0 +1,92 @@
+"""Unit tests for nodes and their allocation bookkeeping."""
+
+import pytest
+
+from repro.cluster.hardware import GpuGeneration
+from repro.cluster.node import Node
+
+
+def _node(gpus=4, cores=32):
+    return Node("n0", gpu_count=gpus, cpu_cores=cores)
+
+
+def test_node_exposes_capacity():
+    node = _node()
+    assert node.total_gpus == 4
+    assert node.free_gpu_count == 4
+    assert node.total_cpu_cores == 32
+    assert node.free_cpu_cores == 32
+
+
+def test_node_rejects_negative_capacity():
+    with pytest.raises(ValueError):
+        Node("bad", gpu_count=-1, cpu_cores=0)
+    with pytest.raises(ValueError):
+        Node("bad", gpu_count=0, cpu_cores=-1)
+
+
+def test_gpu_device_ids_are_namespaced():
+    node = _node()
+    assert node.gpus[0].device_id == "n0/gpu0"
+
+
+def test_claim_and_release_gpus():
+    node = _node()
+    claimed = node.claim_gpus(2, owner="workflow-a")
+    assert node.free_gpu_count == 2
+    assert all(gpu.allocated_to == "workflow-a" for gpu in claimed)
+    node.release_gpus([gpu.device_id for gpu in claimed], owner="workflow-a")
+    assert node.free_gpu_count == 4
+
+
+def test_claim_more_gpus_than_free_raises():
+    node = _node(gpus=1)
+    with pytest.raises(ValueError):
+        node.claim_gpus(2, owner="x")
+
+
+def test_release_gpu_with_wrong_owner_raises():
+    node = _node()
+    claimed = node.claim_gpus(1, owner="a")
+    with pytest.raises(ValueError):
+        node.release_gpus([claimed[0].device_id], owner="b")
+
+
+def test_release_unknown_gpu_raises():
+    node = _node()
+    with pytest.raises(KeyError):
+        node.release_gpus(["n0/gpu99"], owner="a")
+
+
+def test_claim_and_release_cpu_cores():
+    node = _node()
+    node.claim_cpu_cores(10, owner="a")
+    node.claim_cpu_cores(5, owner="b")
+    assert node.free_cpu_cores == 17
+    node.release_cpu_cores(10, owner="a")
+    assert node.free_cpu_cores == 27
+
+
+def test_claim_too_many_cores_raises():
+    node = _node(cores=4)
+    with pytest.raises(ValueError):
+        node.claim_cpu_cores(5, owner="a")
+
+
+def test_release_more_cores_than_held_raises():
+    node = _node()
+    node.claim_cpu_cores(2, owner="a")
+    with pytest.raises(ValueError):
+        node.release_cpu_cores(3, owner="a")
+
+
+def test_can_fit_checks_both_dimensions():
+    node = _node(gpus=2, cores=8)
+    assert node.can_fit(2, 8)
+    assert not node.can_fit(3, 0)
+    assert not node.can_fit(0, 9)
+
+
+def test_gpu_generation_configurable():
+    node = Node("h", gpu_count=1, cpu_cores=1, gpu_generation=GpuGeneration.H100)
+    assert node.gpu_generation is GpuGeneration.H100

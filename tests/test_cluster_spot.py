@@ -1,0 +1,81 @@
+"""Unit tests for the spot/harvest capacity model."""
+
+import pytest
+
+from repro.cluster.spot import SpotCapacityModel, SpotInstance
+
+
+def test_spot_instance_validation():
+    with pytest.raises(ValueError):
+        SpotInstance("s", gpus=1, cpu_cores=1, available_from=10.0, available_until=5.0)
+    with pytest.raises(ValueError):
+        SpotInstance("s", gpus=-1, cpu_cores=1, available_from=0.0, available_until=5.0)
+
+
+def test_spot_instance_availability_window():
+    instance = SpotInstance("s", 1, 16, available_from=10.0, available_until=20.0)
+    assert not instance.is_available(5.0)
+    assert instance.is_available(10.0)
+    assert instance.is_available(19.9)
+    assert not instance.is_available(20.0)
+    assert instance.duration == 10.0
+
+
+def test_model_is_deterministic_for_same_seed():
+    first = SpotCapacityModel(seed=42)
+    second = SpotCapacityModel(seed=42)
+    assert [i.available_from for i in first.instances] == [
+        i.available_from for i in second.instances
+    ]
+
+
+def test_model_differs_across_seeds():
+    first = SpotCapacityModel(seed=1)
+    second = SpotCapacityModel(seed=2)
+    assert [i.available_from for i in first.instances] != [
+        i.available_from for i in second.instances
+    ]
+
+
+def test_windows_stay_within_horizon():
+    model = SpotCapacityModel(horizon_s=300.0, seed=3)
+    assert all(i.available_until <= 300.0 + 1e-9 for i in model.instances)
+
+
+def test_harvestable_counts_match_available_instances():
+    model = SpotCapacityModel(horizon_s=200.0, max_concurrent_instances=2, seed=5)
+    some_time = model.instances[0].available_from + 1.0
+    available = model.available_instances(some_time)
+    assert model.harvestable_gpus(some_time) == sum(i.gpus for i in available)
+    assert model.harvestable_cpu_cores(some_time) == sum(i.cpu_cores for i in available)
+
+
+def test_next_preemption_after():
+    model = SpotCapacityModel(horizon_s=200.0, seed=7)
+    first_end = min(i.available_until for i in model.instances)
+    assert model.next_preemption_after(0.0) == first_end
+    assert model.next_preemption_after(1e9) is None
+
+
+def test_preemptions_between_window():
+    model = SpotCapacityModel(horizon_s=200.0, seed=9)
+    all_ends = sorted(i.available_until for i in model.instances)
+    window_end = all_ends[0]
+    hits = model.preemptions_between(0.0, window_end)
+    assert all(0.0 < i.available_until <= window_end for i in hits)
+    assert len(hits) >= 1
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        SpotCapacityModel(horizon_s=0)
+    with pytest.raises(ValueError):
+        SpotCapacityModel(mean_window_s=0)
+    with pytest.raises(ValueError):
+        SpotCapacityModel(max_concurrent_instances=-1)
+
+
+def test_zero_instances_model_has_no_capacity():
+    model = SpotCapacityModel(max_concurrent_instances=0)
+    assert model.harvestable_gpus(10.0) == 0
+    assert model.instances == ()

@@ -1,0 +1,73 @@
+"""Unit tests for constraints and constraint sets."""
+
+import pytest
+
+from repro.core.constraints import (
+    Constraint,
+    ConstraintSet,
+    MAX_QUALITY,
+    MIN_COST,
+    MIN_ENERGY,
+    MIN_LATENCY,
+)
+
+
+def test_constraint_objective_mapping():
+    assert MIN_COST.objective == "cost"
+    assert MIN_LATENCY.objective == "latency"
+    assert MIN_ENERGY.objective == "energy"
+    assert MAX_QUALITY.objective == "quality"
+    assert Constraint.MIN_POWER.objective == "power"
+
+
+def test_constraint_set_defaults_to_min_cost():
+    constraint_set = ConstraintSet()
+    assert constraint_set.primary is MIN_COST
+    assert constraint_set.objective == "cost"
+
+
+def test_constraint_set_priority_ordering():
+    constraint_set = ConstraintSet(priorities=(MIN_LATENCY, MIN_COST, MAX_QUALITY))
+    assert constraint_set.primary is MIN_LATENCY
+    assert constraint_set.secondary_objectives() == ("cost", "quality")
+
+
+def test_constraint_set_rejects_duplicates_and_empty():
+    with pytest.raises(ValueError):
+        ConstraintSet(priorities=(MIN_COST, MIN_COST))
+    with pytest.raises(ValueError):
+        ConstraintSet(priorities=())
+
+
+def test_constraint_set_quality_floor_bounds():
+    with pytest.raises(ValueError):
+        ConstraintSet(quality_floor=1.5)
+
+
+def test_of_normalises_single_constraint():
+    constraint_set = ConstraintSet.of(MIN_LATENCY, quality_floor=0.9)
+    assert constraint_set.primary is MIN_LATENCY
+    assert constraint_set.quality_floor == 0.9
+
+
+def test_of_normalises_list_and_none():
+    assert ConstraintSet.of([MIN_LATENCY, MIN_COST]).primary is MIN_LATENCY
+    assert ConstraintSet.of(None).primary is MIN_COST
+
+
+def test_of_passes_through_existing_set_and_overrides_floor():
+    original = ConstraintSet(priorities=(MIN_ENERGY,), quality_floor=0.5)
+    assert ConstraintSet.of(original) is original
+    updated = ConstraintSet.of(original, quality_floor=0.8)
+    assert updated.quality_floor == 0.8
+    assert updated.priorities == (MIN_ENERGY,)
+
+
+def test_of_rejects_garbage():
+    with pytest.raises(TypeError):
+        ConstraintSet.of("fastest please")  # type: ignore[arg-type]
+
+
+def test_describe_mentions_priorities_and_floor():
+    text = ConstraintSet(priorities=(MIN_COST, MIN_LATENCY), quality_floor=0.93).describe()
+    assert "MIN_COST" in text and "MIN_LATENCY" in text and "0.93" in text

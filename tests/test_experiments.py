@@ -1,0 +1,134 @@
+"""Integration tests for the experiment harnesses (paper tables and figures).
+
+These run the full paper workload, so they are the slowest tests in the
+suite; they validate the *shape* of the reproduction (who wins, by roughly
+what factor), not exact absolute numbers.
+"""
+
+import pytest
+
+from repro import calibration
+from repro.experiments.ablation import render_ablation, run_ablation
+from repro.experiments.configs import STT_CONFIG_LABELS, stt_override
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.headline import run_headline
+from repro.experiments.multitenant import run_multitenant
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table2 import run_table2
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2()
+
+
+@pytest.fixture(scope="module")
+def figure3(table2):
+    return run_figure3(table2=table2)
+
+
+def test_stt_override_validation():
+    with pytest.raises(ValueError):
+        stt_override("tpu")
+    assert set(stt_override("gpu")) == {list(stt_override("cpu"))[0]}
+
+
+def test_table2_contains_all_paper_rows(table2):
+    assert set(table2.results) == set(STT_CONFIG_LABELS)
+    rendered = table2.render()
+    assert "baseline" in rendered and "Paper Energy (Wh)" in rendered
+
+
+def test_table2_baseline_matches_paper_scale(table2):
+    assert table2.time_s("baseline") == pytest.approx(calibration.PAPER_BASELINE_MAKESPAN_S, rel=0.10)
+    assert table2.energy_wh("baseline") == pytest.approx(155.0, rel=0.15)
+
+
+def test_table2_murakkab_configs_in_paper_range(table2):
+    low, high = calibration.PAPER_MURAKKAB_MAKESPAN_RANGE_S
+    for label in ("murakkab-cpu", "murakkab-gpu", "murakkab-gpu+cpu"):
+        assert low * 0.85 <= table2.time_s(label) <= high * 1.10, label
+
+
+def test_table2_energy_ordering_matches_paper(table2):
+    """Baseline >> all Murakkab configs; CPU config is the most frugal."""
+    for label in ("murakkab-cpu", "murakkab-gpu", "murakkab-gpu+cpu"):
+        assert table2.energy_wh("baseline") > 2.5 * table2.energy_wh(label)
+    assert table2.energy_wh("murakkab-cpu") <= table2.energy_wh("murakkab-gpu+cpu")
+    assert table2.energy_wh("murakkab-gpu+cpu") <= table2.energy_wh("murakkab-gpu")
+
+
+def test_table2_gpu_config_is_fastest_cpu_config_slowest(table2):
+    assert table2.time_s("murakkab-gpu") <= table2.time_s("murakkab-cpu")
+    assert table2.time_s("murakkab-gpu+cpu") <= table2.time_s("murakkab-cpu")
+
+
+def test_murakkab_autonomously_selects_cpu_config_under_min_cost(table2):
+    assert table2.autonomous_choice == "murakkab-cpu"
+
+
+def test_headline_claims_match_paper_shape(table2):
+    claims = run_headline(table2)
+    assert claims.measured_speedup == pytest.approx(calibration.PAPER_SPEEDUP, rel=0.25)
+    assert claims.measured_energy_gain == pytest.approx(
+        calibration.PAPER_ENERGY_EFFICIENCY_GAIN, rel=0.25
+    )
+    assert "speedup" in claims.render()
+
+
+def test_figure3_timelines_show_low_baseline_utilization(figure3):
+    baseline = figure3.timelines["baseline"]
+    murakkab = figure3.timelines["murakkab-gpu"]
+    # The paper: the baseline "severely underutilizes resources"; Murakkab
+    # packs the same work into a much shorter window.
+    assert baseline.mean_gpu_percent < 40.0
+    assert figure3.makespan_s("baseline") > 3.0 * figure3.makespan_s("murakkab-gpu")
+    assert murakkab.mean_cpu_percent >= 0.0
+    assert len(baseline.times) > len(murakkab.times)
+
+
+def test_figure3_murakkab_cpu_config_moves_work_to_cpus(figure3):
+    cpu_timeline = figure3.timelines["murakkab-cpu"]
+    gpu_timeline = figure3.timelines["murakkab-gpu"]
+    assert cpu_timeline.mean_cpu_percent > gpu_timeline.mean_cpu_percent
+
+
+def test_figure3_render_mentions_every_config(figure3):
+    rendered = figure3.render_traces()
+    for label in STT_CONFIG_LABELS:
+        assert label in rendered
+    assert "Speech-to-Text" in rendered
+
+
+def test_table1_every_lever_consistent_with_paper():
+    observations = run_table1()
+    assert len(observations) == 5
+    for observation in observations:
+        for metric in ("cost", "power", "latency", "quality"):
+            assert observation.matches_paper(metric), (
+                observation.lever,
+                metric,
+                observation.measured_directions,
+            )
+    rendered = render_table1(observations)
+    assert "GPU Generation" in rendered
+
+
+def test_ablation_levers_cumulatively_improve():
+    steps = run_ablation()
+    assert len(steps) == 4
+    times = [step.makespan_s for step in steps]
+    # Each added lever must not slow the workflow down materially, and the
+    # full stack must deliver the bulk of the speedup.
+    assert times[1] < times[0]
+    assert times[2] < times[1]
+    assert times[3] <= times[2] * 1.15
+    assert steps[-1].energy_wh < 0.5 * steps[0].energy_wh
+    assert "Configuration" in render_ablation(steps)
+
+
+def test_multitenant_multiplexing_is_not_slower_and_renders():
+    comparison = run_multitenant()
+    assert comparison.multiplexed_batch_time_s <= comparison.serial_total_time_s
+    assert comparison.multiplexed_mean_gpu_utilization >= comparison.serial_mean_gpu_utilization * 0.9
+    assert "multiplexed" in comparison.render()

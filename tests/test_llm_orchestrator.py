@@ -1,0 +1,162 @@
+"""Unit tests for the simulated orchestrator LLM and tool-call generation."""
+
+import pytest
+
+from repro.agents.base import AgentInterface
+from repro.agents.frame_extractor import OpenCVFrameExtractor
+from repro.agents.speech_to_text import WhisperSTT
+from repro.llm.orchestrator_llm import (
+    OrchestratorLLM,
+    classify_task_description,
+    _asks_for_answer,
+)
+from repro.llm.prompts import estimate_token_count, render_system_prompt, render_user_prompt
+from repro.llm.tool_calling import ToolCall, ToolCallGenerator
+
+PAPER_HINTS = (
+    "Extract frames from each video",
+    "Run speech-to-text on all scenes",
+    "Detect objects in the frames",
+)
+PAPER_DESCRIPTION = "List objects shown/mentioned in the videos"
+
+
+def test_classify_matches_paper_hints():
+    assert classify_task_description(PAPER_HINTS[0]) is AgentInterface.FRAME_EXTRACTION
+    assert classify_task_description(PAPER_HINTS[1]) is AgentInterface.SPEECH_TO_TEXT
+    assert classify_task_description(PAPER_HINTS[2]) is AgentInterface.OBJECT_DETECTION
+    assert classify_task_description("Run sentiment analysis") is AgentInterface.SENTIMENT_ANALYSIS
+    assert classify_task_description("random gibberish xyzzy") is None
+
+
+def test_asks_for_answer_heuristic():
+    assert _asks_for_answer(PAPER_DESCRIPTION)
+    assert _asks_for_answer("What happened in the race?")
+    assert not _asks_for_answer("Generate social media newsfeed for Alice")
+
+
+def test_decompose_paper_job_produces_full_pipeline():
+    llm = OrchestratorLLM()
+    stages, trace = llm.decompose(PAPER_DESCRIPTION, task_hints=PAPER_HINTS, inputs=["cats.mov"])
+    interfaces = [stage.interface for stage in stages]
+    for expected in (
+        AgentInterface.FRAME_EXTRACTION,
+        AgentInterface.SPEECH_TO_TEXT,
+        AgentInterface.OBJECT_DETECTION,
+        AgentInterface.SCENE_SUMMARIZATION,
+        AgentInterface.EMBEDDING,
+        AgentInterface.VECTOR_DB,
+        AgentInterface.QUESTION_ANSWERING,
+    ):
+        assert expected in interfaces
+    assert trace.latency_s > 0
+    assert trace.steps
+
+
+def test_decompose_orders_producers_before_consumers():
+    llm = OrchestratorLLM()
+    stages, _ = llm.decompose(PAPER_DESCRIPTION, task_hints=PAPER_HINTS)
+    order = {stage.name: index for index, stage in enumerate(stages)}
+    for stage in stages:
+        for dependency in stage.depends_on:
+            assert order[dependency] < order[stage.name]
+
+
+def test_decompose_without_hints_still_builds_pipeline():
+    llm = OrchestratorLLM()
+    stages, _ = llm.decompose(PAPER_DESCRIPTION)
+    interfaces = {stage.interface for stage in stages}
+    assert AgentInterface.QUESTION_ANSWERING in interfaces
+
+
+def test_decompose_newsfeed_job():
+    llm = OrchestratorLLM()
+    stages, _ = llm.decompose(
+        "Generate social media newsfeed for Alice",
+        task_hints=("Run sentiment analysis on the recent posts", "Compose a personalised feed"),
+    )
+    interfaces = [stage.interface for stage in stages]
+    assert AgentInterface.SENTIMENT_ANALYSIS in interfaces
+    assert AgentInterface.TEXT_GENERATION in interfaces
+    assert AgentInterface.FRAME_EXTRACTION not in interfaces
+
+
+def test_decompose_unknown_job_raises():
+    llm = OrchestratorLLM()
+    with pytest.raises(ValueError):
+        llm.decompose("zzzz qqqq")
+
+
+def test_decomposition_overhead_is_small_fraction_of_workflow():
+    """The paper: DAG-creation queries take <1% of workflow execution time."""
+    llm = OrchestratorLLM()
+    _, trace = llm.decompose(PAPER_DESCRIPTION, task_hints=PAPER_HINTS)
+    assert trace.latency_s < 0.01 * 283.0
+
+
+def test_decompose_ignores_unmappable_hints():
+    llm = OrchestratorLLM()
+    stages, trace = llm.decompose(PAPER_DESCRIPTION, task_hints=("frobnicate the widgets",))
+    assert all(stage.interface is not None for stage in stages)
+    assert any("skip_hint" in action for _, action, _ in trace.steps)
+
+
+def test_react_trace_render_mentions_thought_and_action():
+    llm = OrchestratorLLM()
+    _, trace = llm.decompose(PAPER_DESCRIPTION)
+    rendered = trace.render()
+    assert "Thought:" in rendered and "Action:" in rendered
+
+
+# --------------------------------------------------------------------------- #
+# Prompts
+# --------------------------------------------------------------------------- #
+def test_prompt_rendering_includes_library_and_job():
+    system = render_system_prompt(["whisper(...)"])
+    assert "whisper" in system
+    user = render_user_prompt(PAPER_DESCRIPTION, ["cats.mov"], PAPER_HINTS, "MIN_COST")
+    assert "cats.mov" in user and "MIN_COST" in user and "1." in user
+
+
+def test_token_estimate_is_positive_and_monotonic():
+    short = estimate_token_count("a few words")
+    long = estimate_token_count("a few words " * 50)
+    assert 0 < short < long
+
+
+# --------------------------------------------------------------------------- #
+# Tool calling
+# --------------------------------------------------------------------------- #
+def test_tool_call_generation_from_scene_metadata():
+    generator = ToolCallGenerator()
+    schema = OpenCVFrameExtractor().schema()
+    call = generator.generate(
+        schema, {"file": "cats.mov", "num_frames": 10, "end_time": 60.0}
+    )
+    assert call.agent_name == "opencv-frame-extractor"
+    assert call.kwargs["file"] == "cats.mov"
+    assert call.kwargs["num_frames"] == 10
+    assert call.kwargs["start_time"] == 0  # default
+
+
+def test_tool_call_render_looks_like_code():
+    call = ToolCall(agent_name="opencv-frame-extractor", arguments=(("file", "cats.mov"),))
+    assert call.render() == "OpencvFrameExtractor(file='cats.mov')"
+
+
+def test_tool_call_summarises_long_lists():
+    generator = ToolCallGenerator()
+    schema = WhisperSTT().schema()
+    call = generator.generate(schema, {"audio_file": "x.wav"})
+    assert call.kwargs["language"] == "en"
+    detector_call = generator.generate(
+        OpenCVFrameExtractor().schema(), {"frames": [f"f{i}" for i in range(20)], "file": "v.mov"}
+    )
+    assert call.agent_name == "whisper"
+    assert detector_call.kwargs["file"] == "v.mov"
+
+
+def test_tool_call_omits_unresolvable_parameters():
+    generator = ToolCallGenerator()
+    call = generator.generate(WhisperSTT().schema(), {})
+    assert "audio_file" not in call.kwargs

@@ -1,0 +1,98 @@
+"""Unit tests for the LLM catalogue and serving simulator."""
+
+import pytest
+
+from repro.llm.models import LLM_CATALOG, get_model_spec
+from repro.llm.serving import LlmRequest, LlmServingSimulator
+
+
+def test_catalog_contains_expected_models():
+    for name in ("nvlm-72b", "llama-3-70b", "llama-3-8b", "gpt-4o"):
+        assert name in LLM_CATALOG
+
+
+def test_get_model_spec_unknown_raises():
+    with pytest.raises(KeyError):
+        get_model_spec("claude-oss")
+
+
+def test_external_model_has_no_cluster_footprint():
+    spec = get_model_spec("gpt-4o")
+    assert spec.external
+    assert spec.gpus_per_instance == 0
+    assert spec.max_resident_tokens() == 0
+
+
+def test_max_resident_tokens_positive_for_local_models():
+    assert get_model_spec("nvlm-72b").max_resident_tokens() > 0
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        LlmRequest("r", prompt_tokens=-1, output_tokens=0)
+
+
+def test_prefill_and_decode_latency_scale_with_tokens():
+    simulator = LlmServingSimulator(get_model_spec("nvlm-72b"))
+    assert simulator.prefill_latency_s(2000) == pytest.approx(2 * simulator.prefill_latency_s(1000))
+    assert simulator.decode_latency_s(100) == pytest.approx(2 * simulator.decode_latency_s(50))
+
+
+def test_decode_latency_rejects_bad_batch():
+    simulator = LlmServingSimulator(get_model_spec("nvlm-72b"))
+    with pytest.raises(ValueError):
+        simulator.decode_latency_s(10, batch_size=0)
+
+
+def test_batching_efficiency_bounds():
+    with pytest.raises(ValueError):
+        LlmServingSimulator(get_model_spec("nvlm-72b"), batching_efficiency=0.0)
+    with pytest.raises(ValueError):
+        LlmServingSimulator(get_model_spec("nvlm-72b"), batching_efficiency=1.5)
+
+
+def test_batched_throughput_beats_sequential():
+    """The core serving effect behind Murakkab's batched summarisation."""
+    simulator = LlmServingSimulator(get_model_spec("nvlm-72b"))
+    requests = [LlmRequest(f"r{i}", prompt_tokens=500, output_tokens=100) for i in range(8)]
+    sequential = simulator.run_sequential(requests)
+    batched = simulator.run_batched(requests)
+    assert batched.total_latency_s < sequential.total_latency_s
+    assert batched.tokens_per_second > sequential.tokens_per_second
+    assert batched.requests == sequential.requests == 8
+
+
+def test_perfect_batching_decode_is_batch_independent():
+    simulator = LlmServingSimulator(get_model_spec("nvlm-72b"), batching_efficiency=1.0)
+    assert simulator.decode_latency_s(100, batch_size=8) == pytest.approx(
+        simulator.decode_latency_s(100, batch_size=1)
+    )
+
+
+def test_kv_cache_limits_batch_size():
+    spec = get_model_spec("nvlm-72b")
+    simulator = LlmServingSimulator(spec)
+    request = LlmRequest("big", prompt_tokens=100_000, output_tokens=1_000)
+    assert simulator.max_batch_size(request) == spec.max_resident_tokens() // request.total_tokens
+    oversized = [request] * (simulator.max_batch_size(request) + 1)
+    assert not simulator.fits(oversized)
+
+
+def test_run_batched_respects_max_batch_size():
+    simulator = LlmServingSimulator(get_model_spec("llama-3-8b"))
+    requests = [LlmRequest(f"r{i}", 100, 50) for i in range(10)]
+    metrics = simulator.run_batched(requests, max_batch_size=3)
+    assert metrics.requests == 10
+    assert len(metrics.batch_latencies_s) >= 4  # ceil(10 / 3)
+
+
+def test_empty_batch_latency_is_zero():
+    simulator = LlmServingSimulator(get_model_spec("nvlm-72b"))
+    assert simulator.batch_latency_s([]) == 0.0
+    assert simulator.batch_throughput_tokens_per_s([]) == 0.0
+
+
+def test_metrics_mean_batch_latency():
+    simulator = LlmServingSimulator(get_model_spec("nvlm-72b"))
+    metrics = simulator.run_sequential([LlmRequest("a", 100, 10), LlmRequest("b", 100, 10)])
+    assert metrics.mean_batch_latency_s == pytest.approx(metrics.total_latency_s / 2)

@@ -1,0 +1,116 @@
+"""Unit tests for the profiler and the profile store."""
+
+import pytest
+
+from repro.agents.base import AgentInterface, ExecutionMode, HardwareConfig, SEQUENTIAL_MODE
+from repro.agents.library import AgentLibrary
+from repro.agents.profiles import ProfileKey
+from repro.agents.speech_to_text import WhisperSTT
+from repro.agents.summarizer import NvlmSummarizer
+from repro.profiling.profiler import Profiler, REFERENCE_WORK_UNITS
+from repro.profiling.store import ProfileStore
+
+
+def test_reference_work_units_cover_all_interfaces():
+    for interface in AgentInterface:
+        assert interface in REFERENCE_WORK_UNITS
+
+
+def test_profile_implementation_enumerates_configs_and_modes():
+    whisper = WhisperSTT()
+    profiles = Profiler().profile_implementation(whisper)
+    expected = len(whisper.supported_configs()) * len(whisper.supported_modes())
+    assert len(profiles) == expected
+
+
+def test_profile_library_builds_store_for_every_agent(library, profile_store):
+    assert len(profile_store) > 0
+    for name in library.names():
+        implementation = library.get(name)
+        assert profile_store.profiles_for(implementation.interface, agent_name=name)
+
+
+def test_profile_one_specific_combination():
+    profile = Profiler().profile_one(
+        NvlmSummarizer(), HardwareConfig(gpus=8), ExecutionMode(batched=True)
+    )
+    assert profile.latency_s > 0
+    assert profile.interface is AgentInterface.SCENE_SUMMARIZATION
+
+
+def test_store_add_replaces_existing_key():
+    store = ProfileStore()
+    profiler = Profiler()
+    profile = profiler.profile_one(WhisperSTT(), HardwareConfig(gpus=1), SEQUENTIAL_MODE)
+    store.add(profile)
+    store.add(profile)
+    assert len(store) == 1
+    assert len(store.profiles_for(AgentInterface.SPEECH_TO_TEXT)) == 1
+
+
+def test_store_get_unknown_key_raises():
+    store = ProfileStore()
+    key = ProfileKey("whisper", HardwareConfig(gpus=1), SEQUENTIAL_MODE)
+    with pytest.raises(KeyError):
+        store.get(key)
+
+
+def test_store_best_respects_quality_floor(profile_store):
+    best_any = profile_store.best(AgentInterface.SPEECH_TO_TEXT, objective="cost")
+    best_high_quality = profile_store.best(
+        AgentInterface.SPEECH_TO_TEXT, objective="cost", quality_floor=0.93
+    )
+    assert best_high_quality.agent_name == "whisper"
+    assert best_any.cost <= best_high_quality.cost
+
+
+def test_store_best_with_impossible_floor_returns_none(profile_store):
+    assert (
+        profile_store.best(AgentInterface.SPEECH_TO_TEXT, objective="cost", quality_floor=0.999)
+        is None
+    )
+
+
+def test_store_best_latency_picks_gpu_for_whisper(profile_store):
+    best = profile_store.best(
+        AgentInterface.SPEECH_TO_TEXT, objective="latency", quality_floor=0.93
+    )
+    assert best.config.gpus >= 1
+
+
+def test_store_best_feasibility_filter(profile_store):
+    cpu_only = profile_store.best(
+        AgentInterface.SPEECH_TO_TEXT,
+        objective="latency",
+        quality_floor=0.93,
+        feasible=lambda p: p.config.gpus == 0,
+    )
+    assert cpu_only.config.is_cpu_only
+
+
+def test_store_rank_is_sorted(profile_store):
+    ranked = profile_store.rank(AgentInterface.SPEECH_TO_TEXT, objective="cost")
+    costs = [p.cost for p in ranked]
+    assert costs == sorted(costs)
+
+
+def test_pareto_front_contains_best_of_each_objective(profile_store):
+    front = profile_store.pareto_front(AgentInterface.SPEECH_TO_TEXT)
+    assert front
+    for objective in ("cost", "latency", "energy"):
+        best = profile_store.best(AgentInterface.SPEECH_TO_TEXT, objective=objective)
+        assert any(p.key == best.key for p in front)
+
+
+def test_profiler_unknown_interface_reference_raises():
+    class Unprofiled(WhisperSTT):
+        interface = None  # type: ignore[assignment]
+
+    profiler = Profiler()
+    with pytest.raises(KeyError):
+        profiler.profile_implementation(Unprofiled())
+
+
+def test_profile_implementations_subset():
+    store = Profiler().profile_implementations([WhisperSTT()])
+    assert store.interfaces() == [AgentInterface.SPEECH_TO_TEXT]

@@ -1,0 +1,84 @@
+"""Unit tests for the AI Workflows-as-a-Service façade (paper §5)."""
+
+import pytest
+
+from repro import MIN_COST, MIN_LATENCY
+from repro.agents.base import AgentInterface, ExecutionEstimate, HardwareConfig
+from repro.agents.speech_to_text import _BaseSTT
+from repro.service import AIWorkflowService
+from repro.workflows.video_understanding import PAPER_TASK_HINTS
+
+
+class TurboSTT(_BaseSTT):
+    """A hypothetical next-generation STT model: faster and better."""
+
+    name = "turbo-stt"
+    quality = 0.99
+    description = "A next-generation speech-to-text model."
+    gpu_seconds_per_scene = 1.0
+    cpu_seconds_per_scene = 4.0
+
+
+@pytest.fixture
+def service(videos):
+    return AIWorkflowService()
+
+
+def _submit_video_job(service, videos, job_id, constraints=MIN_COST):
+    return service.submit(
+        description="List objects shown/mentioned in the videos",
+        inputs=videos,
+        tasks=PAPER_TASK_HINTS,
+        constraints=constraints,
+        quality_target=0.93,
+        job_id=job_id,
+    )
+
+
+def test_service_submits_jobs_and_tracks_stats(service, videos):
+    first = _submit_video_job(service, videos, "svc-1")
+    second = _submit_video_job(service, videos, "svc-2", constraints=MIN_LATENCY)
+    assert service.stats.jobs_completed == 2
+    assert service.stats.total_energy_wh == pytest.approx(first.energy_wh + second.energy_wh)
+    assert service.stats.mean_makespan_s > 0
+    assert set(service.stats.per_job) == {"svc-1", "svc-2"}
+
+
+def test_service_keeps_models_warm_between_jobs(service, videos):
+    _submit_video_job(service, videos, "svc-warm-1")
+    assert service.warm_agents()  # serving instances stayed up
+    assert service.runtime.cluster.free_gpus < service.runtime.cluster.total_gpus
+    service.shutdown()
+    assert service.runtime.cluster.free_gpus == service.runtime.cluster.total_gpus
+
+
+def test_cold_service_releases_resources_each_job(videos):
+    service = AIWorkflowService(keep_warm=False)
+    _submit_video_job(service, videos, "svc-cold")
+    assert service.runtime.cluster.free_gpus == service.runtime.cluster.total_gpus
+
+
+def test_registering_a_new_model_is_adopted_without_job_changes(service, videos):
+    """§5 AIWaaS: new implementations are adopted transparently."""
+    before = _submit_video_job(service, videos, "svc-before")
+    stt_before = before.plan.primary_assignment(AgentInterface.SPEECH_TO_TEXT)
+    assert stt_before.agent_name == "whisper"
+
+    service.register_agent(TurboSTT())
+    assert "turbo-stt" in service.available_agents()
+
+    after = _submit_video_job(service, videos, "svc-after")
+    stt_after = after.plan.primary_assignment(AgentInterface.SPEECH_TO_TEXT)
+    assert stt_after.agent_name == "turbo-stt"
+    assert after.makespan_s <= before.makespan_s
+
+
+def test_retire_agent_removes_it_from_future_planning(service, videos):
+    service.register_agent(TurboSTT())
+    service.retire_agent("turbo-stt")
+    assert "turbo-stt" not in service.available_agents()
+
+
+def test_service_rejects_invalid_jobs(service):
+    with pytest.raises(ValueError):
+        service.submit(description="")

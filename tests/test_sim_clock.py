@@ -1,0 +1,66 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+def test_clock_starts_at_zero_by_default():
+    assert SimClock().now == 0.0
+
+
+def test_clock_starts_at_given_time():
+    assert SimClock(5.0).now == 5.0
+
+
+def test_clock_rejects_negative_start():
+    with pytest.raises(ValueError):
+        SimClock(-1.0)
+
+
+def test_advance_to_moves_forward():
+    clock = SimClock()
+    clock.advance_to(3.5)
+    assert clock.now == 3.5
+
+
+def test_advance_to_same_time_is_allowed():
+    clock = SimClock(2.0)
+    clock.advance_to(2.0)
+    assert clock.now == 2.0
+
+
+def test_advance_to_rejects_backwards_motion():
+    clock = SimClock(10.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(9.0)
+
+
+def test_advance_by_accumulates():
+    clock = SimClock()
+    clock.advance_by(1.0)
+    clock.advance_by(2.5)
+    assert clock.now == pytest.approx(3.5)
+
+
+def test_advance_by_rejects_negative_delta():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance_by(-0.1)
+
+
+def test_reset_rewinds_clock():
+    clock = SimClock()
+    clock.advance_to(42.0)
+    clock.reset()
+    assert clock.now == 0.0
+
+
+def test_reset_rejects_negative_start():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.reset(-5.0)
+
+
+def test_repr_contains_time():
+    assert "3.000" in repr(SimClock(3.0))

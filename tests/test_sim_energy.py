@@ -1,0 +1,119 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.sim.energy import (
+    DevicePowerModel,
+    EnergyAccountant,
+    EnergyBreakdown,
+    energy_efficiency_ratio,
+)
+from repro.sim.trace import ExecutionTrace
+
+A100ish = DevicePowerModel(idle_w=75.0, active_w=280.0, peak_w=400.0)
+
+
+def test_power_model_validates_ordering():
+    with pytest.raises(ValueError):
+        DevicePowerModel(idle_w=100.0, active_w=50.0, peak_w=400.0)
+    with pytest.raises(ValueError):
+        DevicePowerModel(idle_w=-1.0, active_w=50.0, peak_w=400.0)
+
+
+def test_busy_power_interpolates_between_active_and_peak():
+    assert A100ish.busy_power(0.0) == 280.0
+    assert A100ish.busy_power(1.0) == 400.0
+    assert A100ish.busy_power(0.5) == pytest.approx(340.0)
+
+
+def test_busy_power_rejects_out_of_range_utilization():
+    with pytest.raises(ValueError):
+        A100ish.busy_power(1.5)
+
+
+def test_dynamic_power_is_busy_minus_idle():
+    assert A100ish.dynamic_power(0.5) == pytest.approx(340.0 - 75.0)
+
+
+def test_idle_only_energy():
+    accountant = EnergyAccountant(A100ish)
+    trace = ExecutionTrace()
+    trace.add("a", "a", "x", 0.0, 3600.0)  # no GPUs busy
+    breakdown = accountant.account(trace, provisioned_gpus=2)
+    assert breakdown.idle_wh == pytest.approx(2 * 75.0)
+    assert breakdown.dynamic_wh == 0.0
+
+
+def test_busy_interval_adds_dynamic_energy_per_gpu():
+    accountant = EnergyAccountant(A100ish)
+    trace = ExecutionTrace()
+    trace.add("a", "a", "LLM", 0.0, 3600.0, gpu_ids=("g0", "g1"), gpu_utilization=1.0)
+    breakdown = accountant.account(trace, provisioned_gpus=2)
+    assert breakdown.dynamic_wh_by_category["LLM"] == pytest.approx(2 * (400.0 - 75.0))
+    assert breakdown.gpu_wh == pytest.approx(2 * 400.0)
+
+
+def test_cpu_energy_tracked_separately():
+    accountant = EnergyAccountant(A100ish, cpu_power_per_core_w=3.0)
+    trace = ExecutionTrace()
+    trace.add("a", "a", "tool", 0.0, 3600.0, cpu_cores=10, cpu_utilization=1.0)
+    breakdown = accountant.account(trace, provisioned_gpus=0)
+    assert breakdown.cpu_wh == pytest.approx(30.0)
+    assert breakdown.gpu_wh == 0.0
+    assert breakdown.total_wh == pytest.approx(30.0)
+
+
+def test_window_restricts_accounting():
+    accountant = EnergyAccountant(A100ish)
+    trace = ExecutionTrace()
+    trace.add("a", "a", "x", 0.0, 7200.0, gpu_ids=("g0",), gpu_utilization=1.0)
+    half = accountant.account(trace, provisioned_gpus=1, window=(0.0, 3600.0))
+    full = accountant.account(trace, provisioned_gpus=1)
+    assert full.gpu_wh == pytest.approx(2 * half.gpu_wh)
+
+
+def test_window_rejects_reversed_bounds():
+    accountant = EnergyAccountant(A100ish)
+    with pytest.raises(ValueError):
+        accountant.account(ExecutionTrace(), provisioned_gpus=1, window=(5.0, 1.0))
+
+
+def test_negative_provisioned_gpus_rejected():
+    accountant = EnergyAccountant(A100ish)
+    with pytest.raises(ValueError):
+        accountant.account(ExecutionTrace(), provisioned_gpus=-1)
+
+
+def test_breakdown_merge_adds_categories():
+    first = EnergyBreakdown(idle_wh=1.0, dynamic_wh_by_category={"a": 2.0})
+    second = EnergyBreakdown(idle_wh=0.5, dynamic_wh_by_category={"a": 1.0, "b": 3.0})
+    merged = first.merged(second)
+    assert merged.idle_wh == 1.5
+    assert merged.dynamic_wh_by_category == {"a": 3.0, "b": 3.0}
+
+
+def test_account_many_labels_results():
+    accountant = EnergyAccountant(A100ish)
+    trace = ExecutionTrace()
+    trace.add("a", "a", "x", 0.0, 10.0)
+    results = accountant.account_many({"run1": trace, "run2": trace}, provisioned_gpus=1)
+    assert set(results) == {"run1", "run2"}
+
+
+def test_energy_efficiency_ratio():
+    assert energy_efficiency_ratio(155.0, 34.0) == pytest.approx(155.0 / 34.0)
+    with pytest.raises(ValueError):
+        energy_efficiency_ratio(155.0, 0.0)
+
+
+def test_longer_run_with_same_work_costs_more_energy():
+    """The structural effect behind Table 2: same dynamic work, longer idle."""
+    accountant = EnergyAccountant(A100ish)
+    short = ExecutionTrace()
+    short.add("w", "w", "x", 0.0, 60.0, gpu_ids=("g0",), gpu_utilization=0.9)
+    long = ExecutionTrace()
+    long.add("w", "w", "x", 0.0, 60.0, gpu_ids=("g0",), gpu_utilization=0.9)
+    long.add("pad", "pad", "idle-tail", 60.0, 240.0)  # nothing running
+    short_wh = accountant.account(short, provisioned_gpus=8).gpu_wh
+    long_wh = accountant.account(long, provisioned_gpus=8).gpu_wh
+    assert long_wh > short_wh

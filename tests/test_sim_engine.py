@@ -1,0 +1,111 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+
+
+def test_schedule_and_run_advances_clock():
+    engine = SimulationEngine()
+    seen = []
+    engine.schedule(5.0, lambda: seen.append(engine.now))
+    end = engine.run()
+    assert seen == [5.0]
+    assert end == 5.0
+
+
+def test_schedule_rejects_negative_delay():
+    engine = SimulationEngine()
+    with pytest.raises(ValueError):
+        engine.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    engine = SimulationEngine()
+    seen = []
+    engine.schedule_at(10.0, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [10.0]
+
+
+def test_schedule_at_rejects_past():
+    engine = SimulationEngine()
+    engine.schedule(5.0, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.schedule_at(1.0, lambda: None)
+
+
+def test_callbacks_can_schedule_more_events():
+    engine = SimulationEngine()
+    seen = []
+
+    def first():
+        seen.append(("first", engine.now))
+        engine.schedule(2.0, second)
+
+    def second():
+        seen.append(("second", engine.now))
+
+    engine.schedule(1.0, first)
+    engine.run()
+    assert seen == [("first", 1.0), ("second", 3.0)]
+
+
+def test_run_until_stops_before_later_events():
+    engine = SimulationEngine()
+    seen = []
+    engine.schedule(1.0, lambda: seen.append(1))
+    engine.schedule(10.0, lambda: seen.append(10))
+    engine.run(until=5.0)
+    assert seen == [1]
+    assert engine.now == 5.0
+    engine.run()
+    assert seen == [1, 10]
+
+
+def test_run_max_events_limit():
+    engine = SimulationEngine()
+    seen = []
+    for i in range(5):
+        engine.schedule(float(i + 1), lambda i=i: seen.append(i))
+    engine.run(max_events=2)
+    assert seen == [0, 1]
+
+
+def test_cancelled_event_does_not_fire():
+    engine = SimulationEngine()
+    seen = []
+    event = engine.schedule(1.0, lambda: seen.append("no"))
+    engine.cancel(event)
+    engine.run()
+    assert seen == []
+
+
+def test_step_returns_false_when_empty():
+    assert SimulationEngine().step() is False
+
+
+def test_events_fired_counter():
+    engine = SimulationEngine()
+    engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    engine.run()
+    assert engine.events_fired == 2
+
+
+def test_reset_clears_pending_and_rewinds():
+    engine = SimulationEngine()
+    engine.schedule(1.0, lambda: None)
+    engine.run()
+    engine.schedule(4.0, lambda: None)
+    engine.reset()
+    assert engine.now == 0.0
+    assert engine.pending_events == 0
+    assert engine.events_fired == 0
+
+
+def test_run_with_until_and_empty_queue_advances_to_until():
+    engine = SimulationEngine()
+    engine.run(until=7.0)
+    assert engine.now == 7.0

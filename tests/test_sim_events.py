@@ -1,0 +1,89 @@
+"""Unit tests for events and the event queue."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+
+
+def test_push_and_pop_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.push(2.0, fired.append, "b")
+    queue.push(1.0, fired.append, "a")
+    queue.push(3.0, fired.append, "c")
+    times = []
+    while queue:
+        event = queue.pop()
+        times.append(event.time)
+        event.fire()
+    assert times == [1.0, 2.0, 3.0]
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    queue = EventQueue()
+    order = []
+    queue.push(1.0, order.append, "first")
+    queue.push(1.0, order.append, "second")
+    queue.pop().fire()
+    queue.pop().fire()
+    assert order == ["first", "second"]
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    event.cancel()
+    popped = queue.pop()
+    assert popped.time == 2.0
+
+
+def test_pop_empty_queue_returns_none():
+    assert EventQueue().pop() is None
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.push(5.0, lambda: None)
+    event.cancel()
+    assert queue.peek_time() == 5.0
+
+
+def test_peek_time_empty_returns_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_len_counts_pushed_events():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+
+
+def test_clear_empties_queue():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.clear()
+    assert not queue
+
+
+def test_event_fire_passes_kwargs():
+    results = {}
+    event = Event(0.0, 0, lambda **kw: results.update(kw), kwargs={"x": 1})
+    event.fire()
+    assert results == {"x": 1}
+
+
+def test_event_ordering_uses_sequence_for_ties():
+    early = Event(1.0, 0, lambda: None)
+    late = Event(1.0, 1, lambda: None)
+    assert early < late
+
+
+def test_event_repr_mentions_state():
+    event = Event(1.0, 0, lambda: None)
+    assert "pending" in repr(event)
+    event.cancel()
+    assert "cancelled" in repr(event)

@@ -1,0 +1,102 @@
+"""Unit tests for execution traces."""
+
+import pytest
+
+from repro.sim.trace import ExecutionTrace, TraceInterval
+
+
+def _interval(task="t0", start=0.0, end=1.0, **kwargs):
+    return TraceInterval(
+        task_id=task, task_name=task, category=kwargs.pop("category", "cat"),
+        start=start, end=end, **kwargs
+    )
+
+
+def test_interval_duration_and_gpu_count():
+    interval = _interval(end=2.5, gpu_ids=("n0/gpu0", "n0/gpu1"))
+    assert interval.duration == 2.5
+    assert interval.gpu_count == 2
+
+
+def test_interval_rejects_reversed_times():
+    with pytest.raises(ValueError):
+        _interval(start=2.0, end=1.0)
+
+
+def test_interval_rejects_bad_utilization():
+    with pytest.raises(ValueError):
+        _interval(gpu_utilization=1.5)
+    with pytest.raises(ValueError):
+        _interval(cpu_utilization=-0.1)
+
+
+def test_interval_overlap_computation():
+    interval = _interval(start=1.0, end=4.0)
+    assert interval.overlaps(0.0, 2.0) == pytest.approx(1.0)
+    assert interval.overlaps(2.0, 3.0) == pytest.approx(1.0)
+    assert interval.overlaps(5.0, 6.0) == 0.0
+
+
+def test_trace_makespan_spans_min_start_to_max_end():
+    trace = ExecutionTrace()
+    trace.record(_interval(start=2.0, end=5.0))
+    trace.record(_interval(task="t1", start=1.0, end=3.0))
+    assert trace.start_time() == 1.0
+    assert trace.end_time() == 5.0
+    assert trace.makespan() == 4.0
+
+
+def test_empty_trace_has_zero_makespan():
+    assert ExecutionTrace().makespan() == 0.0
+
+
+def test_categories_in_first_appearance_order():
+    trace = ExecutionTrace()
+    trace.add("a", "a", "Speech-to-Text", 0.0, 1.0)
+    trace.add("b", "b", "LLM (Text)", 1.0, 2.0)
+    trace.add("c", "c", "Speech-to-Text", 2.0, 3.0)
+    assert trace.categories() == ["Speech-to-Text", "LLM (Text)"]
+
+
+def test_by_category_and_by_task():
+    trace = ExecutionTrace()
+    trace.add("a", "a", "x", 0.0, 1.0)
+    trace.add("b", "b", "y", 0.0, 1.0)
+    assert len(trace.by_category("x")) == 1
+    assert len(trace.by_task("b")) == 1
+
+
+def test_busy_gpu_seconds_weighted_by_utilization():
+    trace = ExecutionTrace()
+    trace.add("a", "a", "x", 0.0, 10.0, gpu_ids=("g0", "g1"), gpu_utilization=0.5)
+    assert trace.busy_gpu_seconds() == pytest.approx(10.0)
+
+
+def test_busy_cpu_core_seconds():
+    trace = ExecutionTrace()
+    trace.add("a", "a", "x", 0.0, 4.0, cpu_cores=8, cpu_utilization=0.5)
+    assert trace.busy_cpu_core_seconds() == pytest.approx(16.0)
+
+
+def test_gantt_rows_sorted_by_start():
+    trace = ExecutionTrace()
+    trace.add("a", "a", "x", 5.0, 6.0)
+    trace.add("b", "b", "x", 1.0, 2.0)
+    rows = trace.gantt_rows()
+    assert rows["x"] == [(1.0, 2.0), (5.0, 6.0)]
+
+
+def test_merge_combines_traces():
+    first = ExecutionTrace("first")
+    first.add("a", "a", "x", 0.0, 1.0)
+    second = ExecutionTrace("second")
+    second.add("b", "b", "y", 1.0, 2.0)
+    merged = first.merge(second)
+    assert len(merged) == 2
+    assert merged.label == "first"
+
+
+def test_iteration_and_len():
+    trace = ExecutionTrace()
+    trace.add("a", "a", "x", 0.0, 1.0)
+    assert len(list(trace)) == len(trace) == 1

@@ -1,0 +1,116 @@
+"""Unit tests for telemetry: timelines, metrics, reports, renderers."""
+
+import pytest
+
+from repro.core.job import JobResult
+from repro.sim.energy import EnergyBreakdown
+from repro.sim.trace import ExecutionTrace
+from repro.telemetry.energy_report import Table2Row, build_table2_rows, render_table2
+from repro.telemetry.metrics import (
+    average_utilization,
+    energy_efficiency_gain,
+    geometric_mean,
+    speedup,
+)
+from repro.telemetry.reporting import render_comparison_table, render_table
+from repro.telemetry.timeline import UtilizationTimeline, gantt_text
+
+
+def _trace():
+    trace = ExecutionTrace("test")
+    trace.add("stt", "stt", "Speech-to-Text", 0.0, 10.0, gpu_ids=("g0",), gpu_utilization=0.5)
+    trace.add("sum", "sum", "LLM (Text)", 10.0, 20.0, gpu_ids=("g0", "g1"), gpu_utilization=1.0)
+    trace.add("det", "det", "Object Detection", 0.0, 20.0, cpu_cores=4, cpu_utilization=1.0)
+    return trace
+
+
+def test_utilization_timeline_sampling():
+    timeline = UtilizationTimeline.from_trace(_trace(), total_gpus=2, total_cpu_cores=8,
+                                              resolution_s=10.0)
+    assert timeline.times == [0.0, 10.0]
+    assert timeline.gpu_percent[0] == pytest.approx(25.0)   # 0.5 GPU of 2 busy
+    assert timeline.gpu_percent[1] == pytest.approx(100.0)  # both GPUs fully busy
+    assert timeline.cpu_percent == [pytest.approx(50.0), pytest.approx(50.0)]
+    assert timeline.mean_gpu_percent == pytest.approx(62.5)
+    assert timeline.peak_gpu_percent == pytest.approx(100.0)
+    assert timeline.peak_cpu_percent == pytest.approx(50.0)
+
+
+def test_utilization_timeline_empty_trace():
+    timeline = UtilizationTimeline.from_trace(ExecutionTrace(), 2, 8)
+    assert timeline.times == []
+    assert timeline.mean_gpu_percent == 0.0
+
+
+def test_utilization_timeline_validation():
+    with pytest.raises(ValueError):
+        UtilizationTimeline.from_trace(_trace(), 2, 8, resolution_s=0.0)
+    with pytest.raises(ValueError):
+        UtilizationTimeline.from_trace(_trace(), -1, 8)
+
+
+def test_gantt_text_renders_each_category_row():
+    text = gantt_text(_trace(), width=40)
+    assert "Speech-to-Text" in text
+    assert "LLM (Text)" in text
+    assert "#" in text
+    assert gantt_text(ExecutionTrace()) == "(empty trace)"
+    with pytest.raises(ValueError):
+        gantt_text(_trace(), width=0)
+
+
+def test_speedup_and_efficiency_metrics():
+    assert speedup(283.0, 77.0) == pytest.approx(283.0 / 77.0)
+    assert energy_efficiency_gain(155.0, 34.0) == pytest.approx(155.0 / 34.0)
+    with pytest.raises(ValueError):
+        speedup(100.0, 0.0)
+    with pytest.raises(ValueError):
+        energy_efficiency_gain(-1.0, 1.0)
+
+
+def test_average_utilization_from_trace():
+    utilization = average_utilization(_trace(), total_gpus=2)
+    # busy gpu-seconds = 0.5*10 + 2*10 = 25 over 2 GPUs x 20 s = 40.
+    assert utilization == pytest.approx(25.0 / 40.0)
+    assert average_utilization(_trace(), total_gpus=0) == 0.0
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_render_table_alignment_and_validation():
+    table = render_table(["a", "bee"], [["1", "2"], ["333", "4"]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    with pytest.raises(ValueError):
+        render_table(["a"], [["1", "2"]])
+
+
+def test_render_comparison_table_ratio_column():
+    text = render_comparison_table("metric", {"speedup": (3.4, 3.7)})
+    assert "1.09x" in text
+
+
+def _job_result(energy_wh, time_s):
+    breakdown = EnergyBreakdown(idle_wh=energy_wh)
+    return JobResult(job_id="x", makespan_s=time_s, energy=breakdown)
+
+
+def test_table2_rows_and_rendering():
+    results = {
+        "baseline": _job_result(160.0, 284.0),
+        "murakkab-cpu": _job_result(40.0, 82.0),
+    }
+    rows = build_table2_rows(results)
+    assert rows[0].paper_energy_wh == 155.0
+    text = render_table2(rows)
+    assert "baseline" in text and "Paper Energy (Wh)" in text
+    bare = Table2Row(config="x", energy_wh=1.0, time_s=2.0)
+    assert bare.as_cells() == ["x", "1.0", "2.0"]
+    assert "Paper" not in render_table2([bare])

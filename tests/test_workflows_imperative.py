@@ -1,0 +1,100 @@
+"""Unit tests for the imperative (Listing 1) workflow API."""
+
+import pytest
+
+from repro import calibration
+from repro.agents.base import AgentInterface, SEQUENTIAL_MODE
+from repro.cluster.hardware import GpuGeneration
+from repro.workflows.imperative import (
+    ImperativeComponent,
+    ImperativeWorkflow,
+    LLM,
+    MLModel,
+    Tool,
+)
+from repro.workflows.video_understanding import omagent_imperative_workflow
+from repro.workloads.video import generate_videos
+
+
+def test_listing1_constructors_infer_interfaces():
+    assert Tool(name="OpenCV").interface is AgentInterface.FRAME_EXTRACTION
+    assert MLModel(name="Whisper").interface is AgentInterface.SPEECH_TO_TEXT
+    assert MLModel(name="CLIP").interface is AgentInterface.OBJECT_DETECTION
+    assert LLM(name="NVLM").interface is AgentInterface.SCENE_SUMMARIZATION
+    explicit = LLM(name="NVLM-QA", interface=AgentInterface.QUESTION_ANSWERING)
+    assert explicit.interface is AgentInterface.QUESTION_ANSWERING
+
+
+def test_component_resource_translation():
+    component = MLModel(name="Whisper", resources={"GPUs": 1})
+    assert component.hardware_config().gpus == 1
+    ptu = MLModel(name="Whisper", resources={"PTUs": 4})
+    assert ptu.hardware_config().gpus == 4
+    cpu = Tool(name="OpenCV", resources={"CPUs": 2})
+    assert cpu.hardware_config().cpu_cores == 2
+    h100 = LLM(name="NVLM", resources={"GPUs": 8, "GPU_Type": "H100"})
+    assert h100.hardware_config().gpu_generation is GpuGeneration.H100
+    default = Tool(name="OpenCV")
+    assert default.hardware_config().cpu_cores == 1
+
+
+def test_component_maps_to_library_implementation():
+    assert MLModel(name="Whisper").implementation_name() == "whisper"
+    assert Tool(name="OpenCV").implementation_name() == "opencv-frame-extractor"
+    assert LLM(name="Llama").implementation_name() == "llama-summarizer"
+    explicit = LLM(name="Custom", implementation="nvlm-answerer")
+    assert explicit.implementation_name() == "nvlm-answerer"
+
+
+def test_imperative_mode_is_always_sequential():
+    assert MLModel(name="Whisper").execution_mode() == SEQUENTIAL_MODE
+
+
+def test_workflow_requires_components():
+    with pytest.raises(ValueError):
+        ImperativeWorkflow([])
+
+
+def test_omagent_workflow_matches_paper_setup(library):
+    workflow = omagent_imperative_workflow()
+    interfaces = [component.interface for component in workflow.components]
+    assert interfaces[:4] == [
+        AgentInterface.FRAME_EXTRACTION,
+        AgentInterface.SPEECH_TO_TEXT,
+        AgentInterface.OBJECT_DETECTION,
+        AgentInterface.SCENE_SUMMARIZATION,
+    ]
+    plan = workflow.fixed_plan(library)
+    stt = plan.primary_assignment(AgentInterface.SPEECH_TO_TEXT)
+    assert stt.config.gpus == 1
+    summarize = plan.primary_assignment(AgentInterface.SCENE_SUMMARIZATION)
+    assert summarize.config.gpus == calibration.SUMMARIZE_GPUS
+    assert summarize.mode == SEQUENTIAL_MODE
+    detection = plan.primary_assignment(AgentInterface.OBJECT_DETECTION)
+    assert detection.config.is_cpu_only
+
+
+def test_workflow_stage_dependencies_follow_dataflow():
+    workflow = omagent_imperative_workflow()
+    stages = {stage.name: stage for stage in workflow.to_stages()}
+    assert "frame_extraction" in stages["speech_to_text"].depends_on
+    assert "embedding" in stages["vector_db"].depends_on
+    assert "vector_db" in stages["question_answering"].depends_on
+
+
+def test_chain_fallback_dependency_for_unknown_producers():
+    workflow = ImperativeWorkflow(
+        [Tool(name="OpenCV"), Tool(name="Custom", interface=AgentInterface.CALCULATION)]
+    )
+    stages = workflow.to_stages()
+    assert stages[1].depends_on == ("frame_extraction",)
+
+
+def test_compile_expands_over_inputs(library):
+    videos = generate_videos(count=2, scenes_per_video=2, frames_per_scene=2)
+    workflow = omagent_imperative_workflow(name="compile-test")
+    job, graph, plan = workflow.compile(videos, library=library)
+    assert len(graph.tasks_by_interface(AgentInterface.SPEECH_TO_TEXT)) == 4
+    assert len(graph.tasks_by_interface(AgentInterface.FRAME_EXTRACTION)) == 2
+    assert plan.primary_assignment(AgentInterface.SPEECH_TO_TEXT).max_concurrency == 1
+    assert job.inputs == videos

@@ -1,0 +1,103 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro import calibration
+from repro.workloads.arrival import JobArrival, poisson_arrivals, uniform_arrivals
+from repro.workloads.documents import generate_documents
+from repro.workloads.posts import generate_posts
+from repro.workloads.video import generate_videos, paper_videos
+
+
+def test_paper_videos_match_evaluation_setup():
+    videos = paper_videos()
+    assert [video.name for video in videos] == ["cats.mov", "formula_1.mov"]
+    assert all(video.scene_count == calibration.SCENES_PER_VIDEO for video in videos)
+    scene = videos[0].scenes[0]
+    assert len(scene.frames) == calibration.FRAMES_PER_SCENE
+    assert scene.audio_seconds == calibration.AUDIO_SECONDS_PER_SCENE
+
+
+def test_video_generation_is_deterministic():
+    first = generate_videos(count=2, seed=5)
+    second = generate_videos(count=2, seed=5)
+    assert first[0].scenes[0].objects == second[0].scenes[0].objects
+    assert first[0].scenes[0].transcript_tokens == second[0].scenes[0].transcript_tokens
+
+
+def test_video_generation_varies_with_seed():
+    first = generate_videos(count=1, seed=1)[0]
+    second = generate_videos(count=1, seed=2)[0]
+    assert (
+        first.scenes[0].objects != second.scenes[0].objects
+        or first.scenes[0].transcript_tokens != second.scenes[0].transcript_tokens
+    )
+
+
+def test_video_payload_shape():
+    video = generate_videos(count=1, scenes_per_video=2, frames_per_scene=3)[0]
+    payload = video.as_payload()
+    assert payload["name"] == video.name
+    assert len(payload["scenes"]) == 2
+    assert len(payload["scenes"][0]["frames"]) == 3
+    assert payload["duration_s"] == pytest.approx(video.duration_s)
+
+
+def test_video_all_objects_deduplicates():
+    video = generate_videos(count=1)[0]
+    objects = video.all_objects()
+    assert len(objects) == len(set(objects))
+
+
+def test_video_generation_validation():
+    with pytest.raises(ValueError):
+        generate_videos(count=-1)
+    with pytest.raises(ValueError):
+        generate_videos(scenes_per_video=0)
+
+
+def test_documents_and_posts_generation():
+    documents = generate_documents(count=5)
+    posts = generate_posts(count=7)
+    assert len(documents) == 5 and len(posts) == 7
+    assert all("text" in d and "topic" in d for d in documents)
+    assert all("author" in p and "text" in p for p in posts)
+    with pytest.raises(ValueError):
+        generate_documents(count=-1)
+    with pytest.raises(ValueError):
+        generate_posts(count=-1)
+
+
+def test_documents_are_deterministic_per_seed():
+    assert generate_documents(seed=3) == generate_documents(seed=3)
+
+
+def test_uniform_arrivals_spacing_and_cycling():
+    arrivals = uniform_arrivals(4, interval_s=10.0, workloads=("a", "b"))
+    assert [a.arrival_time for a in arrivals] == [0.0, 10.0, 20.0, 30.0]
+    assert [a.workload for a in arrivals] == ["a", "b", "a", "b"]
+
+
+def test_poisson_arrivals_within_horizon_and_sorted():
+    arrivals = poisson_arrivals(rate_per_s=0.5, horizon_s=60.0, seed=11)
+    times = [a.arrival_time for a in arrivals]
+    assert times == sorted(times)
+    assert all(0 <= t < 60.0 for t in times)
+    assert len(arrivals) > 0
+
+
+def test_poisson_arrivals_deterministic_per_seed():
+    first = poisson_arrivals(0.2, 100.0, seed=9)
+    second = poisson_arrivals(0.2, 100.0, seed=9)
+    assert [a.arrival_time for a in first] == [a.arrival_time for a in second]
+
+
+def test_arrival_validation():
+    with pytest.raises(ValueError):
+        JobArrival(arrival_time=-1.0, workload="x")
+    with pytest.raises(ValueError):
+        poisson_arrivals(0.0, 10.0)
+    with pytest.raises(ValueError):
+        poisson_arrivals(1.0, 10.0, workloads=())
+    with pytest.raises(ValueError):
+        uniform_arrivals(-1, 1.0)
