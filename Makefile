@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test bench bench-record
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Run the micro-benchmarks, append BENCH_<n>.json to the perf trajectory,
+## and fail if a gated hot-path metric regressed >20% vs the previous record.
+bench:
+	$(PYTHON) scripts/bench.py
+
+## Record a new BENCH_<n>.json without gating (e.g. on a new machine).
+bench-record:
+	$(PYTHON) scripts/bench.py --no-gate

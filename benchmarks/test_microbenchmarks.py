@@ -93,3 +93,65 @@ def test_end_to_end_murakkab_submission(benchmark):
     result = benchmark.pedantic(run_once, rounds=2, iterations=1)
     benchmark.extra_info["simulated_makespan_s"] = round(result.makespan_s, 1)
     assert result.makespan_s > 0
+
+
+def test_repeated_murakkab_submission(benchmark):
+    """Second-and-later runtime construction + submission on the same library.
+
+    This is the multitenant steady state: the memoized default profile store
+    skips re-profiling, the plan cache skips re-ranking candidates, and the
+    executor dispatches incrementally.  The regression gate in
+    ``scripts/bench.py`` watches this number.
+    """
+    from repro.core.runtime import MurakkabRuntime
+
+    videos = paper_videos()
+
+    def construct_and_submit():
+        runtime = MurakkabRuntime()
+        return runtime.submit(video_understanding_job(videos=videos, job_id="bench-repeat"))
+
+    construct_and_submit()  # pay the one-time profiling cost outside the timer
+    result = benchmark.pedantic(construct_and_submit, rounds=20, warmup_rounds=2, iterations=1)
+    benchmark.extra_info["simulated_makespan_s"] = round(result.makespan_s, 1)
+    assert result.makespan_s > 0
+
+
+def test_event_queue_cancellation_churn(benchmark):
+    """Push/cancel churn: lazily-cancelled events must not bloat the heap."""
+    from repro.sim.events import EventQueue
+
+    def churn():
+        queue = EventQueue()
+        for round_index in range(50):
+            events = [queue.push(float(round_index) + i * 1e-6, lambda: None) for i in range(200)]
+            for event in events[:190]:
+                event.cancel()
+            while queue.live_count > 5:
+                queue.pop()
+        return len(queue)
+
+    heap_size = benchmark(churn)
+    assert heap_size <= 400  # compaction keeps dead entries bounded
+
+
+def test_allocator_claim_release_churn(benchmark):
+    """Allocator hot loop: per-task CPU lane claims against a busy cluster."""
+    from repro.cluster.allocator import Allocator, ResourceRequest
+    from repro.cluster.cluster import paper_testbed
+
+    def churn():
+        allocator = Allocator(paper_testbed())
+        for i in range(300):
+            allocation = allocator.allocate(ResourceRequest(owner=f"task{i}", cpu_cores=4))
+            assert allocation is not None
+            if i % 3 == 0:
+                allocator.release(allocation)
+            if i % 7 == 0:
+                allocator.release_owner(f"task{i - 1}")
+            if allocator.cluster.free_cpu_cores < 16:
+                for owner in [f"task{j}" for j in range(max(0, i - 40), i)]:
+                    allocator.release_owner(owner)
+        return len(allocator.active_allocations())
+
+    benchmark(churn)

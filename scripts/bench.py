@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Performance regression harness.
+
+Runs the micro-benchmark suite with ``pytest-benchmark``, records the result
+as the next ``BENCH_<n>.json`` in the repository root (a trajectory future
+PRs can plot), and fails when a gated hot-path metric regresses more than
+the allowed ratio versus the previous ``BENCH_*.json``.
+
+Usage::
+
+    python scripts/bench.py             # run, record, and gate
+    python scripts/bench.py --no-gate   # run and record only
+    make bench                          # same as the first form
+
+Gated metrics (min seconds — the noise-robust statistic — lower is better):
+
+* ``test_discrete_event_engine_throughput`` — simulation substrate
+* ``test_configuration_search_overhead``    — planning latency
+* ``test_repeated_murakkab_submission``     — warm construct+submit path
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: Benchmark name -> allowed regression ratio versus the previous record.
+GATES = {
+    "test_discrete_event_engine_throughput": 1.20,
+    "test_configuration_search_overhead": 1.20,
+    "test_repeated_murakkab_submission": 1.20,
+}
+
+
+def existing_records() -> list:
+    records = []
+    for path in REPO_ROOT.iterdir():
+        match = BENCH_PATTERN.match(path.name)
+        if match:
+            records.append((int(match.group(1)), path))
+    return sorted(records)
+
+
+def run_benchmarks(json_path: Path) -> None:
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "benchmarks/test_microbenchmarks.py",
+        "-q",
+        "--benchmark-only",
+        f"--benchmark-json={json_path}",
+    ]
+    result = subprocess.run(command, cwd=REPO_ROOT)
+    if result.returncode != 0:
+        raise SystemExit(f"benchmark run failed with exit code {result.returncode}")
+
+
+def summarise(raw: dict) -> dict:
+    benchmarks = {}
+    for entry in raw.get("benchmarks", []):
+        benchmarks[entry["name"]] = {
+            "mean_s": entry["stats"]["mean"],
+            "median_s": entry["stats"]["median"],
+            "min_s": entry["stats"]["min"],
+            "rounds": entry["stats"]["rounds"],
+        }
+    return benchmarks
+
+
+def gate(current: dict, previous: dict, previous_name: str) -> list:
+    failures = []
+    for name, allowed_ratio in GATES.items():
+        if name not in current or name not in previous:
+            continue
+        # Gate on the minimum: means of micro-benchmarks swing 20-30% with
+        # background load, while the best observed round tracks the actual
+        # cost of the code path.
+        now = current[name]["min_s"]
+        before = previous[name]["min_s"]
+        if before <= 0:
+            continue
+        ratio = now / before
+        marker = "FAIL" if ratio > allowed_ratio else "ok"
+        print(
+            f"  [{marker}] {name}: {before * 1e3:.3f} ms -> {now * 1e3:.3f} ms "
+            f"({ratio:.2f}x vs {previous_name}, allowed {allowed_ratio:.2f}x)"
+        )
+        if ratio > allowed_ratio:
+            failures.append(name)
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--no-gate", action="store_true", help="record without regression gating")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "benchmark.json"
+        run_benchmarks(raw_path)
+        raw = json.loads(raw_path.read_text())
+
+    benchmarks = summarise(raw)
+    records = existing_records()
+    next_index = records[-1][0] + 1 if records else 1
+    record = {
+        "index": next_index,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "machine": raw.get("machine_info", {}).get("node", "unknown"),
+        "python": raw.get("machine_info", {}).get("python_version", "unknown"),
+        "benchmarks": benchmarks,
+    }
+    output_path = REPO_ROOT / f"BENCH_{next_index}.json"
+    output_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"recorded {len(benchmarks)} benchmarks -> {output_path.name}")
+
+    if args.no_gate or not records:
+        if not records:
+            print("no previous BENCH_*.json; nothing to gate against")
+        return 0
+
+    previous_path = records[-1][1]
+    previous = json.loads(previous_path.read_text()).get("benchmarks", {})
+    print(f"gating against {previous_path.name}:")
+    failures = gate(benchmarks, previous, previous_path.name)
+    if failures:
+        print(f"performance regression in: {', '.join(failures)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,7 @@ Mapping").
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.agents.base import AgentImplementation, AgentInterface, AgentSchema
 
@@ -18,6 +18,7 @@ class AgentLibrary:
     def __init__(self, implementations: Iterable[AgentImplementation] = ()) -> None:
         self._by_name: Dict[str, AgentImplementation] = {}
         self._by_interface: Dict[AgentInterface, List[AgentImplementation]] = {}
+        self._fingerprint: Optional[Tuple] = None
         for implementation in implementations:
             self.register(implementation)
 
@@ -35,6 +36,7 @@ class AgentLibrary:
             raise ValueError(f"agent {implementation.name!r} already registered")
         self._by_name[implementation.name] = implementation
         self._by_interface.setdefault(implementation.interface, []).append(implementation)
+        self._fingerprint = None
         return implementation
 
     def unregister(self, name: str) -> AgentImplementation:
@@ -44,6 +46,7 @@ class AgentLibrary:
         self._by_interface[implementation.interface].remove(implementation)
         if not self._by_interface[implementation.interface]:
             del self._by_interface[implementation.interface]
+        self._fingerprint = None
         return implementation
 
     def get(self, name: str) -> AgentImplementation:
@@ -75,6 +78,34 @@ class AgentLibrary:
         for schema in self.schemas():
             lines.append(f"- {schema.render()}")
         return "\n".join(lines)
+
+    def fingerprint(self) -> Tuple:
+        """A hashable digest of the library's profiling-relevant contents.
+
+        Two libraries with the same fingerprint produce identical profile
+        stores (same implementations, qualities, supported configurations and
+        modes), so profiling results can be memoized across runtime instances
+        keyed by this value.  Registering or unregistering an implementation
+        changes the fingerprint.
+        """
+        if self._fingerprint is not None:
+            return self._fingerprint
+        entries = []
+        for name in sorted(self._by_name):
+            implementation = self._by_name[name]
+            entries.append(
+                (
+                    name,
+                    type(implementation).__qualname__,
+                    implementation.interface.value,
+                    implementation.quality,
+                    implementation.server_group,
+                    tuple(implementation.supported_configs()),
+                    tuple(implementation.supported_modes()),
+                )
+            )
+        self._fingerprint = tuple(entries)
+        return self._fingerprint
 
     def best_quality_for(self, interface: AgentInterface) -> Optional[AgentImplementation]:
         """Highest-quality implementation of ``interface``, or ``None``."""

@@ -9,6 +9,7 @@ quality can be measured against the workload generator's ground truth.
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 from typing import List, Sequence
 
 import numpy as np
@@ -46,12 +47,15 @@ def stable_subset(items: Sequence[str], keep_fraction: float, *seed_parts: objec
     return kept
 
 
+@lru_cache(maxsize=8192)
 def stable_embedding(text: str, dimension: int = 64) -> np.ndarray:
     """A deterministic unit-norm embedding for ``text``.
 
     Token-level hashing gives related texts (sharing words) related vectors,
     which is enough for the vector-database retrieval path to behave
-    sensibly.
+    sensibly.  The function is pure, so results are memoized (embedding the
+    same scene summaries dominates repeated workflow submissions); the cached
+    array is marked read-only to catch accidental in-place mutation.
     """
     if dimension <= 0:
         raise ValueError("dimension must be positive")
@@ -64,4 +68,6 @@ def stable_embedding(text: str, dimension: int = 64) -> np.ndarray:
     if norm == 0.0:
         vector[0] = 1.0
         norm = 1.0
-    return vector / norm
+    vector /= norm
+    vector.flags.writeable = False
+    return vector

@@ -1,0 +1,105 @@
+"""The unoptimized reference path for the orchestration hot-path overhaul.
+
+The indexed profile store, memoized profiling, plan cache, cached DAG
+structure, tuple-heap event loop, and incremental executor dispatch are pure
+performance work: they must not change a single scheduling decision, plan
+assignment, or event ordering.  This module reproduces the original
+(pre-optimization) behaviour of every layer so benchmarks and tests can run
+the same job down both paths and assert
+
+* byte-identical execution plans and traces, and
+* the speedup the optimized path claims.
+
+Nothing here is used by the production path; it exists as an executable
+regression baseline (the same role CGReplay-style replay harnesses play for
+QoS claims: the measurement substrate itself must be checkable).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import networkx as nx
+
+from repro.agents.library import AgentLibrary, default_library
+from repro.core.dag import TaskGraph
+from repro.core.runtime import MurakkabRuntime
+from repro.core.task import Task
+from repro.profiling.profiler import Profiler
+
+
+class UncachedTaskGraph(TaskGraph):
+    """A :class:`TaskGraph` with the original uncached structure queries.
+
+    ``topological_order``/``stage_order`` recompute the full lexicographical
+    topological sort on every call, and ``add_dependency`` re-runs the
+    whole-graph acyclicity check per edge — exactly as the seed code did.
+    """
+
+    def add_dependency(self, upstream_id: str, downstream_id: str) -> None:
+        for task_id in (upstream_id, downstream_id):
+            if task_id not in self._tasks:
+                raise KeyError(f"unknown task: {task_id}")
+        if upstream_id == downstream_id:
+            raise ValueError(f"task {upstream_id} cannot depend on itself")
+        self._graph.add_edge(upstream_id, downstream_id)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(upstream_id, downstream_id)
+            raise ValueError(
+                f"adding edge {upstream_id} -> {downstream_id} would create a cycle"
+            )
+
+    def topological_order(self) -> List[Task]:
+        order = nx.lexicographical_topological_sort(self._graph)
+        return [self._tasks[task_id] for task_id in order]
+
+    def stage_order(self) -> List[str]:
+        seen: List[str] = []
+        for task in self.topological_order():
+            if task.stage not in seen:
+                seen.append(task.stage)
+        return seen
+
+
+def _stepwise_run(engine, until: Optional[float] = None, max_events: Optional[int] = None):
+    """The original engine loop: peek/step method calls per event."""
+    fired = 0
+    while True:
+        if max_events is not None and fired >= max_events:
+            break
+        next_time = engine._queue.peek_time()
+        if next_time is None:
+            break
+        if until is not None and next_time > until:
+            engine._clock.advance_to(until)
+            break
+        if not engine.step():
+            break
+        fired += 1
+    if until is not None and engine.now < until and engine._queue.peek_time() is None:
+        engine._clock.advance_to(until)
+    return engine.now
+
+
+def unoptimized_runtime(library: Optional[AgentLibrary] = None) -> MurakkabRuntime:
+    """A :class:`MurakkabRuntime` running the pre-optimization hot path.
+
+    * profiles the library from scratch (no memoized default store),
+    * plans every submission without the plan cache,
+    * builds DAGs through :class:`UncachedTaskGraph`,
+    * drives the engine through the original step-wise event loop, and
+    * executes with full ready-task rescans per dispatch.
+    """
+    library = library or default_library()
+    runtime = MurakkabRuntime(
+        library=library,
+        profile_store=Profiler().profile_library(library),
+    )
+    runtime.orchestrator.planner.enable_plan_cache = False
+    runtime.orchestrator.decomposer.graph_factory = UncachedTaskGraph
+    runtime.executor_options["incremental_dispatch"] = False
+    engine = runtime.engine
+    runtime.engine.run = lambda until=None, max_events=None: _stepwise_run(
+        engine, until=until, max_events=max_events
+    )
+    return runtime

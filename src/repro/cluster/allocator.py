@@ -67,6 +67,33 @@ class Allocator:
         self.policy = policy or FirstFitPolicy()
         self._counter = itertools.count()
         self._active: Dict[str, Allocation] = {}
+        #: owner -> {allocation_id: Allocation}: lets release_owner /
+        #: allocations_for avoid scanning every active allocation.
+        self._by_owner: Dict[str, Dict[str, Allocation]] = {}
+        # Per-GPU-generation free-capacity buckets.  Free counts are kept in
+        # sync by claim/release so candidate filtering never rescans device
+        # lists; node membership is rebuilt when the cluster's topology
+        # version changes (scale-out / spot preemption).
+        self._nodes_by_generation: Dict[GpuGeneration, List[Node]] = {}
+        self._free_gpus_by_generation: Dict[GpuGeneration, int] = {}
+        self._topology_version = -1
+        self._rebuild_generation_buckets()
+
+    def _rebuild_generation_buckets(self) -> None:
+        self._nodes_by_generation = {}
+        self._free_gpus_by_generation = {}
+        for node in self.cluster:
+            if node.total_gpus:
+                generation = node.gpu_generation
+                self._nodes_by_generation.setdefault(generation, []).append(node)
+                self._free_gpus_by_generation[generation] = (
+                    self._free_gpus_by_generation.get(generation, 0) + node.free_gpu_count
+                )
+        self._topology_version = self.cluster.topology_version
+
+    def _sync_topology(self) -> None:
+        if self._topology_version != self.cluster.topology_version:
+            self._rebuild_generation_buckets()
 
     # ------------------------------------------------------------------ #
     # Allocation lifecycle
@@ -95,22 +122,32 @@ class Allocator:
             gpu_generation=node.gpu_generation if request.gpus else request.gpu_generation,
         )
         self._active[allocation.allocation_id] = allocation
+        self._by_owner.setdefault(allocation.owner, {})[allocation.allocation_id] = allocation
+        if gpu_ids:
+            self._free_gpus_by_generation[node.gpu_generation] -= len(gpu_ids)
         return allocation
 
     def release(self, allocation: Allocation) -> None:
         """Return the allocation's devices to the free pool."""
         if allocation.allocation_id not in self._active:
             raise KeyError(f"unknown or already released allocation: {allocation.allocation_id}")
+        self._sync_topology()
         node = self.cluster.node(allocation.node_id)
         if allocation.gpu_ids:
             node.release_gpus(allocation.gpu_ids, allocation.owner)
+            self._free_gpus_by_generation[node.gpu_generation] += len(allocation.gpu_ids)
         if allocation.cpu_cores:
             node.release_cpu_cores(allocation.cpu_cores, allocation.owner)
         del self._active[allocation.allocation_id]
+        owned = self._by_owner.get(allocation.owner)
+        if owned is not None:
+            owned.pop(allocation.allocation_id, None)
+            if not owned:
+                del self._by_owner[allocation.owner]
 
     def release_owner(self, owner: str) -> int:
         """Release every allocation held by ``owner``.  Returns the count."""
-        to_release = [a for a in self._active.values() if a.owner == owner]
+        to_release = list(self._by_owner.get(owner, {}).values())
         for allocation in to_release:
             self.release(allocation)
         return len(to_release)
@@ -122,7 +159,7 @@ class Allocator:
         return list(self._active.values())
 
     def allocations_for(self, owner: str) -> List[Allocation]:
-        return [a for a in self._active.values() if a.owner == owner]
+        return list(self._by_owner.get(owner, {}).values())
 
     def can_satisfy(self, request: ResourceRequest) -> bool:
         """Whether the request would fit right now (without allocating)."""
@@ -149,7 +186,15 @@ class Allocator:
     # Internals
     # ------------------------------------------------------------------ #
     def _candidate_nodes(self, request: ResourceRequest) -> List[Node]:
-        nodes = list(self.cluster)
-        if request.gpu_generation is not None and request.gpus > 0:
-            nodes = [n for n in nodes if n.gpu_generation is request.gpu_generation]
-        return [n for n in nodes if n.can_fit(request.gpus, request.cpu_cores)]
+        self._sync_topology()
+        gpus = request.gpus
+        cpu_cores = request.cpu_cores
+        if gpus > 0 and request.gpu_generation is not None:
+            # Generation bucket + aggregate free count: skip the scan
+            # entirely when the generation cannot satisfy the request.
+            if self._free_gpus_by_generation.get(request.gpu_generation, 0) < gpus:
+                return []
+            nodes = self._nodes_by_generation.get(request.gpu_generation, [])
+        else:
+            nodes = self.cluster
+        return [n for n in nodes if n.can_fit(gpus, cpu_cores)]

@@ -18,6 +18,14 @@ class Cluster:
         if len(ids) != len(set(ids)):
             raise ValueError(f"duplicate node ids in cluster: {ids}")
         self._by_id: Dict[str, Node] = {node.node_id: node for node in self._nodes}
+        self._topology_version = 0
+
+    @property
+    def topology_version(self) -> int:
+        """Bumped whenever nodes are added or removed; consumers holding
+        node indexes (e.g. the allocator's generation buckets) compare this
+        to detect scale-out/scale-in and rebuild."""
+        return self._topology_version
 
     # ------------------------------------------------------------------ #
     # Topology
@@ -38,6 +46,7 @@ class Cluster:
             raise ValueError(f"node {node.node_id!r} already in cluster")
         self._nodes.append(node)
         self._by_id[node.node_id] = node
+        self._topology_version += 1
 
     def remove_node(self, node_id: str) -> Node:
         """Remove a node (scale-in / spot preemption).  It must be empty."""
@@ -46,6 +55,7 @@ class Cluster:
             raise ValueError(f"node {node_id!r} still has active allocations")
         self._nodes.remove(node)
         del self._by_id[node_id]
+        self._topology_version += 1
         return node
 
     def __len__(self) -> int:

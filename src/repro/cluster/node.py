@@ -8,6 +8,7 @@ cannot go negative).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -51,6 +52,14 @@ class Node:
         ]
         self.total_cpu_cores = cpu_cores
         self._allocated_cpu_cores: Dict[str, int] = {}
+        self._allocated_cpu_total = 0
+        # Min-heap of free device indices: claims take the lowest indices
+        # (device order, matching the original free-list scan) in O(log n)
+        # instead of rebuilding the free list on every capacity query.
+        self._free_gpu_slots: List[int] = list(range(gpu_count))
+        self._gpu_index: Dict[str, int] = {
+            gpu.device_id: i for i, gpu in enumerate(self.gpus)
+        }
 
     # ------------------------------------------------------------------ #
     # Capacity queries
@@ -65,11 +74,11 @@ class Node:
 
     @property
     def free_gpus(self) -> List[GpuDevice]:
-        return [gpu for gpu in self.gpus if gpu.is_free]
+        return [self.gpus[i] for i in sorted(self._free_gpu_slots)]
 
     @property
     def free_gpu_count(self) -> int:
-        return len(self.free_gpus)
+        return len(self._free_gpu_slots)
 
     @property
     def allocated_gpu_count(self) -> int:
@@ -77,11 +86,11 @@ class Node:
 
     @property
     def allocated_cpu_cores(self) -> int:
-        return sum(self._allocated_cpu_cores.values())
+        return self._allocated_cpu_total
 
     @property
     def free_cpu_cores(self) -> int:
-        return self.total_cpu_cores - self.allocated_cpu_cores
+        return self.total_cpu_cores - self._allocated_cpu_total
 
     def can_fit(self, gpus: int, cpu_cores: int) -> bool:
         """Whether a request for ``gpus`` GPUs and ``cpu_cores`` cores fits."""
@@ -91,16 +100,19 @@ class Node:
     # Allocation bookkeeping (driven by the Allocator)
     # ------------------------------------------------------------------ #
     def claim_gpus(self, count: int, owner: str) -> List[GpuDevice]:
-        """Mark ``count`` free GPUs as allocated to ``owner``."""
-        free = self.free_gpus
-        if count > len(free):
+        """Mark ``count`` free GPUs as allocated to ``owner`` (lowest device
+        indices first, matching a scan of the device list)."""
+        slots = self._free_gpu_slots
+        if count > len(slots):
             raise ValueError(
                 f"node {self.node_id}: requested {count} GPUs but only "
-                f"{len(free)} free"
+                f"{len(slots)} free"
             )
-        claimed = free[:count]
-        for gpu in claimed:
+        claimed = []
+        for _ in range(count):
+            gpu = self.gpus[heapq.heappop(slots)]
             gpu.allocated_to = owner
+            claimed.append(gpu)
         return claimed
 
     def claim_cpu_cores(self, count: int, owner: str) -> int:
@@ -111,20 +123,22 @@ class Node:
                 f"{self.free_cpu_cores} free"
             )
         self._allocated_cpu_cores[owner] = self._allocated_cpu_cores.get(owner, 0) + count
+        self._allocated_cpu_total += count
         return count
 
     def release_gpus(self, device_ids: Sequence[str], owner: str) -> None:
         """Release previously claimed GPUs back to the free pool."""
-        by_id = {gpu.device_id: gpu for gpu in self.gpus}
         for device_id in device_ids:
-            gpu = by_id.get(device_id)
-            if gpu is None:
+            index = self._gpu_index.get(device_id)
+            if index is None:
                 raise KeyError(f"node {self.node_id}: unknown GPU {device_id!r}")
+            gpu = self.gpus[index]
             if gpu.allocated_to != owner:
                 raise ValueError(
                     f"GPU {device_id} is owned by {gpu.allocated_to!r}, not {owner!r}"
                 )
             gpu.allocated_to = None
+            heapq.heappush(self._free_gpu_slots, index)
 
     def release_cpu_cores(self, count: int, owner: str) -> None:
         """Release ``count`` CPU cores previously claimed by ``owner``."""
@@ -138,6 +152,7 @@ class Node:
             self._allocated_cpu_cores[owner] = remaining
         else:
             self._allocated_cpu_cores.pop(owner, None)
+        self._allocated_cpu_total -= count
 
     def __repr__(self) -> str:
         return (

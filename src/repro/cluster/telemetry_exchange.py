@@ -52,6 +52,23 @@ class ResourceStatsMessage:
     def idle_cpu_cores(self) -> int:
         return self.free_cpu_cores
 
+    def planning_digest(self) -> Tuple:
+        """Hashable digest of the fields configuration planning reads.
+
+        The planner's feasibility check uses cluster totals and per-generation
+        GPU counts; its warm-model preference uses the *set* of running agents.
+        Timestamps, utilisation fractions, and exact per-model consumption do
+        not influence plan output, so two snapshots with equal digests always
+        plan identically — which is what makes plans cacheable across
+        submissions.
+        """
+        return (
+            self.total_gpus,
+            self.total_cpu_cores,
+            tuple(sorted(self.gpus_by_generation.items())),
+            tuple(sorted(set(self.per_model_gpus) | set(self.per_model_cpu_cores))),
+        )
+
 
 @dataclass(frozen=True)
 class ScalingCommand:

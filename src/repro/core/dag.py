@@ -24,6 +24,11 @@ class TaskGraph:
         self.workflow_id = workflow_id
         self._graph = nx.DiGraph()
         self._tasks: Dict[str, Task] = {}
+        # Structure-derived caches, invalidated on any topology mutation.
+        # Execution recomputes the topological order on every progress
+        # announcement; for a static graph that is pure waste.
+        self._topo_ids: Optional[List[str]] = None
+        self._stage_order: Optional[List[str]] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -33,6 +38,7 @@ class TaskGraph:
             raise ValueError(f"duplicate task id: {task.task_id}")
         self._tasks[task.task_id] = task
         self._graph.add_node(task.task_id)
+        self._invalidate_structure_caches()
         return task
 
     def add_dependency(self, upstream_id: str, downstream_id: str) -> None:
@@ -42,12 +48,35 @@ class TaskGraph:
                 raise KeyError(f"unknown task: {task_id}")
         if upstream_id == downstream_id:
             raise ValueError(f"task {upstream_id} cannot depend on itself")
-        self._graph.add_edge(upstream_id, downstream_id)
-        if not nx.is_directed_acyclic_graph(self._graph):
-            self._graph.remove_edge(upstream_id, downstream_id)
+        # The new edge closes a cycle iff downstream already reaches
+        # upstream.  A targeted reachability walk is far cheaper than the
+        # full-graph acyclicity check per edge, and edges are typically
+        # added in topological order, so the walk usually stops immediately.
+        if self._reaches(downstream_id, upstream_id):
             raise ValueError(
                 f"adding edge {upstream_id} -> {downstream_id} would create a cycle"
             )
+        self._graph.add_edge(upstream_id, downstream_id)
+        self._invalidate_structure_caches()
+
+    def _reaches(self, source_id: str, target_id: str) -> bool:
+        """Whether ``target_id`` is reachable from ``source_id``."""
+        adjacency = self._graph.succ
+        stack = [source_id]
+        visited = set()
+        while stack:
+            node = stack.pop()
+            if node == target_id:
+                return True
+            if node in visited:
+                continue
+            visited.add(node)
+            stack.extend(adjacency[node])
+        return False
+
+    def _invalidate_structure_caches(self) -> None:
+        self._topo_ids = None
+        self._stage_order = None
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -95,8 +124,9 @@ class TaskGraph:
 
     def topological_order(self) -> List[Task]:
         """Tasks in a deterministic topological order (ties by task id)."""
-        order = nx.lexicographical_topological_sort(self._graph)
-        return [self._tasks[task_id] for task_id in order]
+        if self._topo_ids is None:
+            self._topo_ids = list(nx.lexicographical_topological_sort(self._graph))
+        return [self._tasks[task_id] for task_id in self._topo_ids]
 
     def ready_tasks(self) -> List[Task]:
         """PENDING tasks whose predecessors are all COMPLETED."""
@@ -173,11 +203,13 @@ class TaskGraph:
 
     def stage_order(self) -> List[str]:
         """Distinct stage names in topological order of first appearance."""
-        seen: List[str] = []
-        for task in self.topological_order():
-            if task.stage not in seen:
-                seen.append(task.stage)
-        return seen
+        if self._stage_order is None:
+            seen: List[str] = []
+            for task in self.topological_order():
+                if task.stage not in seen:
+                    seen.append(task.stage)
+            self._stage_order = seen
+        return list(self._stage_order)
 
     def describe(self) -> str:
         """A compact, human-readable rendering of the DAG."""

@@ -58,6 +58,9 @@ class JobDecomposer:
 
     def __init__(self, orchestrator_llm: Optional[OrchestratorLLM] = None) -> None:
         self.orchestrator_llm = orchestrator_llm or OrchestratorLLM()
+        #: Class used to build task graphs (swapped by the unoptimized
+        #: reference path in repro.baselines.unoptimized).
+        self.graph_factory = TaskGraph
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -84,7 +87,7 @@ class JobDecomposer:
         defines its stages explicitly instead of asking the orchestrator LLM.
         """
         videos, items = _normalise_inputs(job.inputs)
-        graph = TaskGraph(workflow_id=job.job_id)
+        graph = self.graph_factory(workflow_id=job.job_id)
         stage_tasks: Dict[str, List[Task]] = {}
         counter = itertools.count()
         for stage in stages:

@@ -176,6 +176,7 @@ class WorkflowExecutor:
         sequential: bool = False,
         announce: bool = True,
         workflow_id: str = "workflow",
+        incremental_dispatch: bool = True,
     ) -> None:
         self.engine = engine
         self.cluster_manager = cluster_manager
@@ -186,6 +187,13 @@ class WorkflowExecutor:
         self.sequential = sequential
         self.announce = announce
         self.workflow_id = workflow_id
+        #: When True, readiness and progress counters are maintained
+        #: incrementally as tasks complete instead of rescanning the whole
+        #: graph on every dispatch/announcement.  Scheduling decisions are
+        #: identical either way; the flag exists so the unoptimized
+        #: reference path (repro.baselines.unoptimized) can reproduce the
+        #: original rescan behaviour for differential benchmarks.
+        self.incremental_dispatch = incremental_dispatch
 
         self.results: Dict[str, AgentResult] = {}
         self._graph: Optional[TaskGraph] = None
@@ -193,6 +201,10 @@ class WorkflowExecutor:
         self._order_index: Dict[str, int] = {}
         self._global_active = 0
         self._retry_scheduled = False
+        self._pending_preds: Dict[str, int] = {}
+        self._ready_pool: List[Task] = []
+        self._completed_count = 0
+        self._pending_by_interface: Dict[AgentInterface, int] = {}
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
 
@@ -210,6 +222,24 @@ class WorkflowExecutor:
         self._order_index = {
             task.task_id: index for index, task in enumerate(graph.topological_order())
         }
+        if self.incremental_dispatch:
+            # Seed the counters from current task states so graphs arriving
+            # with some tasks already COMPLETED account correctly.
+            self._completed_count = sum(
+                1 for task in graph if task.state is TaskState.COMPLETED
+            )
+            self._pending_by_interface = dict(graph.pending_counts_by_interface())
+            self._pending_preds = {}
+            self._ready_pool = []
+            for task in graph:
+                degree = sum(
+                    1
+                    for p in graph.predecessors(task.task_id)
+                    if p.state is not TaskState.COMPLETED
+                )
+                self._pending_preds[task.task_id] = degree
+                if degree == 0 and task.state is TaskState.PENDING:
+                    self._ready_pool.append(task)
         self._build_lanes(graph)
         if self.announce:
             self._announce()
@@ -258,7 +288,11 @@ class WorkflowExecutor:
     # ------------------------------------------------------------------ #
     def _dispatch(self) -> None:
         assert self._graph is not None
-        ready = self._graph.ready_tasks()
+        if self.incremental_dispatch:
+            ready = self._ready_pool
+            self._ready_pool = []
+        else:
+            ready = self._graph.ready_tasks()
         ready.sort(key=lambda task: self._order_index[task.task_id])
         for task in ready:
             lanes = self._lanes[task.interface]
@@ -273,15 +307,21 @@ class WorkflowExecutor:
         if (
             not made_progress
             and self._global_active == 0
-            and not self._graph.is_complete()
+            and not self._is_complete()
             and not any(lane.queue for lanes in self._lanes.values() for lane in lanes)
-            and not self._graph.ready_tasks()
+            and not (self._ready_pool if self.incremental_dispatch else self._graph.ready_tasks())
         ):
             # Nothing queued, nothing running, nothing ready, graph unfinished:
             # dependencies can never be satisfied.
             raise ExecutionError(
                 f"workflow {self.workflow_id!r} deadlocked: no runnable tasks remain"
             )
+
+    def _is_complete(self) -> bool:
+        assert self._graph is not None
+        if self.incremental_dispatch:
+            return self._completed_count == len(self._graph)
+        return self._graph.is_complete()
 
     def _pump(self, lane: _Lane) -> bool:
         """Start as many queued tasks on ``lane`` as capacity allows."""
@@ -333,7 +373,7 @@ class WorkflowExecutor:
                 f"{self.MAX_ALLOCATION_RETRIES} retries"
             )
         assert self._graph is not None
-        if not self._graph.is_complete():
+        if not self._is_complete():
             self._dispatch()
 
     def _is_next_in_order(self, task: Task) -> bool:
@@ -393,9 +433,19 @@ class WorkflowExecutor:
         if allocation is not None:
             self.cluster_manager.release(allocation)
 
+        if self.incremental_dispatch:
+            self._completed_count += 1
+            self._pending_by_interface[task.interface] -= 1
+            pending_preds = self._pending_preds
+            for successor in self._graph.successors(task.task_id):
+                remaining = pending_preds[successor.task_id] - 1
+                pending_preds[successor.task_id] = remaining
+                if remaining == 0 and successor.state is TaskState.PENDING:
+                    self._ready_pool.append(successor)
+
         if self.announce:
             self._announce()
-        if self._graph.is_complete():
+        if self._is_complete():
             self.finished_at = self.engine.now
             if self.announce:
                 self.cluster_manager.retract_workflow(self.workflow_id)
@@ -440,12 +490,19 @@ class WorkflowExecutor:
 
     def _announce(self) -> None:
         assert self._graph is not None
-        pending = self._graph.pending_counts_by_interface()
+        if self.incremental_dispatch:
+            pending = self._pending_by_interface
+            completed = self._completed_count
+        else:
+            pending = self._graph.pending_counts_by_interface()
+            completed = len(self._graph.completed())
         announcement = WorkflowAnnouncement(
             workflow_id=self.workflow_id,
             timestamp=self.engine.now,
-            upcoming_demand={iface.value: count for iface, count in pending.items()},
-            completed_tasks=len(self._graph.completed()),
+            upcoming_demand={
+                iface.value: count for iface, count in pending.items() if count > 0
+            },
+            completed_tasks=completed,
             total_tasks=len(self._graph),
             critical_path=tuple(self._graph.stage_order()),
         )

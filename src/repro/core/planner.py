@@ -127,23 +127,41 @@ class ExecutionPlan:
 
 
 class ConfigurationPlanner:
-    """Greedy, profile-driven configuration search."""
+    """Greedy, profile-driven configuration search.
+
+    Repeated submissions of similar workflows re-plan the same interfaces
+    under the same constraints against equivalent cluster snapshots, so the
+    planner memoizes per-interface assignments keyed by
+    ``(interface, constraint set, override, stats digest)``.  The cache is
+    invalidated whenever the profile store changes (profile added, agent
+    retired) via the store's mutation :attr:`~ProfileStore.version`, and can
+    be dropped explicitly with :meth:`invalidate_cache`.
+    """
 
     #: Profiles within this relative margin of the best objective value are
     #: considered "nearly tied" and may be displaced by a warm model.
     WARM_PREFERENCE_MARGIN = 0.10
+
+    #: Upper bound on memoized assignments (FIFO eviction beyond this).
+    PLAN_CACHE_MAX = 4096
 
     def __init__(
         self,
         profile_store: ProfileStore,
         library: AgentLibrary,
         max_cpu_cores_per_agent: int = calibration.STT_CPU_TOTAL_CORES,
+        enable_plan_cache: bool = True,
     ) -> None:
         if max_cpu_cores_per_agent <= 0:
             raise ValueError("max_cpu_cores_per_agent must be positive")
         self.profile_store = profile_store
         self.library = library
         self.max_cpu_cores_per_agent = max_cpu_cores_per_agent
+        self.enable_plan_cache = enable_plan_cache
+        self._plan_cache: Dict[tuple, PlanAssignment] = {}
+        self._plan_cache_store_version = profile_store.version
+        self._plan_cache_hits = 0
+        self._plan_cache_misses = 0
 
     # ------------------------------------------------------------------ #
     # Planning
@@ -158,12 +176,63 @@ class ConfigurationPlanner:
         """Choose one configuration per interface appearing in ``graph``."""
         overrides = overrides or {}
         plan = ExecutionPlan(constraint_set=constraint_set)
+        stats_digest = cluster_stats.planning_digest() if cluster_stats is not None else None
         for interface in graph.interfaces():
             override = overrides.get(interface)
-            profile = self._select_profile(interface, constraint_set, cluster_stats, override)
-            assignment = self._assignment_from_profile(interface, profile, override)
+            assignment = self._cached_assignment(
+                interface, constraint_set, cluster_stats, stats_digest, override
+            )
             plan.add(assignment)
         return plan
+
+    def invalidate_cache(self) -> None:
+        """Drop memoized assignments (e.g. after out-of-band store edits)."""
+        self._plan_cache.clear()
+        self._plan_cache_store_version = self.profile_store.version
+
+    @property
+    def plan_cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters for benchmarks and regression tests."""
+        return {
+            "hits": self._plan_cache_hits,
+            "misses": self._plan_cache_misses,
+            "size": len(self._plan_cache),
+        }
+
+    def _cached_assignment(
+        self,
+        interface: AgentInterface,
+        constraint_set: ConstraintSet,
+        cluster_stats: Optional[ResourceStatsMessage],
+        stats_digest: Optional[tuple],
+        override: Optional[PlannerOverride],
+    ) -> PlanAssignment:
+        if not self.enable_plan_cache:
+            profile = self._select_profile(interface, constraint_set, cluster_stats, override)
+            return self._assignment_from_profile(interface, profile, override)
+        if self._plan_cache_store_version != self.profile_store.version:
+            self.invalidate_cache()
+        # max_cpu_cores_per_agent is a public attribute callers mutate after
+        # construction (it shapes assignment concurrency), so it must be
+        # part of the key rather than assumed constant.
+        cache_key = (
+            interface,
+            constraint_set,
+            stats_digest,
+            override,
+            self.max_cpu_cores_per_agent,
+        )
+        assignment = self._plan_cache.get(cache_key)
+        if assignment is not None:
+            self._plan_cache_hits += 1
+            return assignment
+        self._plan_cache_misses += 1
+        profile = self._select_profile(interface, constraint_set, cluster_stats, override)
+        assignment = self._assignment_from_profile(interface, profile, override)
+        if len(self._plan_cache) >= self.PLAN_CACHE_MAX:
+            self._plan_cache.pop(next(iter(self._plan_cache)))
+        self._plan_cache[cache_key] = assignment
+        return assignment
 
     def rank_candidates(
         self,

@@ -12,7 +12,18 @@ workflows that use an agent (§3.3); here the store can be built once and
 shared across runtimes.
 """
 
-from repro.profiling.profiler import Profiler, REFERENCE_WORK_UNITS
+from repro.profiling.profiler import (
+    Profiler,
+    REFERENCE_WORK_UNITS,
+    clear_default_profile_store_cache,
+    default_profile_store,
+)
 from repro.profiling.store import ProfileStore
 
-__all__ = ["Profiler", "ProfileStore", "REFERENCE_WORK_UNITS"]
+__all__ = [
+    "Profiler",
+    "ProfileStore",
+    "REFERENCE_WORK_UNITS",
+    "clear_default_profile_store_cache",
+    "default_profile_store",
+]

@@ -96,3 +96,40 @@ class Profiler:
             for profile in self.profile_implementation(implementation):
                 store.add(profile)
         return store
+
+
+#: Memoized master stores keyed by library fingerprint; the cache holds at
+#: most this many distinct library shapes before evicting the oldest.
+_STORE_CACHE_MAX = 32
+_store_cache: "Dict[tuple, ProfileStore]" = {}
+
+
+def default_profile_store(library: Optional[AgentLibrary] = None) -> ProfileStore:
+    """A profile store for ``library``, reusing profiling work across calls.
+
+    Profiling the full default library is the dominant cost of constructing a
+    :class:`~repro.core.runtime.MurakkabRuntime`; the paper's §3.3 requires
+    the system's own overheads to stay negligible, so repeated constructions
+    over an identical library must not re-profile it.  Results are memoized
+    by :meth:`AgentLibrary.fingerprint`, and every call returns an
+    *independent copy* of the cached master store: mutating one runtime's
+    store (e.g. via the service's profile hot-swap endpoints) never leaks
+    into other runtimes sharing the same library shape.
+    """
+    if library is None:
+        from repro.agents.library import default_library
+
+        library = default_library()
+    fingerprint = library.fingerprint()
+    store = _store_cache.get(fingerprint)
+    if store is None:
+        store = Profiler().profile_library(library)
+        if len(_store_cache) >= _STORE_CACHE_MAX:
+            _store_cache.pop(next(iter(_store_cache)))
+        _store_cache[fingerprint] = store
+    return store.copy()
+
+
+def clear_default_profile_store_cache() -> None:
+    """Drop memoized stores (test isolation / forced re-profiling)."""
+    _store_cache.clear()

@@ -1,11 +1,36 @@
-"""A queryable store of execution profiles."""
+"""A queryable store of execution profiles.
+
+Selection queries are served from incrementally-maintained indexes:
+
+* per-interface profile maps (insertion-ordered, so behaviour matches the
+  original list-backed store exactly),
+* lazily-built, per-``(interface, objective)`` ranked lists kept sorted on
+  ``add`` via bisection,
+* a cached Pareto front per interface.
+
+Every mutation bumps :attr:`ProfileStore.version`, which planners use to
+invalidate their own derived caches.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from bisect import insort_right
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.agents.base import AgentInterface
 from repro.agents.profiles import ExecutionProfile, ProfileKey
+
+
+def _objective_sort_key(objective: str) -> Callable[[ExecutionProfile], tuple]:
+    def key(profile: ExecutionProfile) -> tuple:
+        return (
+            profile.objective_value(objective),
+            -profile.quality,
+            profile.latency_s,
+            profile.energy_wh,
+        )
+
+    return key
 
 
 class ProfileStore:
@@ -13,7 +38,13 @@ class ProfileStore:
 
     def __init__(self) -> None:
         self._by_key: Dict[ProfileKey, ExecutionProfile] = {}
-        self._by_interface: Dict[AgentInterface, List[ExecutionProfile]] = {}
+        self._by_interface: Dict[AgentInterface, Dict[ProfileKey, ExecutionProfile]] = {}
+        self._keys_by_agent: Dict[str, Dict[ProfileKey, None]] = {}
+        #: (interface, objective) -> profiles sorted best-first.  Built on
+        #: first query, then maintained incrementally by ``add``.
+        self._rank_index: Dict[Tuple[AgentInterface, str], List[ExecutionProfile]] = {}
+        self._pareto_cache: Dict[AgentInterface, List[ExecutionProfile]] = {}
+        self._version = 0
 
     def __len__(self) -> int:
         return len(self._by_key)
@@ -21,13 +52,28 @@ class ProfileStore:
     def __contains__(self, key: ProfileKey) -> bool:
         return key in self._by_key
 
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by ``add``/``remove_agent``).
+
+        Consumers that cache derived results (e.g. the configuration
+        planner's plan cache) compare versions to detect staleness.
+        """
+        return self._version
+
     def add(self, profile: ExecutionProfile) -> ExecutionProfile:
         """Add or replace the profile for its key."""
         existing = self._by_key.get(profile.key)
         if existing is not None:
-            self._by_interface[existing.interface].remove(existing)
+            self._evict(existing)
         self._by_key[profile.key] = profile
-        self._by_interface.setdefault(profile.interface, []).append(profile)
+        self._by_interface.setdefault(profile.interface, {})[profile.key] = profile
+        self._keys_by_agent.setdefault(profile.agent_name, {})[profile.key] = None
+        for (interface, objective), ranked in self._rank_index.items():
+            if interface is profile.interface:
+                insort_right(ranked, profile, key=_objective_sort_key(objective))
+        self._pareto_cache.pop(profile.interface, None)
+        self._version += 1
         return profile
 
     def remove_agent(self, agent_name: str) -> int:
@@ -35,13 +81,34 @@ class ProfileStore:
 
         Returns the number of profiles removed.
         """
-        to_remove = [key for key, profile in self._by_key.items() if profile.agent_name == agent_name]
-        for key in to_remove:
+        keys = self._keys_by_agent.pop(agent_name, None)
+        if not keys:
+            return 0
+        for key in keys:
             profile = self._by_key.pop(key)
-            self._by_interface[profile.interface].remove(profile)
-            if not self._by_interface[profile.interface]:
-                del self._by_interface[profile.interface]
-        return len(to_remove)
+            self._evict(profile, drop_agent_key=False)
+        self._version += 1
+        return len(keys)
+
+    def _evict(self, profile: ExecutionProfile, drop_agent_key: bool = True) -> None:
+        """Remove ``profile`` from every index (not from ``_by_key``)."""
+        interface = profile.interface
+        by_interface = self._by_interface.get(interface)
+        if by_interface is not None:
+            by_interface.pop(profile.key, None)
+            if not by_interface:
+                del self._by_interface[interface]
+        if drop_agent_key:
+            agent_keys = self._keys_by_agent.get(profile.agent_name)
+            if agent_keys is not None:
+                agent_keys.pop(profile.key, None)
+                if not agent_keys:
+                    del self._keys_by_agent[profile.agent_name]
+        # Removal from a sorted list is O(n); invalidate instead and let the
+        # next query rebuild (adds stay incremental, which is the hot case).
+        for index_key in [k for k in self._rank_index if k[0] is interface]:
+            del self._rank_index[index_key]
+        self._pareto_cache.pop(interface, None)
 
     def get(self, key: ProfileKey) -> ExecutionProfile:
         try:
@@ -55,17 +122,47 @@ class ProfileStore:
         agent_name: Optional[str] = None,
     ) -> List[ExecutionProfile]:
         """All profiles for an interface, optionally restricted to one agent."""
-        profiles = list(self._by_interface.get(interface, []))
+        profiles = self._by_interface.get(interface)
+        if profiles is None:
+            return []
         if agent_name is not None:
-            profiles = [p for p in profiles if p.agent_name == agent_name]
-        return profiles
+            return [p for p in profiles.values() if p.agent_name == agent_name]
+        return list(profiles.values())
 
     def interfaces(self) -> List[AgentInterface]:
         return list(self._by_interface.keys())
 
+    def copy(self) -> "ProfileStore":
+        """An independent store holding the same (immutable) profiles.
+
+        Only the primary indexes are duplicated (profiles themselves are
+        frozen and safely shared); derived indexes rebuild lazily.
+        """
+        duplicate = ProfileStore()
+        duplicate._by_key = dict(self._by_key)
+        duplicate._by_interface = {
+            interface: dict(profiles) for interface, profiles in self._by_interface.items()
+        }
+        duplicate._keys_by_agent = {
+            agent: dict(keys) for agent, keys in self._keys_by_agent.items()
+        }
+        return duplicate
+
     # ------------------------------------------------------------------ #
     # Selection queries (used by the planner)
     # ------------------------------------------------------------------ #
+    def _ranked(self, interface: AgentInterface, objective: str) -> List[ExecutionProfile]:
+        """The maintained best-first list for ``(interface, objective)``."""
+        index_key = (interface, objective)
+        ranked = self._rank_index.get(index_key)
+        if ranked is None:
+            ranked = sorted(
+                self._by_interface.get(interface, {}).values(),
+                key=_objective_sort_key(objective),
+            )
+            self._rank_index[index_key] = ranked
+        return ranked
+
     def best(
         self,
         interface: AgentInterface,
@@ -81,16 +178,15 @@ class ProfileStore:
         ``feasible`` lets the caller exclude profiles whose resources are not
         currently available (resource-aware orchestration).
         """
-        candidates = self.profiles_for(interface, agent_name)
-        candidates = [p for p in candidates if p.quality >= quality_floor]
-        if feasible is not None:
-            candidates = [p for p in candidates if feasible(p)]
-        if not candidates:
-            return None
-        return min(
-            candidates,
-            key=lambda p: (p.objective_value(objective), -p.quality, p.latency_s, p.energy_wh),
-        )
+        for profile in self._ranked(interface, objective):
+            if profile.quality < quality_floor:
+                continue
+            if agent_name is not None and profile.agent_name != agent_name:
+                continue
+            if feasible is not None and not feasible(profile):
+                continue
+            return profile
+        return None
 
     def rank(
         self,
@@ -99,23 +195,22 @@ class ProfileStore:
         quality_floor: float = 0.0,
     ) -> List[ExecutionProfile]:
         """Profiles for ``interface`` ordered best-first under ``objective``."""
-        candidates = [
-            p for p in self.profiles_for(interface) if p.quality >= quality_floor
+        return [
+            p for p in self._ranked(interface, objective) if p.quality >= quality_floor
         ]
-        return sorted(
-            candidates,
-            key=lambda p: (p.objective_value(objective), -p.quality, p.latency_s, p.energy_wh),
-        )
 
     def pareto_front(self, interface: AgentInterface) -> List[ExecutionProfile]:
         """Profiles not dominated on (cost, latency, energy, -quality)."""
-        candidates = self.profiles_for(interface)
-        front = [
-            p
-            for p in candidates
-            if not any(other.dominates(p) for other in candidates if other is not p)
-        ]
-        return front
+        front = self._pareto_cache.get(interface)
+        if front is None:
+            candidates = self.profiles_for(interface)
+            front = [
+                p
+                for p in candidates
+                if not any(other.dominates(p) for other in candidates if other is not p)
+            ]
+            self._pareto_cache[interface] = front
+        return list(front)
 
     def all_profiles(self) -> List[ExecutionProfile]:
         return list(self._by_key.values())

@@ -7,6 +7,7 @@ the same timestamp fire in scheduling order.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Optional
 
 from repro.sim.clock import SimClock
@@ -33,8 +34,8 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still in the queue."""
+        return self._queue.live_count
 
     def schedule(
         self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any
@@ -42,7 +43,17 @@ class SimulationEngine:
         """Schedule ``callback`` to fire ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        return self._queue.push(self.now + delay, callback, *args, **kwargs)
+        # Inlined EventQueue.push: schedule() is the hottest call in the
+        # simulator and the saved frame is worth ~15% of event throughput.
+        # Must stay in lockstep with EventQueue.push (guarded by
+        # test_engine_schedule_matches_queue_push).
+        queue = self._queue
+        sequence = queue._next_sequence
+        queue._next_sequence = sequence + 1
+        event = Event(self._clock._now + delay, sequence, callback, args, kwargs)
+        event._queue = queue
+        heapq.heappush(queue._heap, (event.time, sequence, event))
+        return event
 
     def schedule_at(
         self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any
@@ -77,21 +88,35 @@ class SimulationEngine:
 
         Returns the simulated time at which the run stopped.
         """
+        # The hot loop works on the queue's heap directly: one tuple peek and
+        # one heappop per event, with no per-event method-call indirection.
+        # Popped times are nondecreasing (schedule refuses past times), so the
+        # clock can be advanced without the monotonicity check.
+        queue = self._queue
+        heap = queue._heap
+        clock = self._clock
+        heappop = heapq.heappop
         fired = 0
-        while True:
+        while heap:
             if max_events is not None and fired >= max_events:
                 break
-            next_time = self._queue.peek_time()
-            if next_time is None:
+            time, _, event = heap[0]
+            if event.cancelled:
+                heappop(heap)
+                event._queue = None
+                queue._cancelled -= 1
+                continue
+            if until is not None and time > until:
+                clock.advance_to(until)
                 break
-            if until is not None and next_time > until:
-                self._clock.advance_to(until)
-                break
-            if not self.step():
-                break
+            heappop(heap)
+            event._queue = None
+            clock._now = time
+            event.callback(*event.args, **event.kwargs)
+            self._events_fired += 1
             fired += 1
-        if until is not None and self.now < until and self._queue.peek_time() is None:
-            self._clock.advance_to(until)
+        if until is not None and self.now < until and queue.peek_time() is None:
+            clock.advance_to(until)
         return self.now
 
     def reset(self) -> None:

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Optional
 
 
@@ -13,10 +12,11 @@ class Event:
     Events are ordered by ``(time, sequence)`` where ``sequence`` is a
     monotonically increasing counter, so two events scheduled for the same
     instant fire in the order they were scheduled.  Cancelled events stay in
-    the queue but are skipped when popped.
+    the queue but are skipped when popped (and compacted away in bulk when
+    they come to dominate the heap).
     """
 
-    __slots__ = ("time", "sequence", "callback", "args", "kwargs", "cancelled")
+    __slots__ = ("time", "sequence", "callback", "args", "kwargs", "cancelled", "_queue")
 
     def __init__(
         self,
@@ -30,12 +30,18 @@ class Event:
         self.sequence = int(sequence)
         self.callback = callback
         self.args = args
-        self.kwargs = kwargs or {}
+        self.kwargs = {} if kwargs is None else kwargs
         self.cancelled = False
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when its time comes."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._note_cancelled()
 
     def fire(self) -> Any:
         """Invoke the callback.  The engine calls this; tests may too."""
@@ -51,17 +57,38 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` objects keyed by (time, sequence)."""
+    """Min-heap of ``(time, sequence, Event)`` tuples.
+
+    Storing plain tuples keeps heap sift comparisons inside the C tuple
+    comparator instead of calling ``Event.__lt__`` per comparison; ``sequence``
+    is unique so the :class:`Event` element is never compared.  Cancelled
+    events are skipped lazily on pop and compacted in bulk once they exceed
+    half the heap, preserving exact deterministic ``(time, sequence)`` order.
+    """
+
+    #: Never bother compacting heaps smaller than this.
+    COMPACTION_MIN_SIZE = 64
 
     def __init__(self) -> None:
         self._heap: list = []
-        self._counter = itertools.count()
+        self._next_sequence = 0
+        self._cancelled = 0
 
     def __len__(self) -> int:
         return len(self._heap)
 
     def __bool__(self) -> bool:
         return bool(self._heap)
+
+    @property
+    def live_count(self) -> int:
+        """Number of pending (non-cancelled) events in the queue."""
+        return len(self._heap) - self._cancelled
+
+    @property
+    def cancelled_count(self) -> int:
+        """Number of cancelled events still occupying heap slots."""
+        return self._cancelled
 
     def push(
         self,
@@ -70,26 +97,74 @@ class EventQueue:
         *args: Any,
         **kwargs: Any,
     ) -> Event:
-        """Create an event at ``time`` and add it to the queue."""
-        event = Event(time, next(self._counter), callback, args, kwargs)
-        heapq.heappush(self._heap, event)
+        """Create an event at ``time`` and add it to the queue.
+
+        NOTE: SimulationEngine.schedule inlines this body (and run() inlines
+        the cancelled-skip of pop) for throughput; changes to the heap entry
+        shape or the bookkeeping here must be mirrored there.
+        """
+        sequence = self._next_sequence
+        self._next_sequence = sequence + 1
+        event = Event(time, sequence, callback, args, kwargs)
+        event._queue = self
+        heapq.heappush(self._heap, (event.time, sequence, event))
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event, or ``None``."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
+            event._queue = None
             if not event.cancelled:
                 return event
+            self._cancelled -= 1
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest non-cancelled event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)[2]._queue = None
+            self._cancelled -= 1
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def clear(self) -> None:
+        """Drop all events and reset the sequence counter and bookkeeping."""
+        for _, _, event in self._heap:
+            event._queue = None
         self._heap.clear()
+        self._next_sequence = 0
+        self._cancelled = 0
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` while the event occupies a slot."""
+        self._cancelled += 1
+        if (
+            self._cancelled > len(self._heap) // 2
+            and len(self._heap) >= self.COMPACTION_MIN_SIZE
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Heap order is a function of the ``(time, sequence)`` prefix alone, so
+        rebuilding from the surviving tuples preserves pop order exactly.
+        """
+        live = []
+        for entry in self._heap:
+            event = entry[2]
+            if event.cancelled:
+                event._queue = None
+            else:
+                live.append(entry)
+        # In-place: the engine's run loop holds a reference to this list.
+        self._heap[:] = live
+        self._cancelled = 0
+        heapq.heapify(self._heap)
