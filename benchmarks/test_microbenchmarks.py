@@ -117,6 +117,38 @@ def test_repeated_murakkab_submission(benchmark):
     assert result.makespan_s > 0
 
 
+def test_trace_throughput_1k_jobs(benchmark):
+    """Wall-clock serving throughput of a 1,000-job Poisson trace.
+
+    The batched-admission path (``AIWorkflowService.submit_trace``) groups
+    compatible jobs, simulates each group to steady state once, and accounts
+    the remaining completions incrementally on the shared engine.  The
+    regression gate in ``scripts/bench.py`` watches this number (min time to
+    serve the trace; ``jobs_per_second`` is recorded alongside).
+    """
+    from repro.loadgen import default_registry
+    from repro.service import AIWorkflowService
+    from repro.workloads.arrival import poisson_arrivals
+
+    arrivals = poisson_arrivals(
+        rate_per_s=2.0, horizon_s=500.0, workloads=("newsfeed",), seed=7
+    )
+    registry = default_registry()
+
+    def serve_trace():
+        service = AIWorkflowService()
+        report = service.submit_trace(arrivals, registry=registry)
+        service.shutdown()
+        return report
+
+    report = benchmark.pedantic(serve_trace, rounds=5, warmup_rounds=1, iterations=1)
+    benchmark.extra_info["jobs"] = report.jobs
+    benchmark.extra_info["jobs_per_second"] = round(report.wall_jobs_per_second, 1)
+    benchmark.extra_info["simulated_jobs"] = report.simulated_jobs
+    assert report.jobs >= 1000
+    assert report.replayed_jobs > report.simulated_jobs
+
+
 def test_event_queue_cancellation_churn(benchmark):
     """Push/cancel churn: lazily-cancelled events must not bloat the heap."""
     from repro.sim.events import EventQueue

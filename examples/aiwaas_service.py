@@ -99,9 +99,34 @@ def quality_control(service: AIWorkflowService) -> None:
         print(f"  after {checkpoint.after_interface.value}: {checkpoint.reason}")
 
 
+def serve_a_trace() -> None:
+    print()
+    print("=== Trace-driven serving (batched admission) ===")
+    from repro.workloads.arrival import bursty_arrivals
+
+    service = AIWorkflowService()
+    arrivals = bursty_arrivals(
+        burst_rate_per_s=2.0,
+        burst_duration_s=30.0,
+        idle_duration_s=60.0,
+        horizon_s=600.0,
+        workloads=("newsfeed", "chain-of-thought"),
+        seed=11,
+    )
+    report = service.submit_trace(arrivals)
+    print(f"served {report.jobs} bursty arrivals "
+          f"({report.simulated_jobs} simulated to steady state, "
+          f"{report.replayed_jobs} accounted incrementally)")
+    print(f"harness throughput: {report.wall_jobs_per_second:,.0f} jobs/s wall-clock; "
+          f"mean queue delay {report.queue_delay_s.mean:.1f}s, "
+          f"mean makespan {report.makespan_s.mean:.1f}s")
+    service.shutdown()
+
+
 def main() -> None:
     service = serve_jobs()
     quality_control(service)
+    serve_a_trace()
 
 
 if __name__ == "__main__":

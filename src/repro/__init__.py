@@ -40,7 +40,16 @@ from repro.agents.base import AgentInterface, ExecutionMode, HardwareConfig
 from repro.agents.library import AgentLibrary, default_library
 from repro.baselines.omagent import OmAgentBaseline
 from repro.cluster.cluster import Cluster, paper_testbed
-from repro.service import AIWorkflowService
+from repro.loadgen import ServiceLoadGenerator, TraceReport, WorkloadRegistry, default_registry
+from repro.service import AIWorkflowService, ServiceStats
+from repro.workloads.arrival import (
+    JobArrival,
+    bursty_arrivals,
+    diurnal_arrivals,
+    merge_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
 from repro.workflows.video_understanding import (
     omagent_imperative_workflow,
     video_understanding_job,
@@ -69,6 +78,17 @@ __all__ = [
     "default_library",
     "OmAgentBaseline",
     "AIWorkflowService",
+    "ServiceStats",
+    "ServiceLoadGenerator",
+    "TraceReport",
+    "WorkloadRegistry",
+    "default_registry",
+    "JobArrival",
+    "poisson_arrivals",
+    "uniform_arrivals",
+    "bursty_arrivals",
+    "diurnal_arrivals",
+    "merge_arrivals",
     "Cluster",
     "paper_testbed",
     "video_understanding_job",

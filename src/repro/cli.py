@@ -80,6 +80,43 @@ def _cmd_multitenant(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro import AIWorkflowService
+    from repro.workloads.arrival import bursty_arrivals, diurnal_arrivals, poisson_arrivals
+
+    workloads = tuple(args.workloads.split(","))
+    if args.shape == "poisson":
+        arrivals = poisson_arrivals(
+            rate_per_s=args.rate, horizon_s=args.horizon, workloads=workloads, seed=args.seed
+        )
+    elif args.shape == "bursty":
+        arrivals = bursty_arrivals(
+            burst_rate_per_s=args.rate,
+            burst_duration_s=args.horizon / 10.0,
+            idle_duration_s=args.horizon / 10.0,
+            horizon_s=args.horizon,
+            workloads=workloads,
+            seed=args.seed,
+        )
+    else:
+        arrivals = diurnal_arrivals(
+            base_rate_per_s=max(args.rate / 8.0, min(args.rate, 1e-3)),
+            peak_rate_per_s=args.rate,
+            period_s=args.horizon / 2.0,
+            horizon_s=args.horizon,
+            workloads=workloads,
+            seed=args.seed,
+        )
+    service = AIWorkflowService()
+    report = service.submit_trace(arrivals, mode=args.mode)
+    for key, value in report.summary().items():
+        print(f"{key:>22}: {value}")
+    for workload, counters in sorted(report.groups.items()):
+        print(f"{workload:>22}: {counters}")
+    service.shutdown()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="murakkab-repro",
@@ -121,6 +158,29 @@ def build_parser() -> argparse.ArgumentParser:
         "multitenant", help="Workflow A + B multiplexing comparison (ours)"
     )
     multitenant.set_defaults(func=_cmd_multitenant)
+
+    loadtest = subparsers.add_parser(
+        "loadtest",
+        help="serve a synthetic arrival trace through the AIWaaS batched-admission path (ours)",
+    )
+    loadtest.add_argument(
+        "--shape", choices=("poisson", "bursty", "diurnal"), default="poisson"
+    )
+    loadtest.add_argument("--rate", type=float, default=1.0, help="arrival rate (jobs/s)")
+    loadtest.add_argument("--horizon", type=float, default=600.0, help="trace horizon (s)")
+    loadtest.add_argument(
+        "--workloads",
+        default="newsfeed,chain-of-thought",
+        help="comma-separated workload names (see repro.loadgen.default_registry)",
+    )
+    loadtest.add_argument(
+        "--mode",
+        choices=("grouped", "multiplex"),
+        default="grouped",
+        help="grouped = steady-state memoized throughput path; multiplex = full interleaving",
+    )
+    loadtest.add_argument("--seed", type=int, default=3)
+    loadtest.set_defaults(func=_cmd_loadtest)
     return parser
 
 

@@ -22,7 +22,7 @@ the rigid imperative execution the paper compares against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.agents.base import (
     AgentImplementation,
@@ -76,6 +76,11 @@ class ServerHandle:
     instance: ModelInstance
     slots: int = 1
     active: int = 0
+    #: Executors with work queued on this instance, waiting for a slot.
+    #: Notified (in registration order) whenever a slot frees, so a workflow
+    #: whose tasks all target a busy shared instance is woken by *another*
+    #: workflow's completion instead of stalling forever.
+    waiters: List[object] = field(default_factory=list)
 
     @property
     def gpu_ids(self) -> Tuple[str, ...]:
@@ -134,6 +139,15 @@ class ServerPool:
     def handles(self) -> List[ServerHandle]:
         return list(self._handles.values())
 
+    def signature(self) -> Tuple[Tuple[str, str], ...]:
+        """Deterministic fingerprint of the deployed (group, config) set.
+
+        Changes exactly when a serving instance is deployed or torn down —
+        the invalidation signal for schedulers that memoize steady-state
+        behaviour against a warm pool.
+        """
+        return tuple(sorted(self._handles.keys()))
+
     def total_gpus(self) -> int:
         return sum(handle.gpus for handle in self._handles.values())
 
@@ -177,6 +191,7 @@ class WorkflowExecutor:
         announce: bool = True,
         workflow_id: str = "workflow",
         incremental_dispatch: bool = True,
+        on_finish: Optional[Callable[["WorkflowExecutor"], None]] = None,
     ) -> None:
         self.engine = engine
         self.cluster_manager = cluster_manager
@@ -194,6 +209,11 @@ class WorkflowExecutor:
         #: reference path (repro.baselines.unoptimized) can reproduce the
         #: original rescan behaviour for differential benchmarks.
         self.incremental_dispatch = incremental_dispatch
+        #: Invoked exactly once, when the last task completes.  Multi-job
+        #: coordinators use this to account each job's completion as it
+        #: happens (streaming accounting) instead of scanning every executor
+        #: after the engine drains.
+        self.on_finish = on_finish
 
         self.results: Dict[str, AgentResult] = {}
         self._graph: Optional[TaskGraph] = None
@@ -357,6 +377,13 @@ class WorkflowExecutor:
             lane.queue.pop(0)
             self._start_task(task, lane, allocation)
             started = True
+        if (
+            lane.queue
+            and lane.server is not None
+            and not lane.server.has_capacity()
+            and self not in lane.server.waiters
+        ):
+            lane.server.waiters.append(self)
         return started
 
     #: Upper bound on consecutive allocation retries before declaring the
@@ -374,6 +401,20 @@ class WorkflowExecutor:
             )
         assert self._graph is not None
         if not self._is_complete():
+            self._dispatch()
+
+    def _notify_server_waiters(self, server: ServerHandle) -> None:
+        """Wake executors queued behind the slot this completion just freed."""
+        waiters = server.waiters
+        server.waiters = []
+        for waiter in waiters:
+            if waiter is self:
+                # Our own dispatch runs at the end of _complete_task anyway.
+                continue
+            self.engine.schedule(0.0, waiter._resume_after_server_release)
+
+    def _resume_after_server_release(self) -> None:
+        if self._graph is not None and not self._is_complete():
             self._dispatch()
 
     def _is_next_in_order(self, task: Task) -> bool:
@@ -429,6 +470,8 @@ class WorkflowExecutor:
         lane.active -= 1
         if lane.server is not None:
             lane.server.active -= 1
+            if lane.server.waiters:
+                self._notify_server_waiters(lane.server)
         self._global_active -= 1
         if allocation is not None:
             self.cluster_manager.release(allocation)
@@ -449,6 +492,9 @@ class WorkflowExecutor:
             self.finished_at = self.engine.now
             if self.announce:
                 self.cluster_manager.retract_workflow(self.workflow_id)
+            self.engine.mark(self.workflow_id)
+            if self.on_finish is not None:
+                self.on_finish(self)
         else:
             self._dispatch()
 

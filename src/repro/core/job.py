@@ -102,6 +102,16 @@ class JobResult:
         """GPU energy in Wh (the metric the paper's Table 2 reports)."""
         return self.energy.gpu_wh
 
+    def compact_summary(self) -> Dict[str, float]:
+        """The bounded per-job accounting record kept by services and
+        trace reports (unrounded, so aggregates reconcile exactly)."""
+        return {
+            "makespan_s": self.makespan_s,
+            "energy_wh": self.energy_wh,
+            "cost": self.cost,
+            "quality": self.quality,
+        }
+
     def summary(self) -> Dict[str, object]:
         """A compact dictionary used by reports and benchmarks."""
         return {

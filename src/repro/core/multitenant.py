@@ -5,16 +5,19 @@ Figure 2 of the paper shows the promise of managing independent workflows
 cluster manager multiplex them over the same serving instances and idle
 resources instead of giving each workflow a rigid, dedicated deployment.
 
-:class:`MultiTenantRuntime` extends the single-job runtime with an arrival
-schedule: each job is orchestrated when it arrives (seeing the then-current
-cluster stats), starts executing immediately, and shares the serving-instance
-pool with every other in-flight workflow.
+:func:`run_submissions` is the general coordinator: it admits any number of
+submissions onto one runtime's shared engine and server pool in
+deterministic arrival order (batch-injected into the event queue), and
+either keeps full per-job results and a merged trace (the classic two-tenant
+experiment) or streams per-job accounting through a callback with bounded
+retained state (the trace-serving path, where N is in the thousands).
+:class:`MultiTenantRuntime` remains the convenient façade over it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import calibration
 from repro.agents.base import AgentInterface
@@ -42,7 +45,13 @@ class TenantSubmission:
 
 @dataclass
 class MultiTenantReport:
-    """Cluster-level metrics for a multi-tenant run."""
+    """Cluster-level metrics for a multi-tenant run.
+
+    In streaming mode (``collect_traces=False``) :attr:`job_results` and
+    :attr:`merged_trace` stay empty — per-job detail is delivered through the
+    ``on_result`` callback and summarised in :attr:`job_summaries` — while
+    every aggregate remains exact.
+    """
 
     job_results: Dict[str, JobResult] = field(default_factory=dict)
     merged_trace: ExecutionTrace = field(default_factory=ExecutionTrace)
@@ -50,6 +59,9 @@ class MultiTenantReport:
     provisioned_gpus: int = 0
     batch_start: float = 0.0
     batch_end: float = 0.0
+    completed_jobs: int = 0
+    #: ``job_id -> compact summary`` (always populated, bounded by caller).
+    job_summaries: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def batch_makespan_s(self) -> float:
@@ -60,51 +72,143 @@ class MultiTenantReport:
         return self.total_energy.gpu_wh
 
     def mean_job_makespan_s(self) -> float:
-        if not self.job_results:
-            return 0.0
-        return sum(result.makespan_s for result in self.job_results.values()) / len(
-            self.job_results
-        )
-
-
-class MultiTenantRuntime(MurakkabRuntime):
-    """A Murakkab runtime that multiplexes several workflows on one cluster."""
-
-    def run_all(self, submissions: Sequence[TenantSubmission]) -> MultiTenantReport:
-        """Run every submission to completion and report cluster-level metrics."""
-        if not submissions:
-            raise ValueError("at least one submission is required")
-        pool = ServerPool(self.cluster_manager, self.library)
-        merged_trace = ExecutionTrace(label="multi-tenant")
-        executors: Dict[str, WorkflowExecutor] = {}
-        orchestrations: Dict[str, object] = {}
-        jobs: Dict[str, Job] = {}
-
-        for submission in sorted(submissions, key=lambda s: s.arrival_time):
-            self.engine.schedule_at(
-                max(submission.arrival_time, self.engine.now),
-                self._admit,
-                submission,
-                pool,
-                merged_trace,
-                executors,
-                orchestrations,
-                jobs,
+        if self.job_summaries:
+            return sum(s["makespan_s"] for s in self.job_summaries.values()) / len(
+                self.job_summaries
             )
+        return 0.0
 
-        self.engine.run()
 
-        report = MultiTenantReport(provisioned_gpus=pool.total_gpus())
-        finish_times: List[float] = []
-        start_times: List[float] = []
+def run_submissions(
+    runtime: MurakkabRuntime,
+    submissions: Sequence[TenantSubmission],
+    pool: Optional[ServerPool] = None,
+    collect_traces: bool = True,
+    on_result: Optional[Callable[[JobResult], None]] = None,
+) -> MultiTenantReport:
+    """Admit every submission onto ``runtime``'s shared engine and run to done.
+
+    Admission order is deterministic: arrival time, then submission index.
+    The whole schedule is batch-injected into the event queue in one pass.
+    Each job is orchestrated when it arrives (seeing the then-current cluster
+    stats), starts executing immediately, and shares the serving-instance
+    pool with every other in-flight workflow.
+
+    With ``collect_traces=True`` (default) the report carries full per-job
+    :class:`JobResult` objects and a merged execution trace.  With
+    ``collect_traces=False`` each job is accounted the moment it finishes —
+    ``on_result`` receives its :class:`JobResult` (with its own trace, which
+    is dropped afterwards) — and only O(jobs) compact summaries plus O(1)
+    energy totals are retained, so thousand-job traces don't accumulate
+    per-job executor state.  One per-job attribution difference follows from
+    when results are built: streaming accounts a job's idle-energy/cost share
+    against the pool *as of its finish time*, while the full mode accounts
+    every job against the final pool; batch totals agree between the modes.
+    """
+    if not submissions:
+        raise ValueError("at least one submission is required")
+    engine = runtime.engine
+    own_pool = pool is None
+    if pool is None:
+        pool = ServerPool(runtime.cluster_manager, runtime.library)
+
+    report = MultiTenantReport()
+    accountant = EnergyAccountant(
+        gpu_power=runtime.cluster.nodes[0].gpu_spec.power,
+        cpu_power_per_core_w=get_cpu_spec().active_w_per_core,
+    )
+    executors: Dict[str, WorkflowExecutor] = {}
+    contexts: Dict[str, tuple] = {}
+    finish_times: List[float] = []
+    start_times: List[float] = []
+    dynamic_energy = EnergyBreakdown()
+
+    def finish_streaming(executor: WorkflowExecutor) -> None:
+        job, orchestration = contexts.pop(executor.workflow_id)
+        executors.pop(executor.workflow_id, None)
+        started_at = executor.trace.start_time()
+        finished_at = (
+            executor.finished_at if executor.finished_at is not None else engine.now
+        )
+        start_times.append(started_at)
+        finish_times.append(finished_at)
+        result = runtime._build_result(
+            job=job,
+            orchestration=orchestration,
+            results=executor.results,
+            trace=executor.trace,
+            pool=pool,
+            started_at=started_at,
+            finished_at=finished_at,
+        )
+        # Fold the job's dynamic (busy) energy into the running total now;
+        # fleet idle energy needs the final batch window and pool size, so it
+        # is integrated once at the end.
+        per_job_energy = accountant.account(executor.trace, provisioned_gpus=0)
+        for category, wh in per_job_energy.dynamic_wh_by_category.items():
+            dynamic_energy.dynamic_wh_by_category[category] = (
+                dynamic_energy.dynamic_wh_by_category.get(category, 0.0) + wh
+            )
+        dynamic_energy.cpu_wh += per_job_energy.cpu_wh
+        report.completed_jobs += 1
+        report.job_summaries[result.job_id] = result.compact_summary()
+        if on_result is not None:
+            on_result(result)
+
+    def admit(submission: TenantSubmission) -> None:
+        job = submission.job
+        stats = runtime.cluster_manager.stats()
+        orchestration = runtime.orchestrator.prepare(
+            job, cluster_stats=stats, overrides=submission.overrides
+        )
+        dag_latency = (
+            orchestration.decomposition_latency_s or calibration.DAG_CREATION_SECONDS
+        )
+        trace = ExecutionTrace(label=job.job_id)
+        trace.add(
+            task_id=f"{job.job_id}/orchestration",
+            task_name="job decomposition (orchestrator LLM)",
+            category="Orchestration",
+            start=engine.now,
+            end=engine.now + dag_latency,
+            cpu_cores=1,
+            cpu_utilization=0.1,
+            metadata={"workflow": job.job_id},
+        )
+        executor = WorkflowExecutor(
+            engine=engine,
+            cluster_manager=runtime.cluster_manager,
+            library=runtime.library,
+            plan=orchestration.plan,
+            server_pool=pool,
+            trace=trace,
+            workflow_id=job.job_id,
+            on_finish=None if collect_traces else finish_streaming,
+        )
+        executor.start(orchestration.graph, delay=dag_latency)
+        executors[job.job_id] = executor
+        contexts[job.job_id] = (job, orchestration)
+
+    ordered = sorted(
+        enumerate(submissions), key=lambda pair: (pair[1].arrival_time, pair[0])
+    )
+    engine.schedule_at_batch(
+        (max(submission.arrival_time, engine.now), admit, (submission,))
+        for _index, submission in ordered
+    )
+    engine.run()
+
+    if collect_traces:
+        merged_trace = ExecutionTrace(label="multi-tenant")
         for job_id, executor in executors.items():
-            job = jobs[job_id]
-            orchestration = orchestrations[job_id]
-            finished_at = executor.finished_at if executor.finished_at is not None else self.engine.now
+            job, orchestration = contexts[job_id]
+            finished_at = (
+                executor.finished_at if executor.finished_at is not None else engine.now
+            )
             started_at = executor.trace.start_time()
             start_times.append(started_at)
             finish_times.append(finished_at)
-            result = self._build_result(
+            result = runtime._build_result(
                 job=job,
                 orchestration=orchestration,
                 results=executor.results,
@@ -114,63 +218,55 @@ class MultiTenantRuntime(MurakkabRuntime):
                 finished_at=finished_at,
             )
             report.job_results[job_id] = result
+            report.completed_jobs += 1
+            report.job_summaries[job_id] = result.compact_summary()
+            if on_result is not None:
+                on_result(result)
         report.batch_start = min(start_times) if start_times else 0.0
         report.batch_end = max(finish_times) if finish_times else 0.0
-
         for executor in executors.values():
             merged_trace.extend(executor.trace.intervals)
         report.merged_trace = merged_trace
-        accountant = EnergyAccountant(
-            gpu_power=self.cluster.nodes[0].gpu_spec.power,
-            cpu_power_per_core_w=get_cpu_spec().active_w_per_core,
-        )
+        report.provisioned_gpus = pool.total_gpus()
         report.total_energy = accountant.account(
             merged_trace,
             provisioned_gpus=pool.total_gpus(),
             window=(report.batch_start, report.batch_end),
         )
-        pool.teardown_all()
-        return report
+    else:
+        report.batch_start = min(start_times) if start_times else 0.0
+        report.batch_end = max(finish_times) if finish_times else 0.0
+        report.provisioned_gpus = pool.total_gpus()
+        idle_wh = (
+            pool.total_gpus()
+            * runtime.cluster.nodes[0].gpu_spec.power.idle_w
+            * report.batch_makespan_s
+            / 3600.0
+        )
+        report.total_energy = EnergyBreakdown(
+            idle_wh=idle_wh,
+            dynamic_wh_by_category=dict(dynamic_energy.dynamic_wh_by_category),
+            cpu_wh=dynamic_energy.cpu_wh,
+        )
 
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
-    def _admit(
+    if own_pool:
+        pool.teardown_all()
+    return report
+
+
+class MultiTenantRuntime(MurakkabRuntime):
+    """A Murakkab runtime that multiplexes several workflows on one cluster."""
+
+    def run_all(
         self,
-        submission: TenantSubmission,
-        pool: ServerPool,
-        merged_trace: ExecutionTrace,
-        executors: Dict[str, WorkflowExecutor],
-        orchestrations: Dict[str, object],
-        jobs: Dict[str, Job],
-    ) -> None:
-        job = submission.job
-        stats = self.cluster_manager.stats()
-        orchestration = self.orchestrator.prepare(
-            job, cluster_stats=stats, overrides=submission.overrides
+        submissions: Sequence[TenantSubmission],
+        collect_traces: bool = True,
+        on_result: Optional[Callable[[JobResult], None]] = None,
+    ) -> MultiTenantReport:
+        """Run every submission to completion and report cluster-level metrics."""
+        return run_submissions(
+            self,
+            submissions,
+            collect_traces=collect_traces,
+            on_result=on_result,
         )
-        dag_latency = orchestration.decomposition_latency_s or calibration.DAG_CREATION_SECONDS
-        trace = ExecutionTrace(label=job.job_id)
-        trace.add(
-            task_id=f"{job.job_id}/orchestration",
-            task_name="job decomposition (orchestrator LLM)",
-            category="Orchestration",
-            start=self.engine.now,
-            end=self.engine.now + dag_latency,
-            cpu_cores=1,
-            cpu_utilization=0.1,
-            metadata={"workflow": job.job_id},
-        )
-        executor = WorkflowExecutor(
-            engine=self.engine,
-            cluster_manager=self.cluster_manager,
-            library=self.library,
-            plan=orchestration.plan,
-            server_pool=pool,
-            trace=trace,
-            workflow_id=job.job_id,
-        )
-        executor.start(orchestration.graph, delay=dag_latency)
-        executors[job.job_id] = executor
-        orchestrations[job.job_id] = orchestration
-        jobs[job.job_id] = job

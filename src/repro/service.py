@@ -22,18 +22,35 @@ from repro.core.constraints import Constraint, ConstraintSet
 from repro.core.execution import ServerPool
 from repro.core.job import Job, JobResult
 from repro.core.runtime import MurakkabRuntime
+from repro.loadgen import ServiceLoadGenerator
 from repro.profiling.profiler import Profiler
+from repro.telemetry.metrics import StreamingAggregate, evict_oldest
 
 
 @dataclass
 class ServiceStats:
-    """Service-level accounting across every job served."""
+    """Service-level accounting across every job served.
+
+    Aggregates (counts, totals, streaming min/mean/max) are always exact and
+    O(1) in memory.  Per-job detail is kept in :attr:`per_job` up to
+    :attr:`max_per_job_records` entries (``None`` = unbounded); beyond the
+    cap the oldest record is evicted, so a long-lived service — or a
+    10k-job trace replay — cannot grow without bound.
+    """
 
     jobs_completed: int = 0
     total_energy_wh: float = 0.0
     total_cost: float = 0.0
     total_makespan_s: float = 0.0
     per_job: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Cap on retained per-job records (``None`` keeps every record).
+    max_per_job_records: Optional[int] = None
+    #: How many per-job records have been evicted to honour the cap.
+    per_job_evicted: int = 0
+    makespan_s: StreamingAggregate = field(default_factory=StreamingAggregate)
+    energy_wh: StreamingAggregate = field(default_factory=StreamingAggregate)
+    cost: StreamingAggregate = field(default_factory=StreamingAggregate)
+    quality: StreamingAggregate = field(default_factory=StreamingAggregate)
 
     @property
     def mean_makespan_s(self) -> float:
@@ -41,17 +58,27 @@ class ServiceStats:
             return 0.0
         return self.total_makespan_s / self.jobs_completed
 
+    def limit_per_job_records(self, cap: Optional[int]) -> None:
+        """Bound (or unbound) retained per-job detail from now on."""
+        if cap is not None and cap < 0:
+            raise ValueError("max_per_job_records must be non-negative or None")
+        self.max_per_job_records = cap
+        self._evict()
+
     def record(self, result: JobResult) -> None:
         self.jobs_completed += 1
         self.total_energy_wh += result.energy_wh
         self.total_cost += result.cost
         self.total_makespan_s += result.makespan_s
-        self.per_job[result.job_id] = {
-            "makespan_s": result.makespan_s,
-            "energy_wh": result.energy_wh,
-            "cost": result.cost,
-            "quality": result.quality,
-        }
+        self.makespan_s.add(result.makespan_s)
+        self.energy_wh.add(result.energy_wh)
+        self.cost.add(result.cost)
+        self.quality.add(result.quality)
+        self.per_job[result.job_id] = result.compact_summary()
+        self._evict()
+
+    def _evict(self) -> None:
+        self.per_job_evicted += evict_oldest(self.per_job, self.max_per_job_records)
 
 
 class AIWorkflowService:
@@ -94,6 +121,24 @@ class AIWorkflowService:
         result = self.runtime.submit(job, server_pool=self._pool)
         self.stats.record(result)
         return result
+
+    def submit_trace(self, arrivals, **options):
+        """Serve a whole arrival trace through the batched-admission path.
+
+        ``arrivals`` is a sequence of
+        :class:`~repro.workloads.arrival.JobArrival` (see
+        ``repro.workloads.arrival`` for Poisson/uniform/bursty/diurnal
+        generators).  Jobs are grouped by
+        ``(workload, constraints, quality_target)`` so each group is planned
+        once and simulated to steady state, after which completions are
+        accounted incrementally on the shared engine instead of re-running
+        the whole pipeline per job.  Returns a
+        :class:`~repro.loadgen.TraceReport`.
+
+        See :class:`~repro.loadgen.ServiceLoadGenerator` for the options
+        (``registry``, ``mode``, ``max_per_job_records`` …).
+        """
+        return ServiceLoadGenerator(self).run(arrivals, **options)
 
     # ------------------------------------------------------------------ #
     # Library evolution (transparent adoption of new models/tools)

@@ -8,7 +8,7 @@ the same timestamp fire in scheduling order.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.clock import SimClock
 from repro.sim.events import Event, EventQueue
@@ -21,6 +21,11 @@ class SimulationEngine:
         self._clock = SimClock(start_time)
         self._queue = EventQueue()
         self._events_fired = 0
+        #: Named completion watermarks (e.g. one per served job): the highest
+        #: simulated time :meth:`mark` has recorded under each key.  Bounded
+        #: by :attr:`WATERMARK_CAP` (oldest evicted) so a long-lived engine
+        #: serving millions of jobs does not accumulate per-job state.
+        self.watermarks: Dict[str, float] = {}
 
     @property
     def now(self) -> float:
@@ -64,6 +69,43 @@ class SimulationEngine:
                 f"cannot schedule in the past: now={self.now}, requested={time}"
             )
         return self._queue.push(time, callback, *args, **kwargs)
+
+    def schedule_at_batch(
+        self, entries: Iterable[Tuple[float, Callable[..., Any], tuple]]
+    ) -> List[Event]:
+        """Inject many ``(time, callback, args)`` events in one pass.
+
+        All times must be ``>= now``.  When the queue is idle the batch is
+        heapified in O(n); trace-driven serving uses this to admit a whole
+        arrival schedule (or a run of memoized job completions) without
+        paying per-event push overhead.
+        """
+        entries = list(entries)
+        now = self.now
+        for time, _callback, _args in entries:
+            if time < now:
+                raise ValueError(
+                    f"cannot schedule in the past: now={now}, requested={time}"
+                )
+        return self._queue.push_batch(entries)
+
+    #: Retained watermark entries (oldest evicted beyond this).
+    WATERMARK_CAP = 4096
+
+    def mark(self, key: str) -> float:
+        """Record a completion watermark for ``key`` at the current time."""
+        now = self._clock.now
+        watermarks = self.watermarks
+        existing = watermarks.get(key)
+        if existing is None or now > existing:
+            watermarks[key] = now
+        while len(watermarks) > self.WATERMARK_CAP:
+            del watermarks[next(iter(watermarks))]
+        return now
+
+    def watermark(self, key: str) -> Optional[float]:
+        """The latest watermark recorded for ``key``, or ``None``."""
+        return self.watermarks.get(key)
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
@@ -124,3 +166,4 @@ class SimulationEngine:
         self._queue.clear()
         self._clock.reset()
         self._events_fired = 0
+        self.watermarks.clear()

@@ -110,6 +110,34 @@ class EventQueue:
         heapq.heappush(self._heap, (event.time, sequence, event))
         return event
 
+    def push_batch(self, entries) -> list:
+        """Add many ``(time, callback, args)`` entries in one pass.
+
+        Returns the created :class:`Event` objects in input order.  When the
+        queue is empty the batch is heapified in O(n) instead of n × O(log n)
+        pushes — the fast path for trace-driven runs that inject thousands of
+        admission or completion events between engine runs.  Entries scheduled
+        at the same time fire in input order, exactly as repeated
+        :meth:`push` calls would.
+        """
+        heap = self._heap
+        events = []
+        was_empty = not heap
+        for time, callback, args in entries:
+            sequence = self._next_sequence
+            self._next_sequence = sequence + 1
+            event = Event(time, sequence, callback, args)
+            event._queue = self
+            entry = (event.time, sequence, event)
+            if was_empty:
+                heap.append(entry)
+            else:
+                heapq.heappush(heap, entry)
+            events.append(event)
+        if was_empty:
+            heapq.heapify(heap)
+        return events
+
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event, or ``None``."""
         heap = self._heap

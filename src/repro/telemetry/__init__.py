@@ -7,8 +7,11 @@ paper's Figure 3 (execution traces + CPU/GPU utilisation curves) and Table 2
 
 from repro.telemetry.timeline import UtilizationTimeline, gantt_text
 from repro.telemetry.metrics import (
+    StreamingAggregate,
+    ThroughputMeter,
     average_utilization,
     energy_efficiency_gain,
+    geometric_mean,
     speedup,
 )
 from repro.telemetry.energy_report import Table2Row, build_table2_rows, render_table2
@@ -20,6 +23,9 @@ __all__ = [
     "speedup",
     "energy_efficiency_gain",
     "average_utilization",
+    "geometric_mean",
+    "StreamingAggregate",
+    "ThroughputMeter",
     "Table2Row",
     "build_table2_rows",
     "render_table2",

@@ -1,8 +1,18 @@
-"""Headline metrics: speedup, energy-efficiency gain, utilisation."""
+"""Headline metrics: speedup, energy-efficiency gain, utilisation, and
+streaming aggregates for long trace-driven runs.
+
+The scalar helpers are defensive: empty inputs and zero values come up
+naturally on degenerate runs (an empty trace, a zero-quality stage) and are
+answered with ``0.0`` instead of an exception, so a long-lived service's
+telemetry loop never dies on an edge case.  Genuinely malformed inputs
+(negative durations, negative values) still raise.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
 
 from repro.sim.trace import ExecutionTrace
 
@@ -28,8 +38,15 @@ def energy_efficiency_gain(baseline_wh: float, optimized_wh: float) -> float:
 def average_utilization(
     trace: ExecutionTrace, total_gpus: int, window: float = 0.0
 ) -> float:
-    """Mean GPU utilisation fraction over the trace span (0..1)."""
-    if total_gpus <= 0:
+    """Mean GPU utilisation fraction over the trace span (0..1).
+
+    Degenerate inputs — no GPUs, an empty trace, a zero-length window —
+    yield ``0.0`` rather than raising, so telemetry over an idle service
+    stays total.  A negative window is malformed and raises.
+    """
+    if window < 0:
+        raise ValueError("window must be non-negative")
+    if total_gpus <= 0 or len(trace) == 0:
         return 0.0
     span = window or trace.makespan()
     if span <= 0:
@@ -38,13 +55,111 @@ def average_utilization(
 
 
 def geometric_mean(values: Iterable[float]) -> float:
-    """Geometric mean, used when aggregating per-workflow speedups."""
+    """Geometric mean, used when aggregating per-workflow speedups.
+
+    An empty sequence yields ``0.0`` (there is nothing to aggregate), and any
+    zero value collapses the mean to ``0.0`` — the mathematical limit —
+    instead of raising.  Negative values are malformed and raise.
+    """
     values = list(values)
     if not values:
-        raise ValueError("geometric_mean of empty sequence")
-    product = 1.0
+        return 0.0
+    log_sum = 0.0
     for value in values:
-        if value <= 0:
-            raise ValueError("geometric_mean requires positive values")
-        product *= value
-    return product ** (1.0 / len(values))
+        if value < 0:
+            raise ValueError("geometric_mean requires non-negative values")
+        if value == 0:
+            return 0.0
+        log_sum += math.log(value)
+    return math.exp(log_sum / len(values))
+
+
+def evict_oldest(mapping: Dict, cap: Optional[int]) -> int:
+    """Delete insertion-oldest entries of ``mapping`` beyond ``cap``.
+
+    The shared primitive behind every bounded rolling-detail store (service
+    per-job records, trace-report summaries).  ``cap=None`` means unbounded.
+    Returns how many entries were evicted.
+    """
+    if cap is None:
+        return 0
+    evicted = 0
+    while len(mapping) > cap:
+        # Dicts preserve insertion order, so the first key is the oldest.
+        del mapping[next(iter(mapping))]
+        evicted += 1
+    return evicted
+
+
+@dataclass
+class StreamingAggregate:
+    """Exact count/total/min/max/mean over a stream of values in O(1) memory.
+
+    A 10k-job trace run folds every per-job metric (makespan, energy, cost,
+    quality) into one of these instead of accumulating per-job dicts, so
+    service-level accounting stays bounded no matter how long the service
+    lives.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "StreamingAggregate") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+@dataclass
+class ThroughputMeter:
+    """Jobs/sec over a run, tracked incrementally as completions stream in."""
+
+    completed: int = 0
+    first_start: float = math.inf
+    last_finish: float = -math.inf
+
+    def record(self, started_at: float, finished_at: float) -> None:
+        self.completed += 1
+        if started_at < self.first_start:
+            self.first_start = started_at
+        if finished_at > self.last_finish:
+            self.last_finish = finished_at
+
+    @property
+    def span_s(self) -> float:
+        if not self.completed:
+            return 0.0
+        return max(0.0, self.last_finish - self.first_start)
+
+    @property
+    def jobs_per_second(self) -> float:
+        span = self.span_s
+        return self.completed / span if span > 0 else 0.0

@@ -78,3 +78,76 @@ def test_later_arrival_starts_later(videos):
         ]
     )
     assert report.job_results["mt-t30"].started_at >= 30.0
+
+
+def test_many_tenants_share_one_engine_run(videos):
+    """The coordinator generalises beyond two tenants (batched admission)."""
+    runtime = MultiTenantRuntime()
+    submissions = [
+        TenantSubmission(float(i) * 3.0, newsfeed_job(job_id=f"mt-n{i}")) for i in range(5)
+    ]
+    submissions.append(
+        TenantSubmission(1.0, video_understanding_job(videos=videos, job_id="mt-video-n"))
+    )
+    report = runtime.run_all(submissions)
+    assert len(report.job_results) == 6
+    assert report.completed_jobs == 6
+    assert all(result.makespan_s > 0 for result in report.job_results.values())
+    # Every job left a completion watermark on the shared engine.
+    for job_id in report.job_results:
+        assert runtime.engine.watermark(job_id) is not None
+    assert runtime.cluster.free_gpus == runtime.cluster.total_gpus
+
+
+def test_streaming_mode_bounds_retained_state(videos):
+    """collect_traces=False streams per-job results and keeps only summaries."""
+    runtime = MultiTenantRuntime()
+    streamed = []
+    report = runtime.run_all(
+        [
+            TenantSubmission(0.0, video_understanding_job(videos=videos, job_id="mt-s0")),
+            TenantSubmission(2.0, newsfeed_job(job_id="mt-s1")),
+            TenantSubmission(4.0, newsfeed_job(job_id="mt-s2")),
+        ],
+        collect_traces=False,
+        on_result=lambda result: streamed.append(result),
+    )
+    assert [r.job_id for r in streamed] and len(streamed) == 3
+    assert report.job_results == {}
+    assert len(report.merged_trace) == 0
+    assert set(report.job_summaries) == {"mt-s0", "mt-s1", "mt-s2"}
+    assert report.completed_jobs == 3
+    assert report.batch_makespan_s > 0
+    assert report.total_energy_wh > 0
+    assert report.mean_job_makespan_s() > 0
+    # Each streamed result still carried its own full trace for accounting.
+    assert all(len(result.trace) > 0 for result in streamed)
+
+
+def test_streaming_energy_matches_full_accounting(videos):
+    """Streaming (incremental) energy equals the merged-trace integration."""
+    jobs = lambda: [
+        TenantSubmission(0.0, video_understanding_job(videos=videos, job_id="mt-e0")),
+        TenantSubmission(3.0, newsfeed_job(job_id="mt-e1")),
+    ]
+    full = MultiTenantRuntime().run_all(jobs())
+    streaming = MultiTenantRuntime().run_all(jobs(), collect_traces=False)
+    assert streaming.total_energy_wh == pytest.approx(full.total_energy_wh, rel=1e-9)
+    assert streaming.batch_makespan_s == pytest.approx(full.batch_makespan_s)
+    assert streaming.provisioned_gpus == full.provisioned_gpus
+
+
+def test_three_gpu_bound_tenants_do_not_stall():
+    """A workflow whose tasks all queue on a busy shared instance is woken by
+    another workflow's completion (server-slot release notification)."""
+    from repro.workflows.chain_of_thought import chain_of_thought_job
+
+    runtime = MultiTenantRuntime()
+    report = runtime.run_all(
+        [
+            TenantSubmission(0.0, chain_of_thought_job(job_id=f"mt-cot{i}"))
+            for i in range(3)
+        ]
+    )
+    assert len(report.job_results) == 3
+    assert all(result.makespan_s > 0 for result in report.job_results.values())

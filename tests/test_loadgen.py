@@ -1,0 +1,269 @@
+"""Tests for the trace-driven serving path (``AIWorkflowService.submit_trace``).
+
+Covers the acceptance bar for the batched-admission layer:
+
+* a single-job trace is byte-identical to the classic per-job ``submit()``;
+* grouped trace serving is semantically the serial submit loop (exact
+  aggregate agreement) while being >=10x faster in wall-clock jobs/sec on a
+  1,000-job Poisson trace;
+* steady-state memoization re-converges when the warm pool or the agent
+  library changes;
+* service-level accounting stays bounded.
+"""
+
+import time
+
+import pytest
+
+from repro.loadgen import ServiceLoadGenerator, WorkloadRegistry, default_registry
+from repro.service import AIWorkflowService
+from repro.workflows.newsfeed import newsfeed_job
+from repro.workloads.arrival import JobArrival, poisson_arrivals, uniform_arrivals
+from repro.workloads.posts import generate_posts
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+def _newsfeed_registry(posts):
+    registry = WorkloadRegistry()
+    registry.register("newsfeed", lambda job_id: newsfeed_job(posts=posts, job_id=job_id))
+    return registry
+
+
+# --------------------------------------------------------------------- #
+# Byte-identity of the single-job path
+# --------------------------------------------------------------------- #
+
+
+def test_single_job_trace_is_byte_identical_to_submit(registry):
+    direct_service = AIWorkflowService()
+    direct = direct_service.submit_job(registry.build("video-understanding", "ident"))
+
+    generator = ServiceLoadGenerator(AIWorkflowService(), registry)
+    report = generator.run(
+        [JobArrival(0.0, "video-understanding")],
+        job_ids=lambda index, workload: "ident",
+    )
+    traced = generator.last_probe_result
+
+    assert report.jobs == 1 and report.simulated_jobs == 1
+    assert generator.service.stats.per_job["ident"] == direct_service.stats.per_job["ident"]
+    # The trace path must run the standard pipeline: identical plan text,
+    # identical execution trace interval-for-interval, identical accounting.
+    assert traced.plan.describe() == direct.plan.describe()
+    assert tuple(traced.trace) == tuple(direct.trace)
+    assert [i.metadata for i in traced.trace] == [i.metadata for i in direct.trace]
+    assert traced.summary() == direct.summary()
+    assert traced.output == direct.output
+
+
+# --------------------------------------------------------------------- #
+# Exact agreement with the serial loop + the 10x differential bar
+# --------------------------------------------------------------------- #
+
+
+def test_grouped_trace_matches_serial_loop_exactly():
+    posts = generate_posts()
+    arrivals = uniform_arrivals(8, interval_s=1.0, workloads=("newsfeed",))
+
+    loop_service = AIWorkflowService()
+    for index in range(len(arrivals)):
+        loop_service.submit_job(newsfeed_job(posts=posts, job_id=f"job-{index}"))
+
+    trace_service = AIWorkflowService()
+    report = trace_service.submit_trace(
+        arrivals,
+        registry=_newsfeed_registry(posts),
+        job_ids=lambda index, workload: f"job-{index}",
+    )
+
+    assert report.jobs == 8
+    assert report.simulated_jobs == 2 and report.replayed_jobs == 6
+    assert trace_service.stats.jobs_completed == loop_service.stats.jobs_completed
+    assert trace_service.stats.total_makespan_s == pytest.approx(
+        loop_service.stats.total_makespan_s
+    )
+    assert trace_service.stats.total_energy_wh == pytest.approx(
+        loop_service.stats.total_energy_wh
+    )
+    assert trace_service.stats.total_cost == pytest.approx(loop_service.stats.total_cost)
+    for job_id, record in loop_service.stats.per_job.items():
+        assert trace_service.stats.per_job[job_id] == pytest.approx(record)
+
+
+def test_1k_job_trace_is_10x_faster_than_per_job_loop():
+    posts = generate_posts()
+    arrivals = poisson_arrivals(
+        rate_per_s=2.0, horizon_s=500.0, workloads=("newsfeed",), seed=7
+    )
+    assert len(arrivals) >= 1000
+
+    trace_service = AIWorkflowService()
+    report = trace_service.submit_trace(arrivals, registry=_newsfeed_registry(posts))
+    assert report.jobs == len(arrivals)
+    assert report.replayed_jobs >= len(arrivals) - 4
+
+    loop_service = AIWorkflowService()
+    started = time.perf_counter()
+    for index in range(len(arrivals)):
+        loop_service.submit_job(newsfeed_job(posts=posts, job_id=f"loop-{index}"))
+    loop_seconds = time.perf_counter() - started
+
+    assert report.wall_seconds > 0
+    speedup = loop_seconds / report.wall_seconds
+    assert speedup >= 10.0, (
+        f"submit_trace must be >=10x the per-job loop; got {speedup:.1f}x "
+        f"({report.wall_seconds:.3f}s vs {loop_seconds:.3f}s)"
+    )
+    # Same work, same accounting: totals agree with the loop exactly.
+    assert trace_service.stats.total_makespan_s == pytest.approx(
+        loop_service.stats.total_makespan_s
+    )
+    assert trace_service.stats.total_cost == pytest.approx(loop_service.stats.total_cost)
+
+
+# --------------------------------------------------------------------- #
+# Grouping, ordering, and invalidation
+# --------------------------------------------------------------------- #
+
+
+def test_mixed_workloads_group_independently(registry):
+    service = AIWorkflowService()
+    arrivals = uniform_arrivals(10, 5.0, workloads=("newsfeed", "chain-of-thought"))
+    report = service.submit_trace(arrivals, registry=registry)
+    assert report.jobs == 10
+    assert set(report.groups) == {"newsfeed", "chain-of-thought"}
+    for counters in report.groups.values():
+        assert counters["simulated"] >= 2
+        assert counters["simulated"] + counters["replayed"] == 5
+    # Completions happen in FIFO order on the shared engine: watermarks are
+    # non-decreasing in admission order.
+    engine = service.runtime.engine
+    marks = [engine.watermark(f"trace-{i:05d}-{a.workload}") for i, a in enumerate(arrivals)]
+    assert all(m is not None for m in marks)
+    assert marks == sorted(marks)
+
+
+def test_arrivals_are_admitted_in_time_order_regardless_of_input_order(registry):
+    service = AIWorkflowService()
+    arrivals = [
+        JobArrival(50.0, "chain-of-thought"),
+        JobArrival(0.0, "chain-of-thought"),
+        JobArrival(25.0, "chain-of-thought"),
+    ]
+    report = service.submit_trace(arrivals, registry=registry)
+    assert report.jobs == 3
+    # Queue delay is measured against each job's own arrival time, so an
+    # out-of-order input list must not produce negative delays.
+    assert report.queue_delay_s.min >= 0.0
+
+
+def test_registering_new_agent_forces_reconvergence(registry):
+    from tests.test_service import TurboSTT
+
+    service = AIWorkflowService()
+    arrivals = uniform_arrivals(4, 1.0, workloads=("video-understanding",))
+    first = service.submit_trace(arrivals, registry=registry)
+    assert first.groups["video-understanding"]["replayed"] == 2
+
+    service.register_agent(TurboSTT())
+    second = service.submit_trace(arrivals, registry=registry)
+    # The library changed, so the steady record is stale: the group re-probes
+    # before replaying again, and the new model is adopted.
+    assert second.groups["video-understanding"]["simulated"] >= 2
+    mean_after = second.makespan_s.mean
+    assert mean_after <= first.makespan_s.mean
+
+
+def test_second_trace_on_warm_service_rebases_arrival_epoch(registry):
+    """Trace timestamps are trace-relative: a second trace on a long-lived
+    service must not report the first trace's duration as queue delay."""
+    service = AIWorkflowService()
+    arrivals = uniform_arrivals(4, 30.0, workloads=("chain-of-thought",))
+    service.submit_trace(arrivals, registry=registry)
+    engine_after_first = service.runtime.engine.now
+    assert engine_after_first > 0
+
+    second = service.submit_trace(
+        arrivals, registry=registry, job_ids=lambda i, w: f"second-{i}"
+    )
+    # Arrivals are spaced wider than the steady makespan, so jobs queue
+    # barely (only behind re-convergence probes), not behind the whole
+    # first trace.
+    assert second.queue_delay_s.max < engine_after_first
+    assert second.queue_delay_s.min >= 0.0
+    assert second.batch_start >= engine_after_first
+
+
+def test_unknown_workload_raises(registry):
+    service = AIWorkflowService()
+    with pytest.raises(KeyError):
+        service.submit_trace([JobArrival(0.0, "nope")], registry=registry)
+    with pytest.raises(ValueError):
+        service.submit_trace([], registry=registry)
+    with pytest.raises(ValueError):
+        service.submit_trace([JobArrival(0.0, "newsfeed")], registry=registry, mode="bogus")
+
+
+# --------------------------------------------------------------------- #
+# Multiplex mode
+# --------------------------------------------------------------------- #
+
+
+def test_multiplex_mode_serves_every_job_concurrently(registry):
+    service = AIWorkflowService()
+    arrivals = uniform_arrivals(4, 2.0, workloads=("newsfeed", "chain-of-thought"))
+    report = service.submit_trace(arrivals, mode="multiplex", registry=registry)
+    assert report.jobs == 4
+    assert report.simulated_jobs == 4 and report.replayed_jobs == 0
+    assert service.stats.jobs_completed == 4
+    assert report.batch_makespan_s > 0
+    # Multiplexing overlaps executions: the batch finishes sooner than the
+    # serial sum of makespans.
+    assert report.batch_makespan_s <= report.makespan_s.total
+
+
+# --------------------------------------------------------------------- #
+# Bounded service accounting
+# --------------------------------------------------------------------- #
+
+
+def test_service_stats_bounded_mode_keeps_aggregates_exact():
+    posts = generate_posts()
+    service = AIWorkflowService()
+    report = service.submit_trace(
+        uniform_arrivals(30, 1.0, workloads=("newsfeed",)),
+        registry=_newsfeed_registry(posts),
+        max_per_job_records=5,
+    )
+    stats = service.stats
+    assert report.jobs == 30
+    assert stats.jobs_completed == 30
+    assert len(stats.per_job) == 5
+    assert stats.per_job_evicted == 25
+    assert stats.makespan_s.count == 30
+    assert stats.total_makespan_s == pytest.approx(stats.makespan_s.total)
+    # The retained records are the most recent five.
+    assert set(stats.per_job) == {f"trace-{i:05d}-newsfeed" for i in range(25, 30)}
+
+
+def test_trace_report_summary_fields(registry):
+    service = AIWorkflowService()
+    report = service.submit_trace(
+        uniform_arrivals(3, 1.0, workloads=("chain-of-thought",)), registry=registry
+    )
+    summary = report.summary()
+    assert summary["jobs"] == 3
+    assert summary["mode"] == "grouped"
+    assert summary["wall_jobs_per_second"] > 0
+    assert report.jobs_per_second > 0
+    assert report.batch_end >= report.batch_start
+
+
+def test_load_generator_requires_known_mode(registry):
+    generator = ServiceLoadGenerator(AIWorkflowService(), registry)
+    with pytest.raises(ValueError):
+        generator.run([JobArrival(0.0, "newsfeed")], mode="wat")

@@ -82,3 +82,23 @@ def test_retire_agent_removes_it_from_future_planning(service, videos):
 def test_service_rejects_invalid_jobs(service):
     with pytest.raises(ValueError):
         service.submit(description="")
+
+
+def test_service_stats_bounded_per_job_detail(service, videos):
+    service.stats.limit_per_job_records(2)
+    for index in range(4):
+        _submit_video_job(service, videos, f"svc-cap-{index}")
+    stats = service.stats
+    assert stats.jobs_completed == 4
+    assert set(stats.per_job) == {"svc-cap-2", "svc-cap-3"}
+    assert stats.per_job_evicted == 2
+    # Aggregates stay exact despite eviction.
+    assert stats.makespan_s.count == 4
+    assert stats.total_makespan_s == pytest.approx(stats.makespan_s.total)
+    assert stats.quality.count == 4
+    # Unbounding stops eviction.
+    stats.limit_per_job_records(None)
+    _submit_video_job(service, videos, "svc-cap-4")
+    assert len(stats.per_job) == 3
+    with pytest.raises(ValueError):
+        stats.limit_per_job_records(-1)

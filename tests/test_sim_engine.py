@@ -109,3 +109,56 @@ def test_run_with_until_and_empty_queue_advances_to_until():
     engine = SimulationEngine()
     engine.run(until=7.0)
     assert engine.now == 7.0
+
+
+def test_schedule_at_batch_fires_in_time_then_input_order():
+    engine = SimulationEngine()
+    seen = []
+    events = engine.schedule_at_batch(
+        [
+            (2.0, seen.append, ("b1",)),
+            (1.0, seen.append, ("a",)),
+            (2.0, seen.append, ("b2",)),
+        ]
+    )
+    assert len(events) == 3
+    assert engine.pending_events == 3
+    engine.run()
+    # Ties at t=2.0 fire in input order, exactly like repeated schedule_at.
+    assert seen == ["a", "b1", "b2"]
+
+
+def test_schedule_at_batch_onto_nonempty_queue():
+    engine = SimulationEngine()
+    seen = []
+    engine.schedule(1.5, seen.append, "single")
+    engine.schedule_at_batch([(1.0, seen.append, ("early",)), (2.0, seen.append, ("late",))])
+    engine.run()
+    assert seen == ["early", "single", "late"]
+
+
+def test_schedule_at_batch_rejects_past_times():
+    engine = SimulationEngine()
+    engine.schedule(1.0, lambda: None)
+    engine.run()
+    assert engine.now == 1.0
+    import pytest
+
+    with pytest.raises(ValueError):
+        engine.schedule_at_batch([(0.5, lambda: None, ())])
+
+
+def test_watermarks_record_high_water_completion_times():
+    engine = SimulationEngine()
+    engine.schedule(3.0, engine.mark, "job-a")
+    engine.schedule(5.0, engine.mark, "job-b")
+    engine.run()
+    assert engine.watermark("job-a") == 3.0
+    assert engine.watermark("job-b") == 5.0
+    assert engine.watermark("missing") is None
+    # Marks never move backwards.
+    engine.watermarks["job-b"] = 9.0
+    engine.mark("job-b")
+    assert engine.watermark("job-b") == 9.0
+    engine.reset()
+    assert engine.watermarks == {}

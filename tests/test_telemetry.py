@@ -77,10 +77,53 @@ def test_average_utilization_from_trace():
 
 def test_geometric_mean():
     assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([3.0]) == pytest.approx(3.0)
+    # Degenerate inputs are answered, not raised: empty -> 0, any zero -> 0.
+    assert geometric_mean([]) == 0.0
+    assert geometric_mean([1.0, 0.0]) == 0.0
+    assert geometric_mean(iter([4.0, 9.0])) == pytest.approx(6.0)
     with pytest.raises(ValueError):
-        geometric_mean([])
+        geometric_mean([1.0, -2.0])
+
+
+def test_average_utilization_handles_degenerate_inputs():
+    assert average_utilization(ExecutionTrace(), total_gpus=4) == 0.0
+    assert average_utilization(_trace(), total_gpus=0) == 0.0
+    assert average_utilization(_trace(), total_gpus=-1) == 0.0
     with pytest.raises(ValueError):
-        geometric_mean([1.0, 0.0])
+        average_utilization(_trace(), total_gpus=2, window=-1.0)
+
+
+def test_streaming_aggregate_tracks_exact_moments():
+    from repro.telemetry.metrics import StreamingAggregate
+
+    aggregate = StreamingAggregate()
+    assert aggregate.mean == 0.0
+    assert aggregate.summary()["count"] == 0
+    for value in (4.0, 1.0, 7.0):
+        aggregate.add(value)
+    assert aggregate.count == 3
+    assert aggregate.total == pytest.approx(12.0)
+    assert aggregate.mean == pytest.approx(4.0)
+    assert aggregate.min == 1.0 and aggregate.max == 7.0
+
+    other = StreamingAggregate()
+    other.add(0.5)
+    aggregate.merge(other)
+    assert aggregate.count == 4
+    assert aggregate.min == 0.5
+
+
+def test_throughput_meter():
+    from repro.telemetry.metrics import ThroughputMeter
+
+    meter = ThroughputMeter()
+    assert meter.jobs_per_second == 0.0
+    meter.record(0.0, 10.0)
+    meter.record(5.0, 25.0)
+    assert meter.completed == 2
+    assert meter.span_s == pytest.approx(25.0)
+    assert meter.jobs_per_second == pytest.approx(2 / 25.0)
 
 
 def test_render_table_alignment_and_validation():

@@ -1,0 +1,146 @@
+"""Determinism, monotonicity, and rate accuracy of the arrival generators."""
+
+import pytest
+
+from repro.workloads.arrival import (
+    JobArrival,
+    arrival_rate,
+    bursty_arrivals,
+    diurnal_arrivals,
+    merge_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+
+
+def _times(arrivals):
+    return [a.arrival_time for a in arrivals]
+
+
+def _assert_monotonic(arrivals):
+    times = _times(arrivals)
+    assert times == sorted(times)
+    assert all(t >= 0 for t in times)
+
+
+# --------------------------------------------------------------------- #
+# Determinism under a fixed seed
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda seed: poisson_arrivals(1.0, 200.0, seed=seed),
+        lambda seed: bursty_arrivals(4.0, 10.0, 20.0, 300.0, seed=seed),
+        lambda seed: diurnal_arrivals(0.5, 3.0, 100.0, 400.0, seed=seed),
+    ],
+    ids=["poisson", "bursty", "diurnal"],
+)
+def test_generators_deterministic_under_fixed_seed(make):
+    first = make(13)
+    second = make(13)
+    different = make(14)
+    assert _times(first) == _times(second)
+    assert [a.workload for a in first] == [a.workload for a in second]
+    assert _times(first) != _times(different)
+
+
+# --------------------------------------------------------------------- #
+# Monotonic timestamps
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "arrivals",
+    [
+        poisson_arrivals(2.0, 100.0, seed=3),
+        uniform_arrivals(50, 1.5),
+        bursty_arrivals(5.0, 5.0, 15.0, 200.0, seed=3),
+        diurnal_arrivals(0.2, 2.0, 60.0, 240.0, seed=3),
+    ],
+    ids=["poisson", "uniform", "bursty", "diurnal"],
+)
+def test_generators_produce_monotonic_timestamps_within_horizon(arrivals):
+    _assert_monotonic(arrivals)
+    assert len(arrivals) > 0
+
+
+# --------------------------------------------------------------------- #
+# Rate accuracy
+# --------------------------------------------------------------------- #
+
+
+def test_poisson_rate_accuracy():
+    rate = 2.0
+    horizon = 5000.0
+    arrivals = poisson_arrivals(rate, horizon, seed=17)
+    assert arrival_rate(arrivals, horizon) == pytest.approx(rate, rel=0.1)
+
+
+def test_uniform_rate_is_exact():
+    arrivals = uniform_arrivals(100, interval_s=0.5)
+    # 100 arrivals over [0, 50): exactly 2 jobs/s.
+    assert arrival_rate(arrivals, 50.0) == pytest.approx(2.0)
+
+
+def test_bursty_rate_matches_duty_cycle():
+    burst_rate, burst_s, idle_s, horizon = 6.0, 10.0, 30.0, 8000.0
+    arrivals = bursty_arrivals(burst_rate, burst_s, idle_s, horizon, seed=23)
+    duty = burst_s / (burst_s + idle_s)
+    assert arrival_rate(arrivals, horizon) == pytest.approx(burst_rate * duty, rel=0.1)
+    # No arrivals land inside idle gaps.
+    for arrival in arrivals:
+        phase = arrival.arrival_time % (burst_s + idle_s)
+        assert phase <= burst_s
+
+
+def test_diurnal_rate_matches_mean_of_base_and_peak():
+    base, peak, period, horizon = 1.0, 5.0, 200.0, 10000.0
+    arrivals = diurnal_arrivals(base, peak, period, horizon, seed=29)
+    assert arrival_rate(arrivals, horizon) == pytest.approx((base + peak) / 2.0, rel=0.1)
+
+
+def test_diurnal_peak_window_is_busier_than_trough_window():
+    base, peak, period = 0.5, 8.0, 400.0
+    arrivals = diurnal_arrivals(base, peak, period, period, seed=31)
+    # Trough is at t = 0 (and t = period), crest at t = period/2: the middle
+    # half-cycle must carry more traffic than the two quiet quarters.
+    crest = [a for a in arrivals if period / 4.0 <= a.arrival_time < 3.0 * period / 4.0]
+    trough = [a for a in arrivals if a.arrival_time < period / 4.0 or a.arrival_time >= 3.0 * period / 4.0]
+    assert len(crest) > len(trough)
+
+
+# --------------------------------------------------------------------- #
+# Validation and merging
+# --------------------------------------------------------------------- #
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        bursty_arrivals(0.0, 10.0, 10.0, 100.0)
+    with pytest.raises(ValueError):
+        bursty_arrivals(1.0, -1.0, 10.0, 100.0)
+    with pytest.raises(ValueError):
+        diurnal_arrivals(2.0, 1.0, 100.0, 100.0)  # peak < base
+    with pytest.raises(ValueError):
+        diurnal_arrivals(1.0, 2.0, 0.0, 100.0)
+    with pytest.raises(ValueError):
+        poisson_arrivals(1.0, 100.0, workloads=())
+    with pytest.raises(ValueError):
+        arrival_rate([], 0.0)
+
+
+def test_merge_arrivals_orders_and_preserves_ties():
+    a = [JobArrival(1.0, "a"), JobArrival(3.0, "a")]
+    b = [JobArrival(1.0, "b"), JobArrival(2.0, "b")]
+    merged = merge_arrivals(a, b)
+    assert _times(merged) == [1.0, 1.0, 2.0, 3.0]
+    # Stable sort: schedule `a`'s tied arrival comes first.
+    assert [m.workload for m in merged] == ["a", "b", "b", "a"]
+
+
+def test_workload_cycling_is_round_robin():
+    arrivals = bursty_arrivals(5.0, 4.0, 1.0, 40.0, workloads=("x", "y", "z"), seed=3)
+    observed = [a.workload for a in arrivals[:6]]
+    assert observed == ["x", "y", "z", "x", "y", "z"]
