@@ -1,10 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench bench-record
+.PHONY: test bench bench-record bench-smoke lint ci
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Stdlib-only lint: byte-compile every source tree with SyntaxWarning
+## promoted to an error (catches invalid escapes, suspicious literals, and
+## any syntax error before the test suite runs).  -f forces recompilation so
+## warnings fire even when .pyc files are fresh.
+lint:
+	$(PYTHON) -W error::SyntaxWarning -m compileall -q -f src tests benchmarks scripts examples
 
 ## Run the micro-benchmarks, append BENCH_<n>.json to the perf trajectory,
 ## and fail if a gated hot-path metric regressed >20% vs the previous record.
@@ -14,3 +21,11 @@ bench:
 ## Record a new BENCH_<n>.json without gating (e.g. on a new machine).
 bench-record:
 	$(PYTHON) scripts/bench.py --no-gate
+
+## Run each micro-benchmark once, untimed: no BENCH_<n>.json, no gate.
+## Proves the perf code paths execute; this is what CI runs.
+bench-smoke:
+	$(PYTHON) scripts/bench.py --smoke
+
+## The exact entrypoint .github/workflows/ci.yml calls — reproducible locally.
+ci: lint test bench-smoke

@@ -7,6 +7,10 @@ Speech-to-Text configuration choice.  This bench enables them cumulatively.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.experiments.ablation import render_ablation, run_ablation
 
 

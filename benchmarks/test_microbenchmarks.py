@@ -38,6 +38,7 @@ def test_job_decomposition_overhead(benchmark):
     assert trace.latency_s < 0.01 * 283.0
 
 
+@pytest.mark.bench_gated
 def test_configuration_search_overhead(benchmark, library, profile_store):
     """Greedy configuration search across the Table-1 levers."""
     decomposer = JobDecomposer()
@@ -51,6 +52,7 @@ def test_configuration_search_overhead(benchmark, library, profile_store):
     assert plan.assignments
 
 
+@pytest.mark.bench_gated
 def test_discrete_event_engine_throughput(benchmark):
     """Raw event throughput of the simulation substrate."""
 
@@ -95,6 +97,7 @@ def test_end_to_end_murakkab_submission(benchmark):
     assert result.makespan_s > 0
 
 
+@pytest.mark.bench_gated
 def test_repeated_murakkab_submission(benchmark):
     """Second-and-later runtime construction + submission on the same library.
 
@@ -117,6 +120,7 @@ def test_repeated_murakkab_submission(benchmark):
     assert result.makespan_s > 0
 
 
+@pytest.mark.bench_gated
 def test_trace_throughput_1k_jobs(benchmark):
     """Wall-clock serving throughput of a 1,000-job Poisson trace.
 

@@ -7,6 +7,10 @@ dedicated deployment.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.experiments.multitenant import run_multitenant
 
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.experiments.table1 import render_table1, run_table1
 
 _METRICS = ("cost", "power", "latency", "quality")

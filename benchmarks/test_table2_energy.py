@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro import calibration
 from repro.experiments.configs import STT_CONFIG_LABELS
 from repro.experiments.table2 import run_table2

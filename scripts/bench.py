@@ -10,7 +10,10 @@ Usage::
 
     python scripts/bench.py             # run, record, and gate
     python scripts/bench.py --no-gate   # run and record only
+    python scripts/bench.py --smoke     # run each benchmark once: no timing,
+                                        # no BENCH_<n>.json, no gate (CI)
     make bench                          # same as the first form
+    make bench-smoke                    # same as --smoke
 
 Gated metrics (min seconds — the noise-robust statistic — lower is better):
 
@@ -107,10 +110,37 @@ def gate(current: dict, previous: dict, previous_name: str) -> list:
     return failures
 
 
+def run_smoke() -> int:
+    """Execute every micro-benchmark body once, untimed.
+
+    ``--benchmark-disable`` turns each ``benchmark(...)`` fixture call into a
+    plain invocation, so CI proves the perf code paths still *run* on every
+    change without the noise-sensitive timing, without appending a
+    ``BENCH_<n>.json`` to the trajectory, and without the regression gate.
+    """
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "benchmarks/test_microbenchmarks.py",
+        "-q",
+        "--benchmark-disable",
+    ]
+    return subprocess.run(command, cwd=REPO_ROOT).returncode
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--no-gate", action="store_true", help="record without regression gating")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run benchmarks once without timing, recording, or gating (CI)",
+    )
     args = parser.parse_args()
+
+    if args.smoke:
+        return run_smoke()
 
     with tempfile.TemporaryDirectory() as tmp:
         raw_path = Path(tmp) / "benchmark.json"

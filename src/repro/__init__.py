@@ -40,6 +40,14 @@ from repro.agents.base import AgentInterface, ExecutionMode, HardwareConfig
 from repro.agents.library import AgentLibrary, default_library
 from repro.baselines.omagent import OmAgentBaseline
 from repro.cluster.cluster import Cluster, paper_testbed
+from repro.cluster.dynamics import (
+    ClusterDynamics,
+    DisruptionLog,
+    DynamicsConfig,
+    FailureModel,
+    NodeFailure,
+)
+from repro.cluster.spot import SpotCapacityModel, SpotInstance
 from repro.loadgen import ServiceLoadGenerator, TraceReport, WorkloadRegistry, default_registry
 from repro.service import AIWorkflowService, ServiceStats
 from repro.workloads.arrival import (
@@ -91,6 +99,13 @@ __all__ = [
     "merge_arrivals",
     "Cluster",
     "paper_testbed",
+    "ClusterDynamics",
+    "DisruptionLog",
+    "DynamicsConfig",
+    "FailureModel",
+    "NodeFailure",
+    "SpotCapacityModel",
+    "SpotInstance",
     "video_understanding_job",
     "omagent_imperative_workflow",
     "__version__",

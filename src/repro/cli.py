@@ -80,6 +80,30 @@ def _cmd_multitenant(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_dynamics(args: argparse.Namespace):
+    """Translate the loadtest disruption flags into a DynamicsConfig."""
+    from repro.cluster.dynamics import DynamicsConfig, FailureModel
+    from repro.cluster.spot import SpotCapacityModel
+
+    if not (args.spot or args.failures or args.autoscale):
+        return None
+    spot = None
+    if args.spot:
+        spot = SpotCapacityModel(horizon_s=args.horizon, seed=args.dynamics_seed)
+    failures = None
+    if args.failures:
+        mtbf = args.mtbf if args.mtbf is not None else args.horizon / 3.0
+        failures = FailureModel(
+            horizon_s=args.horizon, mtbf_s=mtbf, seed=args.dynamics_seed
+        )
+    return DynamicsConfig(
+        spot=spot,
+        failures=failures,
+        autoscale=args.autoscale,
+        autoscale_horizon_s=args.horizon,
+    )
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     from repro import AIWorkflowService
     from repro.workloads.arrival import bursty_arrivals, diurnal_arrivals, poisson_arrivals
@@ -107,12 +131,17 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             workloads=workloads,
             seed=args.seed,
         )
-    service = AIWorkflowService()
+    dynamics = _build_dynamics(args)
+    service = AIWorkflowService(dynamics=dynamics)
     report = service.submit_trace(arrivals, mode=args.mode)
     for key, value in report.summary().items():
         print(f"{key:>22}: {value}")
     for workload, counters in sorted(report.groups.items()):
         print(f"{workload:>22}: {counters}")
+    if report.disruptions:
+        print(f"{'disruption log':>22}: {report.disruptions}")
+        for command in service.dynamics.log.commands:
+            print(f"{'scaling command':>22}: {command.action.value} {command.reason}")
     service.shutdown()
     return 0
 
@@ -180,6 +209,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="grouped = steady-state memoized throughput path; multiplex = full interleaving",
     )
     loadtest.add_argument("--seed", type=int, default=3)
+    loadtest.add_argument(
+        "--spot",
+        action="store_true",
+        help="run under a seeded spot-capacity schedule (windows open as extra "
+        "nodes, closing windows preempt them)",
+    )
+    loadtest.add_argument(
+        "--failures",
+        action="store_true",
+        help="inject seeded whole-server failures over the trace horizon",
+    )
+    loadtest.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="let sustained queueing pressure add nodes via scaling commands",
+    )
+    loadtest.add_argument(
+        "--mtbf",
+        type=float,
+        default=None,
+        help="mean time between failures in seconds (default: horizon/3)",
+    )
+    loadtest.add_argument(
+        "--dynamics-seed",
+        type=int,
+        default=0,
+        help="seed for the spot/failure schedules (independent of --seed)",
+    )
     loadtest.set_defaults(func=_cmd_loadtest)
     return parser
 

@@ -28,6 +28,13 @@ from repro.cluster.scheduler import (
     SpreadPolicy,
     WorkflowAwarePolicy,
 )
+from repro.cluster.dynamics import (
+    ClusterDynamics,
+    DisruptionLog,
+    DynamicsConfig,
+    FailureModel,
+    NodeFailure,
+)
 from repro.cluster.manager import ClusterManager, ClusterStats, ModelInstance
 from repro.cluster.spot import SpotCapacityModel, SpotInstance
 from repro.cluster.telemetry_exchange import (
@@ -59,6 +66,11 @@ __all__ = [
     "ClusterManager",
     "ClusterStats",
     "ModelInstance",
+    "ClusterDynamics",
+    "DisruptionLog",
+    "DynamicsConfig",
+    "FailureModel",
+    "NodeFailure",
     "SpotCapacityModel",
     "SpotInstance",
     "ResourceStatsMessage",

@@ -152,6 +152,22 @@ class Allocator:
             self.release(allocation)
         return len(to_release)
 
+    def reclaim_node(self, node_id: str) -> List[Allocation]:
+        """Force-release every allocation on ``node_id``.
+
+        This is the spot-preemption / server-failure path: the devices are
+        going away, so the owners' claims are revoked whether or not work is
+        still running.  Returns the reclaimed allocations (in allocation
+        order) so callers can notify the owners.  The node itself is left in
+        the cluster — and empty — so the caller can remove it.
+        """
+        self._sync_topology()
+        self.cluster.node(node_id)  # KeyError for unknown nodes
+        victims = [a for a in self._active.values() if a.node_id == node_id]
+        for allocation in victims:
+            self.release(allocation)
+        return victims
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #

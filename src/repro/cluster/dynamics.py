@@ -1,0 +1,450 @@
+"""Elastic cluster dynamics: spot windows, failures, and autoscaling.
+
+The paper's core claim is that an orchestrator owning the workflow -> model
+-> hardware mapping can continuously *re*-optimize as cluster conditions
+change (§3.2 "Resource Allocation": Spot/Harvest VMs, scale-out, failures).
+This module is the event source that makes cluster conditions actually
+change during a simulation:
+
+* **Spot windows** (:class:`~repro.cluster.spot.SpotCapacityModel`): when a
+  window opens, a transient node carrying the instance's GPUs/cores joins
+  the cluster; when it closes, the node is *preempted* — every allocation on
+  it is reclaimed, serving instances on it are lost, and the node leaves.
+* **Whole-server failures** (:class:`FailureModel`): a seeded schedule of
+  node losses, handled exactly like preemptions except the capacity never
+  returns.
+* **Autoscaling**: a periodic control loop reads the cluster manager's
+  telemetry (free devices + aggregate announced demand) and turns sustained
+  queueing pressure into :class:`~repro.cluster.telemetry_exchange.ScalingCommand`
+  s that add nodes (and later remove them when demand drains).
+
+All of it is deterministic under fixed seeds: event times are precomputed at
+install, victims are chosen by precomputed ranks, and events fire through
+the one :class:`~repro.sim.engine.SimulationEngine` in ``(time, sequence)``
+order.  A run with no :class:`ClusterDynamics` attached behaves exactly as
+before — the hooks are inert until installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.hardware import GpuGeneration
+from repro.cluster.node import Node
+from repro.cluster.spot import SpotCapacityModel, SpotInstance
+from repro.cluster.telemetry_exchange import ScalingAction, ScalingCommand
+
+#: Node-id prefixes for capacity the dynamics layer adds, so tests and
+#: telemetry can tell elastic nodes from the static testbed.
+SPOT_NODE_PREFIX = "spot:"
+SCALEOUT_NODE_PREFIX = "scaleout:"
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """One scheduled whole-server failure.
+
+    ``node_id`` pins a specific victim (used by tests and replayable
+    schedules); when ``None`` the victim is resolved at fire time as
+    ``victim_rank % len(cluster)``, which is deterministic because the rank
+    is precomputed and the node order is insertion order.
+    """
+
+    time: float
+    victim_rank: int = 0
+    node_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("failure time must be non-negative")
+        if self.victim_rank < 0:
+            raise ValueError("victim_rank must be non-negative")
+
+
+class FailureModel:
+    """A deterministic, seeded schedule of whole-server failures."""
+
+    def __init__(
+        self,
+        horizon_s: float = 600.0,
+        mtbf_s: float = 300.0,
+        seed: int = 0,
+        max_failures: Optional[int] = None,
+        failures: Optional[Sequence[NodeFailure]] = None,
+    ) -> None:
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if mtbf_s <= 0:
+            raise ValueError("mtbf_s must be positive")
+        self.horizon_s = horizon_s
+        if failures is not None:
+            self._failures: Tuple[NodeFailure, ...] = tuple(
+                sorted(failures, key=lambda f: f.time)
+            )
+            return
+        rng = np.random.default_rng(seed)
+        generated: List[NodeFailure] = []
+        time = 0.0
+        while True:
+            time += float(rng.exponential(mtbf_s))
+            if time >= horizon_s:
+                break
+            generated.append(
+                NodeFailure(time=time, victim_rank=int(rng.integers(0, 1 << 30)))
+            )
+            if max_failures is not None and len(generated) >= max_failures:
+                break
+        self._failures = tuple(generated)
+
+    @property
+    def failures(self) -> Tuple[NodeFailure, ...]:
+        return self._failures
+
+
+@dataclass
+class DisruptionLog:
+    """Counters for every capacity event and its fallout.
+
+    ``version`` is bumped on every capacity change; schedulers that memoize
+    steady-state behaviour (the grouped trace path) treat it like the profile
+    store's mutation version — any disruption invalidates the memo.
+    """
+
+    preemptions: int = 0
+    failures: int = 0
+    spot_windows_opened: int = 0
+    scale_outs: int = 0
+    scale_ins: int = 0
+    nodes_lost: int = 0
+    reclaimed_allocations: int = 0
+    lost_instances: int = 0
+    requeued_tasks: int = 0
+    replans: int = 0
+    recovered_jobs: int = 0
+    failed_jobs: int = 0
+    version: int = 0
+    #: Every scaling command the autoscaler issued, in order.
+    commands: List[ScalingCommand] = field(default_factory=list)
+
+    def counters(self) -> Dict[str, int]:
+        """The counter fields as a plain dict (stable key order)."""
+        return {
+            "preemptions": self.preemptions,
+            "failures": self.failures,
+            "spot_windows_opened": self.spot_windows_opened,
+            "scale_outs": self.scale_outs,
+            "scale_ins": self.scale_ins,
+            "nodes_lost": self.nodes_lost,
+            "reclaimed_allocations": self.reclaimed_allocations,
+            "lost_instances": self.lost_instances,
+            "requeued_tasks": self.requeued_tasks,
+            "replans": self.replans,
+            "recovered_jobs": self.recovered_jobs,
+            "failed_jobs": self.failed_jobs,
+        }
+
+
+@dataclass
+class DynamicsConfig:
+    """What the dynamics layer should inject.
+
+    Leave every field at its default for a no-op config; set ``spot`` and/or
+    ``failures`` and/or ``autoscale`` to activate the corresponding event
+    source.  The autoscaler adds nodes shaped like
+    ``autoscale_node_gpus`` x ``autoscale_node_cpu_cores`` after
+    ``autoscale_pressure_ticks`` consecutive pressured checks, and removes
+    its own idle nodes after ``autoscale_idle_ticks`` quiet checks.
+    """
+
+    spot: Optional[SpotCapacityModel] = None
+    failures: Optional[FailureModel] = None
+    autoscale: bool = False
+    autoscale_interval_s: float = 30.0
+    autoscale_horizon_s: Optional[float] = None
+    autoscale_pressure_ticks: int = 2
+    autoscale_idle_ticks: int = 4
+    autoscale_max_nodes: int = 2
+    autoscale_node_gpus: int = 8
+    autoscale_node_cpu_cores: int = 96
+    spot_gpu_generation: GpuGeneration = GpuGeneration.A100
+
+    def horizon_s(self) -> float:
+        """Latest time any configured event source can fire."""
+        horizons = [0.0]
+        if self.spot is not None:
+            horizons.append(self.spot.horizon_s)
+        if self.failures is not None:
+            horizons.append(self.failures.horizon_s)
+        if self.autoscale:
+            horizons.append(
+                self.autoscale_horizon_s
+                if self.autoscale_horizon_s is not None
+                else 600.0
+            )
+        return max(horizons)
+
+
+class ClusterDynamics:
+    """Injects capacity events into a running engine + cluster manager.
+
+    Lifecycle: construct with a :class:`DynamicsConfig` (or keyword
+    arguments), then :meth:`install` onto an engine/manager pair — event
+    times are rebased onto the engine's current clock, so a long-lived
+    service can attach a schedule mid-life.  Executors register while their
+    workflow runs (the runtime does this) so node losses can requeue their
+    in-flight tasks; server pools register so lost serving instances drop
+    out of the warm set.
+    """
+
+    def __init__(self, config: Optional[DynamicsConfig] = None, **kwargs) -> None:
+        self.config = config or DynamicsConfig(**kwargs)
+        if config is not None and kwargs:
+            raise ValueError("pass either a DynamicsConfig or keyword fields, not both")
+        self.log = DisruptionLog()
+        self.epoch = 0.0
+        self._engine = None
+        self._manager = None
+        self._executors: List[object] = []
+        self._pools: List[object] = []
+        #: spot instance_id -> node_id currently present in the cluster.
+        self._spot_nodes: Dict[str, str] = {}
+        self._scaleout_nodes: List[str] = []
+        self._scaleout_counter = 0
+        self._pressure_ticks = 0
+        self._idle_ticks = 0
+        #: Absolute fire times of every scheduled event (sorted) and how
+        #: many have fired — lets batching schedulers ask "is a disruption
+        #: due before this arrival?" without running the engine.
+        self._times: List[float] = []
+        self._fired = 0
+
+    # ------------------------------------------------------------------ #
+    # Installation and registration
+    # ------------------------------------------------------------------ #
+    @property
+    def installed(self) -> bool:
+        return self._engine is not None
+
+    def install(self, engine, cluster_manager) -> "ClusterDynamics":
+        """Schedule every configured event onto ``engine`` (rebased to now)."""
+        if self.installed:
+            raise RuntimeError("dynamics schedule is already installed on an engine")
+        self._engine = engine
+        self._manager = cluster_manager
+        self.epoch = engine.now
+        config = self.config
+        if config.spot is not None:
+            if cluster_manager.spot_model is None and self.epoch == 0.0:
+                cluster_manager.spot_model = config.spot
+            for instance in config.spot.instances:
+                self._schedule(
+                    self.epoch + instance.available_from, self._spot_open, instance
+                )
+                self._schedule(
+                    self.epoch + instance.available_until, self._spot_close, instance
+                )
+        if config.failures is not None:
+            for failure in config.failures.failures:
+                self._schedule(self.epoch + failure.time, self._fail, failure)
+        if config.autoscale:
+            horizon = (
+                config.autoscale_horizon_s
+                if config.autoscale_horizon_s is not None
+                else config.horizon_s() or 600.0
+            )
+            ticks = int(horizon / config.autoscale_interval_s)
+            for index in range(1, ticks + 1):
+                self._schedule(
+                    self.epoch + index * config.autoscale_interval_s,
+                    self._autoscale_tick,
+                )
+        self._times.sort()
+        return self
+
+    def _schedule(self, time: float, callback, *args) -> None:
+        self._times.append(time)
+        self._engine.schedule_at(time, self._fire, callback, *args)
+
+    def _fire(self, callback, *args) -> None:
+        self._fired += 1
+        callback(*args)
+
+    def next_event_at(self) -> Optional[float]:
+        """Fire time of the next scheduled dynamics event, or ``None``.
+
+        Dynamics events fire in time order, so the sorted install-time
+        schedule plus a fired counter answers this in O(1); the grouped
+        trace path uses it to decide whether the engine must advance (and
+        possibly invalidate a steady-state memo) before admitting an
+        arrival.
+        """
+        if self._fired < len(self._times):
+            return self._times[self._fired]
+        return None
+
+    def register_executor(self, executor) -> None:
+        """Track a running workflow so node losses can requeue its tasks."""
+        if executor not in self._executors:
+            self._executors.append(executor)
+
+    def unregister_executor(self, executor) -> None:
+        if executor in self._executors:
+            self._executors.remove(executor)
+
+    def watch_pool(self, pool) -> None:
+        """Track a server pool so lost nodes invalidate its warm handles."""
+        if pool not in self._pools:
+            self._pools.append(pool)
+
+    def unwatch_pool(self, pool) -> None:
+        """Stop tracking a pool (it was torn down and replaced)."""
+        if pool in self._pools:
+            self._pools.remove(pool)
+
+    # ------------------------------------------------------------------ #
+    # Job-level accounting (called by the runtime around each submission)
+    # ------------------------------------------------------------------ #
+    def job_finished(self, executor) -> None:
+        """Executor completed; fold its disruption counters into the log."""
+        self.unregister_executor(executor)
+        self._absorb(executor)
+        if getattr(executor, "disruptions", 0):
+            self.log.recovered_jobs += 1
+
+    def job_failed(self, executor) -> None:
+        """Executor could not finish (cluster shrank under it for good)."""
+        self.unregister_executor(executor)
+        self._absorb(executor)
+        self.log.failed_jobs += 1
+
+    def _absorb(self, executor) -> None:
+        self.log.requeued_tasks += getattr(executor, "requeued_tasks", 0)
+        self.log.replans += getattr(executor, "replans", 0)
+
+    # ------------------------------------------------------------------ #
+    # Event callbacks
+    # ------------------------------------------------------------------ #
+    def _spot_open(self, instance: SpotInstance) -> None:
+        node = Node(
+            node_id=f"{SPOT_NODE_PREFIX}{instance.instance_id}",
+            gpu_count=instance.gpus,
+            cpu_cores=instance.cpu_cores,
+            gpu_generation=self.config.spot_gpu_generation,
+        )
+        self._manager.cluster.add_node(node)
+        self._spot_nodes[instance.instance_id] = node.node_id
+        self.log.spot_windows_opened += 1
+        self.log.version += 1
+
+    def _spot_close(self, instance: SpotInstance) -> None:
+        node_id = self._spot_nodes.pop(instance.instance_id, None)
+        if node_id is None:
+            # Window never opened (or the node already failed).
+            return
+        self.log.preemptions += 1
+        self._lose_node(node_id)
+
+    def _fail(self, failure: NodeFailure) -> None:
+        cluster = self._manager.cluster
+        nodes = cluster.nodes
+        if failure.node_id is not None:
+            victim = next((n for n in nodes if n.node_id == failure.node_id), None)
+            if victim is None:
+                return
+        else:
+            if len(nodes) <= 1:
+                # Never fail the last node: a dead cluster cannot recover.
+                return
+            victim = nodes[failure.victim_rank % len(nodes)]
+        # A spot node failing is just its preemption arriving early.
+        for instance_id, node_id in list(self._spot_nodes.items()):
+            if node_id == victim.node_id:
+                self._spot_nodes.pop(instance_id)
+        if victim.node_id in self._scaleout_nodes:
+            self._scaleout_nodes.remove(victim.node_id)
+        self.log.failures += 1
+        self._lose_node(victim.node_id)
+
+    def _lose_node(self, node_id: str) -> None:
+        reclaimed, instances = self._manager.handle_node_loss(node_id)
+        self.log.nodes_lost += 1
+        self.log.reclaimed_allocations += len(reclaimed)
+        self.log.lost_instances += len(instances)
+        for pool in self._pools:
+            pool.invalidate_node(node_id)
+        for executor in list(self._executors):
+            executor.on_node_loss(node_id)
+        self.log.version += 1
+
+    # ------------------------------------------------------------------ #
+    # Autoscaling control loop
+    # ------------------------------------------------------------------ #
+    def _autoscale_tick(self) -> None:
+        manager = self._manager
+        stats = manager.stats()
+        demand = manager.aggregate_upcoming_demand()
+        pending = sum(demand.values())
+        pressured = pending > 0 and stats.free_gpus == 0
+        if pressured:
+            self._pressure_ticks += 1
+            self._idle_ticks = 0
+        else:
+            self._idle_ticks += 1
+            self._pressure_ticks = 0
+        config = self.config
+        if (
+            self._pressure_ticks >= config.autoscale_pressure_ticks
+            and len(self._scaleout_nodes) < config.autoscale_max_nodes
+        ):
+            self._scale_out(pending, demand)
+            self._pressure_ticks = 0
+        elif self._idle_ticks >= config.autoscale_idle_ticks and self._scaleout_nodes:
+            self._scale_in()
+            self._idle_ticks = 0
+
+    def _scale_out(self, pending: int, demand: Dict[str, int]) -> None:
+        config = self.config
+        self._scaleout_counter += 1
+        node = Node(
+            node_id=f"{SCALEOUT_NODE_PREFIX}{self._scaleout_counter}",
+            gpu_count=config.autoscale_node_gpus,
+            cpu_cores=config.autoscale_node_cpu_cores,
+        )
+        self._manager.cluster.add_node(node)
+        self._scaleout_nodes.append(node.node_id)
+        hungriest = max(sorted(demand), key=lambda name: demand[name]) if demand else ""
+        command = ScalingCommand(
+            action=ScalingAction.SCALE_UP,
+            agent_name=hungriest,
+            delta_gpus=node.total_gpus,
+            delta_cpu_cores=node.total_cpu_cores,
+            reason=(
+                f"sustained queueing pressure: {pending} pending tasks, 0 free GPUs "
+                f"for {self._pressure_ticks} consecutive checks"
+            ),
+        )
+        self.log.commands.append(command)
+        self.log.scale_outs += 1
+        self.log.version += 1
+
+    def _scale_in(self) -> None:
+        cluster = self._manager.cluster
+        for node_id in reversed(self._scaleout_nodes):
+            node = cluster.node(node_id)
+            if node.allocated_gpu_count == 0 and node.allocated_cpu_cores == 0:
+                cluster.remove_node(node_id)
+                self._scaleout_nodes.remove(node_id)
+                command = ScalingCommand(
+                    action=ScalingAction.SCALE_DOWN,
+                    agent_name="",
+                    delta_gpus=-node.total_gpus,
+                    delta_cpu_cores=-node.total_cpu_cores,
+                    reason="no announced demand; reclaiming idle scale-out node",
+                )
+                self.log.commands.append(command)
+                self.log.scale_ins += 1
+                self.log.version += 1
+                return

@@ -154,6 +154,37 @@ class ClusterManager:
     def instances_for(self, agent_name: str) -> List[ModelInstance]:
         return list(self._instances.get(agent_name, []))
 
+    # ------------------------------------------------------------------ #
+    # Capacity loss (spot preemption / whole-server failure)
+    # ------------------------------------------------------------------ #
+    def handle_node_loss(self, node_id: str) -> Tuple[List[Allocation], List[ModelInstance]]:
+        """Evict ``node_id``: drop its serving instances, reclaim every
+        allocation on it, and remove it from the cluster.
+
+        Unlike :meth:`teardown_model`, the devices are *gone*, not returned:
+        serving instances on the node are deregistered without a normal
+        release, and task-level allocations are revoked out from under their
+        owners.  Returns ``(reclaimed allocations, lost instances)`` so the
+        dynamics layer can notify executors and count the disruption.
+        """
+        self.cluster.node(node_id)  # KeyError for unknown nodes
+        lost_instances: List[ModelInstance] = []
+        for agent_name, instances in list(self._instances.items()):
+            survivors = [i for i in instances if i.allocation.node_id != node_id]
+            lost_instances.extend(
+                i for i in instances if i.allocation.node_id == node_id
+            )
+            if survivors:
+                self._instances[agent_name] = survivors
+            else:
+                self._instances.pop(agent_name)
+        reclaimed = self.allocator.reclaim_node(node_id)
+        now = self.now
+        for allocation in reclaimed:
+            self._events.append(AllocationEvent(now, "reclaim", allocation))
+        self.cluster.remove_node(node_id)
+        return reclaimed, lost_instances
+
     def warm_agents(self) -> List[str]:
         """Agent names that currently have at least one warm instance."""
         return [name for name, insts in self._instances.items() if any(i.warm for i in insts)]

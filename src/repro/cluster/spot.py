@@ -51,6 +51,7 @@ class SpotCapacityModel:
         gpus_per_instance: int = 1,
         cpu_cores_per_instance: int = 16,
         seed: int = 0,
+        instances: Optional[Sequence[SpotInstance]] = None,
     ) -> None:
         if horizon_s <= 0:
             raise ValueError("horizon_s must be positive")
@@ -60,6 +61,15 @@ class SpotCapacityModel:
             raise ValueError("max_concurrent_instances must be non-negative")
         self.horizon_s = horizon_s
         self._instances: List[SpotInstance] = []
+        if instances is not None:
+            # An explicit schedule (tests, replayable traces) bypasses the
+            # seeded generator; the horizon stretches to cover it.
+            self._instances = list(instances)
+            if self._instances:
+                self.horizon_s = max(
+                    self.horizon_s, max(i.available_until for i in self._instances)
+                )
+            return
         rng = np.random.default_rng(seed)
         counter = 0
         for slot in range(max_concurrent_instances):

@@ -37,7 +37,7 @@ from repro.cluster.allocator import Allocation, ResourceRequest
 from repro.cluster.manager import ClusterManager, ModelInstance
 from repro.cluster.telemetry_exchange import WorkflowAnnouncement
 from repro.core.dag import TaskGraph
-from repro.core.planner import ExecutionPlan, PlanAssignment
+from repro.core.planner import ExecutionPlan, PlanAssignment, PlanningError
 from repro.core.task import Task, TaskState
 from repro.sim.engine import SimulationEngine
 from repro.sim.trace import ExecutionTrace
@@ -64,7 +64,14 @@ def display_category(interface: AgentInterface) -> str:
 
 
 class ExecutionError(RuntimeError):
-    """Raised when a workflow cannot make progress (e.g. cluster too small)."""
+    """Raised when a workflow cannot make progress (e.g. cluster too small).
+
+    When raised from inside an executor's event callbacks, :attr:`executor`
+    names the workflow that failed so multi-tenant coordinators can abort
+    just that workflow and keep the shared engine running.
+    """
+
+    executor: Optional["WorkflowExecutor"] = None
 
 
 @dataclass
@@ -76,6 +83,9 @@ class ServerHandle:
     instance: ModelInstance
     slots: int = 1
     active: int = 0
+    #: Set when the instance is gone (its node was lost, or it was evicted
+    #: to make room); lanes holding the handle must redeploy before use.
+    dead: bool = False
     #: Executors with work queued on this instance, waiting for a slot.
     #: Notified (in registration order) whenever a slot frees, so a workflow
     #: whose tasks all target a busy shared instance is woken by *another*
@@ -151,6 +161,48 @@ class ServerPool:
     def total_gpus(self) -> int:
         return sum(handle.gpus for handle in self._handles.values())
 
+    def invalidate_node(self, node_id: str) -> List[ServerHandle]:
+        """Drop handles whose instance lived on a lost node.
+
+        The instances were already deregistered by
+        :meth:`~repro.cluster.manager.ClusterManager.handle_node_loss`; this
+        removes the stale handles so the next :meth:`ensure` redeploys on
+        surviving capacity.  Returns the dropped handles.
+        """
+        dropped = []
+        for key, handle in list(self._handles.items()):
+            if handle.node_id == node_id:
+                handle.dead = True
+                dropped.append(self._handles.pop(key))
+        return dropped
+
+    def evict_idle_for(self, assignment: PlanAssignment) -> bool:
+        """Tear down idle instances until ``assignment`` could deploy.
+
+        The paper's reclamation example (§3.2): give Whisper's idle GPU to
+        Llama once no Speech-to-Text work is running.  Idle handles are
+        evicted in deterministic key order, stopping as soon as the cluster
+        can satisfy the assignment's shape; returns whether it now can.
+        Evicted handles are flagged :attr:`ServerHandle.dead` so lanes still
+        holding them redeploy instead of scheduling onto released devices.
+        """
+        request = ResourceRequest(
+            owner=f"model:{assignment.agent_name}",
+            gpus=assignment.config.gpus,
+            cpu_cores=assignment.config.cpu_cores,
+            gpu_generation=assignment.config.gpu_generation,
+        )
+        for key in sorted(self._handles):
+            if self.cluster_manager.can_satisfy(request):
+                break
+            handle = self._handles[key]
+            if handle.active or handle.dead:
+                continue
+            handle.dead = True
+            del self._handles[key]
+            self.cluster_manager.teardown_model(handle.instance)
+        return self.cluster_manager.can_satisfy(request)
+
     def teardown_all(self) -> None:
         for handle in self._handles.values():
             self.cluster_manager.teardown_model(handle.instance)
@@ -192,6 +244,8 @@ class WorkflowExecutor:
         workflow_id: str = "workflow",
         incremental_dispatch: bool = True,
         on_finish: Optional[Callable[["WorkflowExecutor"], None]] = None,
+        replanner: Optional[Callable[[AgentInterface], PlanAssignment]] = None,
+        stop_when_finished: bool = False,
     ) -> None:
         self.engine = engine
         self.cluster_manager = cluster_manager
@@ -214,6 +268,17 @@ class WorkflowExecutor:
         #: happens (streaming accounting) instead of scanning every executor
         #: after the engine drains.
         self.on_finish = on_finish
+        #: Asked for a fresh :class:`PlanAssignment` when cluster dynamics
+        #: revoke a lane's serving instance and the planned configuration no
+        #: longer fits the shrunken cluster (set by the runtime when a
+        #: dynamics schedule is attached).
+        self.replanner = replanner
+        #: When True, :meth:`execute` stops stepping the engine as soon as
+        #: this workflow finishes instead of draining the queue.  Required
+        #: under cluster dynamics, whose events extend to the end of the
+        #: disruption horizon; the default drain keeps the optimized
+        #: single-workflow hot loop.
+        self.stop_when_finished = stop_when_finished
 
         self.results: Dict[str, AgentResult] = {}
         self._graph: Optional[TaskGraph] = None
@@ -225,6 +290,15 @@ class WorkflowExecutor:
         self._ready_pool: List[Task] = []
         self._completed_count = 0
         self._pending_by_interface: Dict[AgentInterface, int] = {}
+        #: task_id -> (completion event, task, lane, allocation): the tasks
+        #: currently executing, so a node loss can cancel and requeue them.
+        self._inflight: Dict[str, tuple] = {}
+        self._aborted = False
+        #: How many node-loss events actually disrupted this workflow.
+        self.disruptions = 0
+        #: Tasks requeued and lane replans forced by those disruptions.
+        self.requeued_tasks = 0
+        self.replans = 0
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
 
@@ -268,10 +342,17 @@ class WorkflowExecutor:
     def execute(self, graph: TaskGraph, delay: float = 0.0) -> Dict[str, AgentResult]:
         """Run ``graph`` to completion (drives the engine) and return results."""
         self.start(graph, delay=delay)
-        self.engine.run()
+        if self.stop_when_finished:
+            # Dynamics events (spot windows, failures, autoscale ticks) may
+            # be queued far past this workflow's completion; step only until
+            # our own finish so the engine clock stays at the job boundary.
+            while self.finished_at is None and self.engine.step():
+                pass
+        else:
+            self.engine.run()
         if not graph.is_complete():
             incomplete = [t.task_id for t in graph if t.state is not TaskState.COMPLETED]
-            raise ExecutionError(
+            raise self._execution_error(
                 f"workflow {self.workflow_id!r} stalled with incomplete tasks: {incomplete[:5]}"
             )
         return self.results
@@ -293,7 +374,16 @@ class WorkflowExecutor:
                 implementation = self.library.get(assignment.agent_name)
                 server = None
                 if assignment.uses_gpu:
-                    server = self.server_pool.ensure(assignment)
+                    if self.replanner is not None:
+                        # Elastic mode: the cluster may have shrunk since
+                        # planning, so a full up-front deployment can be
+                        # collectively infeasible.  Deploy what fits now
+                        # (evicting idle instances if needed) and leave the
+                        # rest to the dispatch-time repair path, which
+                        # redeploys or replans stage by stage.
+                        server = self._try_deploy(assignment)
+                    else:
+                        server = self.server_pool.ensure(assignment)
                 lanes.append(
                     _Lane(assignment=assignment, implementation=implementation, server=server)
                 )
@@ -303,10 +393,49 @@ class WorkflowExecutor:
         self.started_at = self.engine.now
         self._dispatch()
 
+    def abort(self) -> None:
+        """Cancel in-flight work and release everything this workflow holds.
+
+        Called when the workflow is given up on (an unrecoverable
+        :class:`ExecutionError` under cluster dynamics) while other work
+        shares the engine: without this, the dead workflow's completion
+        events keep firing, its server slots stay occupied, and its CPU
+        allocations leak into every subsequent job.
+        """
+        self._aborted = True
+        released_servers = []
+        for task_id, (event, task, lane, allocation) in list(self._inflight.items()):
+            event.cancel()
+            lane.active -= 1
+            if lane.server is not None:
+                lane.server.active -= 1
+                if lane.server not in released_servers:
+                    released_servers.append(lane.server)
+            self._global_active -= 1
+            if allocation is not None:
+                self.cluster_manager.release(allocation)
+            task.mark(TaskState.CANCELLED)
+        self._inflight.clear()
+        for lanes in self._lanes.values():
+            for lane in lanes:
+                lane.queue.clear()
+                if lane.server is not None and self in lane.server.waiters:
+                    lane.server.waiters.remove(self)
+        self._ready_pool = []
+        # The cancelled completions will never fire, so the slots they just
+        # freed must wake waiting executors here or they stall forever.
+        for server in released_servers:
+            if server.waiters:
+                self._notify_server_waiters(server)
+        if self.announce:
+            self.cluster_manager.retract_workflow(self.workflow_id)
+
     # ------------------------------------------------------------------ #
     # Dispatch loop
     # ------------------------------------------------------------------ #
     def _dispatch(self) -> None:
+        if self._aborted:
+            return
         assert self._graph is not None
         if self.incremental_dispatch:
             ready = self._ready_pool
@@ -333,9 +462,14 @@ class WorkflowExecutor:
         ):
             # Nothing queued, nothing running, nothing ready, graph unfinished:
             # dependencies can never be satisfied.
-            raise ExecutionError(
+            raise self._execution_error(
                 f"workflow {self.workflow_id!r} deadlocked: no runnable tasks remain"
             )
+
+    def _execution_error(self, message: str) -> ExecutionError:
+        error = ExecutionError(message)
+        error.executor = self
+        return error
 
     def _is_complete(self) -> bool:
         assert self._graph is not None
@@ -351,12 +485,24 @@ class WorkflowExecutor:
                 break
             if self.sequential and not self._is_next_in_order(lane.queue[0]):
                 break
+            if lane.server is not None and lane.server.dead:
+                # The instance behind this handle is gone (node loss, or
+                # evicted to make room elsewhere); never schedule onto it.
+                lane.server = None
+            if lane.server is None and lane.assignment.uses_gpu:
+                # The lane's serving instance was lost to a preemption or
+                # failure; redeploy (or replan) before any task can start.
+                if not self._repair_lane(lane):
+                    if self._global_active == 0 and not self._retry_scheduled:
+                        self._retry_scheduled = True
+                        self.engine.schedule(self.ALLOCATION_RETRY_S, self._retry_dispatch)
+                    break
             task = lane.queue[0]
             allocation: Optional[Allocation] = None
             if lane.server is None:
                 cpu_cores = lane.assignment.config.cpu_cores
                 if cpu_cores > self.cluster_manager.cluster.total_cpu_cores:
-                    raise ExecutionError(
+                    raise self._execution_error(
                         f"task {task.task_id} needs {cpu_cores} CPU cores but the cluster "
                         f"only has {self.cluster_manager.cluster.total_cpu_cores}"
                     )
@@ -393,9 +539,11 @@ class WorkflowExecutor:
 
     def _retry_dispatch(self) -> None:
         self._retry_scheduled = False
+        if self._aborted:
+            return
         self._retry_count = getattr(self, "_retry_count", 0) + 1
         if self._retry_count > self.MAX_ALLOCATION_RETRIES:
-            raise ExecutionError(
+            raise self._execution_error(
                 f"workflow {self.workflow_id!r} could not obtain resources after "
                 f"{self.MAX_ALLOCATION_RETRIES} retries"
             )
@@ -414,8 +562,110 @@ class WorkflowExecutor:
             self.engine.schedule(0.0, waiter._resume_after_server_release)
 
     def _resume_after_server_release(self) -> None:
+        if self._aborted:
+            return
         if self._graph is not None and not self._is_complete():
             self._dispatch()
+
+    # ------------------------------------------------------------------ #
+    # Cluster-dynamics recovery (spot preemption / server failure)
+    # ------------------------------------------------------------------ #
+    def on_node_loss(self, node_id: str) -> None:
+        """React to a lost node: requeue in-flight tasks, repair lanes.
+
+        Called by :class:`~repro.cluster.dynamics.ClusterDynamics` after the
+        cluster manager reclaimed the node's allocations and the server pool
+        dropped its handles.  Tasks running on the node (on its serving
+        instance, or holding a CPU allocation there) are cancelled and put
+        back on their lane's queue; lanes whose server died redeploy lazily
+        on the next dispatch (replanning through :attr:`replanner` if the
+        planned configuration no longer fits).
+        """
+        if self._aborted or self._graph is None or self._is_complete():
+            return
+        # Stale handles must leave the pool whether or not the dynamics
+        # layer watches it (per-submit pools are only reachable from here);
+        # invalidation is idempotent, so a watched pool is fine too.
+        self.server_pool.invalidate_node(node_id)
+        affected = False
+        for task_id, (event, task, lane, allocation) in list(self._inflight.items()):
+            on_lost_server = lane.server is not None and lane.server.node_id == node_id
+            on_lost_cpu = allocation is not None and allocation.node_id == node_id
+            if not (on_lost_server or on_lost_cpu):
+                continue
+            event.cancel()
+            del self._inflight[task_id]
+            lane.active -= 1
+            if lane.server is not None:
+                lane.server.active -= 1
+            self._global_active -= 1
+            # No allocation to release here: a task holds one only on a
+            # serverless (CPU) lane, so matching on_lost_cpu means the
+            # node's reclaim already revoked it.
+            task.requeue()
+            task.mark(TaskState.READY)
+            lane.queue.append(task)
+            lane.queue.sort(key=lambda t: self._order_index[t.task_id])
+            self.requeued_tasks += 1
+            affected = True
+        for lanes in self._lanes.values():
+            for lane in lanes:
+                if lane.server is not None and lane.server.node_id == node_id:
+                    lane.server = None
+                    affected = True
+        if affected:
+            self.disruptions += 1
+            self.engine.schedule(0.0, self._resume_after_server_release)
+
+    def _repair_lane(self, lane: _Lane) -> bool:
+        """Re-acquire a serving instance for a lane whose server was lost.
+
+        First redeploys the planned configuration (evicting idle instances
+        if that is what it takes — the paper's reclamation lever); if the
+        shrunken cluster cannot fit it, asks :attr:`replanner` (when
+        provided) for a fresh assignment against current cluster stats.
+        Returns ``False`` when neither works — the caller retries after
+        ``ALLOCATION_RETRY_S``.
+        """
+        server = self._try_deploy(lane.assignment)
+        if server is not None:
+            lane.server = server
+            return True
+        if self.replanner is None:
+            return False
+        try:
+            assignment = self.replanner(lane.assignment.interface)
+        except PlanningError:
+            return False
+        if assignment is None or assignment.config == lane.assignment.config:
+            return False
+        if assignment.uses_gpu:
+            server = self._try_deploy(assignment)
+            if server is None:
+                return False
+        else:
+            server = None
+        planned = self.plan.assignments.get(assignment.interface)
+        if planned and lane.assignment in planned:
+            planned[planned.index(lane.assignment)] = assignment
+        lane.assignment = assignment
+        lane.implementation = self.library.get(assignment.agent_name)
+        lane.server = server
+        self.replans += 1
+        return True
+
+    def _try_deploy(self, assignment: PlanAssignment) -> Optional[ServerHandle]:
+        """Deploy ``assignment``, evicting idle instances if needed."""
+        try:
+            return self.server_pool.ensure(assignment)
+        except RuntimeError:
+            pass
+        if not self.server_pool.evict_idle_for(assignment):
+            return None
+        try:
+            return self.server_pool.ensure(assignment)
+        except RuntimeError:
+            return None
 
     def _is_next_in_order(self, task: Task) -> bool:
         """In sequential (baseline) mode, only the globally next pending task
@@ -449,7 +699,10 @@ class WorkflowExecutor:
         if lane.server is not None:
             lane.server.active += 1
         self._global_active += 1
-        self.engine.schedule(estimate.seconds, self._complete_task, task, lane, allocation, estimate)
+        event = self.engine.schedule(
+            estimate.seconds, self._complete_task, task, lane, allocation, estimate
+        )
+        self._inflight[task.task_id] = (event, task, lane, allocation)
 
     def _complete_task(
         self,
@@ -459,6 +712,7 @@ class WorkflowExecutor:
         estimate: ExecutionEstimate,
     ) -> None:
         assert self._graph is not None
+        self._inflight.pop(task.task_id, None)
         task.finished_at = self.engine.now
         self._record_trace(task, lane, allocation, estimate)
 

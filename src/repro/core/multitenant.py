@@ -22,9 +22,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro import calibration
 from repro.agents.base import AgentInterface
 from repro.cluster.hardware import get_cpu_spec
-from repro.core.execution import ServerPool, WorkflowExecutor
+from repro.core.execution import ExecutionError, ServerPool, WorkflowExecutor
 from repro.core.job import Job, JobResult
-from repro.core.planner import PlannerOverride
+from repro.core.planner import PlannerOverride, PlanningError
 from repro.core.runtime import MurakkabRuntime
 from repro.sim.energy import EnergyAccountant, EnergyBreakdown
 from repro.sim.trace import ExecutionTrace
@@ -60,6 +60,8 @@ class MultiTenantReport:
     batch_start: float = 0.0
     batch_end: float = 0.0
     completed_jobs: int = 0
+    #: Workflows aborted as unrunnable under cluster dynamics.
+    failed_jobs: int = 0
     #: ``job_id -> compact summary`` (always populated, bounded by caller).
     job_summaries: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
@@ -126,6 +128,8 @@ def run_submissions(
     def finish_streaming(executor: WorkflowExecutor) -> None:
         job, orchestration = contexts.pop(executor.workflow_id)
         executors.pop(executor.workflow_id, None)
+        if runtime.dynamics is not None:
+            runtime.dynamics.job_finished(executor)
         started_at = executor.trace.start_time()
         finished_at = (
             executor.finished_at if executor.finished_at is not None else engine.now
@@ -158,9 +162,18 @@ def run_submissions(
     def admit(submission: TenantSubmission) -> None:
         job = submission.job
         stats = runtime.cluster_manager.stats()
-        orchestration = runtime.orchestrator.prepare(
-            job, cluster_stats=stats, overrides=submission.overrides
-        )
+        try:
+            orchestration = runtime.orchestrator.prepare(
+                job, cluster_stats=stats, overrides=submission.overrides
+            )
+        except PlanningError:
+            # Under dynamics the cluster may have shrunk below any feasible
+            # configuration for this job; count it and keep serving.
+            if runtime.dynamics is None:
+                raise
+            runtime.dynamics.log.failed_jobs += 1
+            report.failed_jobs += 1
+            return
         dag_latency = (
             orchestration.decomposition_latency_s or calibration.DAG_CREATION_SECONDS
         )
@@ -184,7 +197,14 @@ def run_submissions(
             trace=trace,
             workflow_id=job.job_id,
             on_finish=None if collect_traces else finish_streaming,
+            replanner=(
+                runtime.make_replanner(job.constraint_set(), submission.overrides)
+                if runtime.dynamics is not None
+                else None
+            ),
         )
+        if runtime.dynamics is not None:
+            runtime.dynamics.register_executor(executor)
         executor.start(orchestration.graph, delay=dag_latency)
         executors[job.job_id] = executor
         contexts[job.job_id] = (job, orchestration)
@@ -196,11 +216,29 @@ def run_submissions(
         (max(submission.arrival_time, engine.now), admit, (submission,))
         for _index, submission in ordered
     )
-    engine.run()
+    while True:
+        try:
+            engine.run()
+            break
+        except ExecutionError as error:
+            # Under cluster dynamics a single tenant can become unrunnable
+            # (its capacity failed away for good).  Abort just that workflow
+            # — cancelling its events and releasing what it holds — count it
+            # failed, and keep serving everyone else on the shared engine.
+            failed = getattr(error, "executor", None)
+            if runtime.dynamics is None or failed is None:
+                raise
+            failed.abort()
+            runtime.dynamics.job_failed(failed)
+            executors.pop(failed.workflow_id, None)
+            contexts.pop(failed.workflow_id, None)
+            report.failed_jobs += 1
 
     if collect_traces:
         merged_trace = ExecutionTrace(label="multi-tenant")
         for job_id, executor in executors.items():
+            if runtime.dynamics is not None:
+                runtime.dynamics.job_finished(executor)
             job, orchestration = contexts[job_id]
             finished_at = (
                 executor.finished_at if executor.finished_at is not None else engine.now

@@ -185,6 +185,28 @@ class ConfigurationPlanner:
             plan.add(assignment)
         return plan
 
+    def plan_interface(
+        self,
+        interface: AgentInterface,
+        constraint_set: ConstraintSet,
+        cluster_stats: Optional[ResourceStatsMessage] = None,
+        override: Optional[PlannerOverride] = None,
+    ) -> PlanAssignment:
+        """Choose a configuration for one interface in isolation.
+
+        This is the replanning entry point: when cluster dynamics (spot
+        preemption, server failure) revoke a workflow's serving instance and
+        the planned configuration no longer fits the shrunken cluster, the
+        executor asks for a fresh assignment against *current* stats without
+        re-decomposing the job.
+        """
+        stats_digest = (
+            cluster_stats.planning_digest() if cluster_stats is not None else None
+        )
+        return self._cached_assignment(
+            interface, constraint_set, cluster_stats, stats_digest, override
+        )
+
     def invalidate_cache(self) -> None:
         """Drop memoized assignments (e.g. after out-of-band store edits)."""
         self._plan_cache.clear()

@@ -15,10 +15,12 @@ from repro import calibration
 from repro.agents.base import AgentInterface, AgentResult
 from repro.agents.library import AgentLibrary, default_library
 from repro.cluster.cluster import Cluster, paper_testbed
+from repro.cluster.dynamics import ClusterDynamics, DynamicsConfig
 from repro.cluster.hardware import get_cpu_spec
 from repro.cluster.manager import ClusterManager
 from repro.cluster.scheduler import PlacementPolicy, WorkflowAwarePolicy
-from repro.core.execution import ServerPool, WorkflowExecutor
+from repro.core.constraints import ConstraintSet
+from repro.core.execution import ExecutionError, ServerPool, WorkflowExecutor
 from repro.core.job import Job, JobResult
 from repro.core.orchestrator import OrchestrationResult, WorkflowOrchestrator
 from repro.core.planner import PlannerOverride
@@ -63,6 +65,49 @@ class MurakkabRuntime:
         #: runtime creates (e.g. ``{"incremental_dispatch": False}`` for the
         #: unoptimized reference path in repro.baselines.unoptimized).
         self.executor_options: Dict[str, object] = {}
+        #: Installed cluster-dynamics schedule, or ``None`` for the frozen
+        #: testbed (see :meth:`attach_dynamics`).
+        self.dynamics: Optional[ClusterDynamics] = None
+
+    # ------------------------------------------------------------------ #
+    # Cluster dynamics
+    # ------------------------------------------------------------------ #
+    def attach_dynamics(
+        self, dynamics: "ClusterDynamics | DynamicsConfig | None"
+    ) -> Optional[ClusterDynamics]:
+        """Install a disruption schedule (spot windows, failures, autoscale)
+        on this runtime's engine and cluster manager.
+
+        Accepts a :class:`~repro.cluster.dynamics.DynamicsConfig` (wrapped in
+        a fresh :class:`~repro.cluster.dynamics.ClusterDynamics`) or an
+        uninstalled ``ClusterDynamics``.  Subsequent submissions register
+        their executors with it, so preempted/failed nodes requeue or replan
+        the affected tasks instead of stalling.
+        """
+        if dynamics is None:
+            return None
+        if isinstance(dynamics, DynamicsConfig):
+            dynamics = ClusterDynamics(dynamics)
+        if not dynamics.installed:
+            dynamics.install(self.engine, self.cluster_manager)
+        self.dynamics = dynamics
+        return dynamics
+
+    def make_replanner(
+        self,
+        constraint_set: ConstraintSet,
+        overrides: Optional[Dict[AgentInterface, PlannerOverride]] = None,
+    ):
+        """Per-interface replanning hook for disrupted executors."""
+        overrides = overrides or {}
+
+        def replan(interface: AgentInterface):
+            stats = self.cluster_manager.stats()
+            return self.orchestrator.planner.plan_interface(
+                interface, constraint_set, stats, override=overrides.get(interface)
+            )
+
+        return replan
 
     # ------------------------------------------------------------------ #
     # Job submission
@@ -93,6 +138,7 @@ class MurakkabRuntime:
             metadata={"workflow": job.job_id},
         )
 
+        dynamics = self.dynamics
         executor = WorkflowExecutor(
             engine=self.engine,
             cluster_manager=self.cluster_manager,
@@ -101,9 +147,31 @@ class MurakkabRuntime:
             server_pool=pool,
             trace=trace,
             workflow_id=job.job_id,
+            replanner=(
+                self.make_replanner(job.constraint_set(), overrides)
+                if dynamics is not None
+                else None
+            ),
+            stop_when_finished=dynamics is not None,
             **self.executor_options,
         )
-        results = executor.execute(orchestration.graph, delay=dag_latency)
+        if dynamics is not None:
+            dynamics.register_executor(executor)
+        try:
+            results = executor.execute(orchestration.graph, delay=dag_latency)
+        except ExecutionError:
+            # Give up cleanly: cancel the workflow's in-flight events and
+            # release everything it holds, so later jobs on the shared
+            # engine never see its zombies; tear down the per-job pool
+            # exactly as the success path would.
+            executor.abort()
+            if dynamics is not None:
+                dynamics.job_failed(executor)
+            if not keep_warm and server_pool is None:
+                pool.teardown_all()
+            raise
+        if dynamics is not None:
+            dynamics.job_finished(executor)
         finished_at = executor.finished_at if executor.finished_at is not None else self.engine.now
 
         result = self._build_result(

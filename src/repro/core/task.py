@@ -44,6 +44,9 @@ class Task:
     #: Populated by the executor.
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: How many times the task was requeued after losing its resources
+    #: (spot preemption / server failure).
+    retries: int = 0
 
     def __post_init__(self) -> None:
         if not self.task_id:
@@ -56,6 +59,19 @@ class Task:
         if self.started_at is None or self.finished_at is None:
             return None
         return self.finished_at - self.started_at
+
+    def requeue(self) -> None:
+        """Return a dispatched task to PENDING after its resources were lost.
+
+        The one sanctioned backwards transition: a spot preemption or server
+        failure revokes the devices a READY/RUNNING task was using, so the
+        executor puts it back in the queue to run again elsewhere.
+        """
+        if self.state is TaskState.COMPLETED:
+            raise ValueError(f"cannot requeue completed task {self.task_id}")
+        self.state = TaskState.PENDING
+        self.started_at = None
+        self.retries += 1
 
     def mark(self, state: TaskState) -> None:
         """Advance the task's state (no backwards transitions)."""

@@ -43,7 +43,9 @@ import time as _wall_time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.execution import ExecutionError
 from repro.core.job import Job, JobResult
+from repro.core.planner import PlanningError
 from repro.sim.energy import EnergyBreakdown
 from repro.telemetry.metrics import StreamingAggregate, ThroughputMeter, evict_oldest
 from repro.workloads.arrival import JobArrival
@@ -149,6 +151,10 @@ class SteadyState:
     #: registered or retired agent bumps it and forces re-convergence, so a
     #: trace run transparently adopts new models exactly like ``submit()``.
     store_version: int = 0
+    #: Cluster-dynamics disruption version the record was observed under; a
+    #: preemption, failure, or scaling event bumps it, so the group is fully
+    #: re-simulated against the changed cluster before memoizing again.
+    dynamics_version: int = 0
 
 
 @dataclass
@@ -192,6 +198,12 @@ class TraceReport:
     #: Most recent per-job summaries, capped (oldest evicted).
     job_summaries: Dict[str, Dict[str, float]] = field(default_factory=dict)
     max_job_summaries: Optional[int] = 64
+    #: Jobs that could not be served because cluster dynamics shrank the
+    #: cluster past recovery (planning or execution failed).
+    failed_jobs: int = 0
+    #: Disruption counters copied from the dynamics log after a run under a
+    #: preemption/failure schedule; empty when no dynamics were attached.
+    disruptions: Dict[str, int] = field(default_factory=dict)
 
     @property
     def batch_start(self) -> float:
@@ -231,7 +243,7 @@ class TraceReport:
         evict_oldest(self.job_summaries, self.max_job_summaries)
 
     def summary(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "mode": self.mode,
             "jobs": self.jobs,
             "simulated_jobs": self.simulated_jobs,
@@ -244,6 +256,12 @@ class TraceReport:
             "total_energy_wh": round(self.energy_wh.total, 2),
             "total_cost": round(self.cost.total, 4),
         }
+        # Only dynamics runs carry disruption accounting; a disruption-free
+        # trace keeps the exact summary shape it always had.
+        if self.disruptions:
+            data["failed_jobs"] = self.failed_jobs
+            data["disruptions"] = dict(self.disruptions)
+        return data
 
 
 # --------------------------------------------------------------------- #
@@ -260,6 +278,8 @@ class ServiceLoadGenerator:
         #: The most recent fully simulated (probe) JobResult — complete with
         #: plan, graph, and execution trace — for inspection and tests.
         self.last_probe_result: Optional[JobResult] = None
+        #: Dynamics schedule active for the current run (set by :meth:`run`).
+        self._dynamics = None
 
     # ------------------------------------------------------------------ #
     # Entry point
@@ -271,6 +291,7 @@ class ServiceLoadGenerator:
         mode: str = "grouped",
         max_per_job_records: Optional[int] = 256,
         job_ids: Optional[Callable[[int, str], str]] = None,
+        dynamics=None,
     ) -> TraceReport:
         """Serve ``arrivals`` and return the streaming :class:`TraceReport`.
 
@@ -279,12 +300,24 @@ class ServiceLoadGenerator:
         service's life (aggregates stay exact); pass ``None`` to leave the
         service unbounded.  ``job_ids`` maps ``(trace index, workload)`` to a
         job id (defaults to ``trace-<index>-<workload>``).
+
+        ``dynamics`` runs the trace under a disruption schedule (a
+        :class:`~repro.cluster.dynamics.ClusterDynamics` or
+        :class:`~repro.cluster.dynamics.DynamicsConfig`, attached to the
+        service); when the service already has one attached it is used
+        automatically.  Disruption counters land in
+        :attr:`TraceReport.disruptions`; jobs lost to an unrecoverable
+        cluster are counted in :attr:`TraceReport.failed_jobs`.
         """
         if mode not in ("grouped", "multiplex"):
             raise ValueError(f"unknown mode {mode!r}; expected 'grouped' or 'multiplex'")
         if not arrivals:
             raise ValueError("at least one arrival is required")
         registry = registry or self.registry
+        if dynamics is not None:
+            self._dynamics = self.service.attach_dynamics(dynamics)
+        else:
+            self._dynamics = getattr(self.service, "dynamics", None)
         if max_per_job_records is not None:
             self.service.stats.limit_per_job_records(max_per_job_records)
         job_ids = job_ids or (lambda index, workload: f"trace-{index:05d}-{workload}")
@@ -294,7 +327,12 @@ class ServiceLoadGenerator:
         else:
             report = self._run_multiplexed(arrivals, registry, job_ids)
         report.wall_seconds = _wall_time.perf_counter() - started
+        if self._dynamics is not None:
+            report.disruptions = self._dynamics.log.counters()
         return report
+
+    def _dynamics_version(self) -> int:
+        return self._dynamics.log.version if self._dynamics is not None else 0
 
     # ------------------------------------------------------------------ #
     # Grouped (steady-state memoized) serving
@@ -328,12 +366,23 @@ class ServiceLoadGenerator:
             job_id = job_ids(index, arrival.workload)
             arrival_at = epoch + arrival.arrival_time
             service_start = max(arrival_at, previous_finish)
+            if self._dynamics is not None:
+                # A disruption is due before this job starts: let it fire so
+                # the steady-state check below sees the changed cluster (the
+                # version bump forces a fresh probe).  Between disruptions
+                # the batched replay path stays untouched.
+                upcoming = self._dynamics.next_event_at()
+                if upcoming is not None and upcoming <= service_start:
+                    self._flush(engine, pending)
+                    engine.run(until=service_start)
+                    pool_signature = self._pool_signature()
             steady = group.steady
             if (
                 steady is not None
                 and not group.unstable
                 and steady.pool_signature == pool_signature
                 and steady.store_version == store.version
+                and steady.dynamics_version == self._dynamics_version()
             ):
                 # Steady state: account the completion incrementally — one
                 # batched engine event instead of a full pipeline run.
@@ -352,7 +401,23 @@ class ServiceLoadGenerator:
                 engine.run(until=service_start)
             job = registry.build(arrival.workload, job_id)
             self._check_signature(group, job)
-            result = service.submit_job(job)
+            if self._dynamics is not None:
+                try:
+                    result = service.submit_job(job)
+                except (ExecutionError, PlanningError) as error:
+                    # The cluster shrank past recovery for this job; account
+                    # the failure and keep serving the rest of the trace.
+                    # (The runtime already logged ExecutionError failures.)
+                    report.failed_jobs += 1
+                    if isinstance(error, PlanningError):
+                        self._dynamics.log.failed_jobs += 1
+                    previous_finish = max(previous_finish, engine.now)
+                    pool_signature = self._pool_signature()
+                    group.last_observation = None
+                    group.steady = None
+                    continue
+            else:
+                result = service.submit_job(job)
             self.last_probe_result = result
             report.account(result, arrival_at, simulated=True)
             group.simulated += 1
@@ -360,7 +425,12 @@ class ServiceLoadGenerator:
             pool_signature = self._pool_signature()
             if not group.unstable:
                 digest = self._result_digest(result)
-                observation = (digest, pool_signature, store.version)
+                observation = (
+                    digest,
+                    pool_signature,
+                    store.version,
+                    self._dynamics_version(),
+                )
                 if group.last_observation == observation:
                     group.steady = SteadyState(
                         makespan_s=result.makespan_s,
@@ -371,6 +441,7 @@ class ServiceLoadGenerator:
                         plan=result.plan,
                         pool_signature=pool_signature,
                         store_version=store.version,
+                        dynamics_version=self._dynamics_version(),
                     )
                 group.last_observation = observation
 
@@ -484,13 +555,14 @@ class ServiceLoadGenerator:
                 result, arrival_times.get(result.job_id, 0.0), simulated=True
             )
 
-        run_submissions(
+        tenant_report = run_submissions(
             service.runtime,
             submissions,
             pool=service._pool,
             collect_traces=False,
             on_result=on_result,
         )
+        report.failed_jobs = tenant_report.failed_jobs
         report.groups = self._multiplex_counters(arrivals)
         return report
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.agents.base import AgentImplementation
+from repro.cluster.dynamics import ClusterDynamics, DynamicsConfig
 from repro.core.constraints import Constraint, ConstraintSet
 from repro.core.execution import ServerPool
 from repro.core.job import Job, JobResult
@@ -84,7 +85,12 @@ class ServiceStats:
 class AIWorkflowService:
     """A long-lived service endpoint over one Murakkab runtime."""
 
-    def __init__(self, runtime: Optional[MurakkabRuntime] = None, keep_warm: bool = True) -> None:
+    def __init__(
+        self,
+        runtime: Optional[MurakkabRuntime] = None,
+        keep_warm: bool = True,
+        dynamics: "ClusterDynamics | DynamicsConfig | None" = None,
+    ) -> None:
         self.runtime = runtime or MurakkabRuntime()
         self.keep_warm = keep_warm
         self.stats = ServiceStats()
@@ -92,6 +98,25 @@ class AIWorkflowService:
         self._pool: Optional[ServerPool] = None
         if keep_warm:
             self._pool = ServerPool(self.runtime.cluster_manager, self.runtime.library)
+        #: Installed cluster-dynamics schedule; ``None`` = frozen testbed.
+        self.dynamics: Optional[ClusterDynamics] = None
+        if dynamics is not None:
+            self.attach_dynamics(dynamics)
+
+    def attach_dynamics(
+        self, dynamics: "ClusterDynamics | DynamicsConfig"
+    ) -> ClusterDynamics:
+        """Run this service's cluster under a disruption schedule.
+
+        Spot windows, whole-server failures, and autoscaling commands fire
+        as engine events during every subsequent ``submit``/``submit_trace``;
+        the warm pool is watched so lost serving instances drop out of it.
+        """
+        dynamics = self.runtime.attach_dynamics(dynamics)
+        if self._pool is not None:
+            dynamics.watch_pool(self._pool)
+        self.dynamics = dynamics
+        return dynamics
 
     # ------------------------------------------------------------------ #
     # Job submission
@@ -136,7 +161,9 @@ class AIWorkflowService:
         :class:`~repro.loadgen.TraceReport`.
 
         See :class:`~repro.loadgen.ServiceLoadGenerator` for the options
-        (``registry``, ``mode``, ``max_per_job_records`` …).
+        (``registry``, ``mode``, ``max_per_job_records``, ``dynamics`` —
+        the last runs the trace under a spot-preemption/failure schedule and
+        fills :attr:`~repro.loadgen.TraceReport.disruptions`).
         """
         return ServiceLoadGenerator(self).run(arrivals, **options)
 
@@ -172,4 +199,8 @@ class AIWorkflowService:
         """Tear down warm serving instances and release all resources."""
         if self._pool is not None:
             self._pool.teardown_all()
+            if self.dynamics is not None:
+                self.dynamics.unwatch_pool(self._pool)
             self._pool = ServerPool(self.runtime.cluster_manager, self.runtime.library)
+            if self.dynamics is not None:
+                self.dynamics.watch_pool(self._pool)

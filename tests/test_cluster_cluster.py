@@ -55,6 +55,27 @@ def test_remove_node_with_allocations_rejected():
         cluster.remove_node("node0")
 
 
+def test_remove_node_with_cpu_allocations_rejected():
+    # CPU-only occupancy also counts as "not empty" — scale-in and spot
+    # preemption must reclaim task lanes before a node may leave.
+    cluster = paper_testbed(node_count=1)
+    cluster.node("node0").claim_cpu_cores(8, owner="x")
+    with pytest.raises(ValueError):
+        cluster.remove_node("node0")
+    cluster.node("node0").release_cpu_cores(8, owner="x")
+    assert cluster.remove_node("node0").node_id == "node0"
+    assert len(cluster) == 0
+
+
+def test_remove_node_bumps_topology_version():
+    cluster = paper_testbed(node_count=1)
+    version = cluster.topology_version
+    cluster.add_node(Node("extra", 2, 16))
+    assert cluster.topology_version == version + 1
+    cluster.remove_node("extra")
+    assert cluster.topology_version == version + 2
+
+
 def test_utilization_fractions():
     cluster = paper_testbed(node_count=1)
     assert cluster.gpu_utilization_fraction() == 0.0

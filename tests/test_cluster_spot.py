@@ -79,3 +79,57 @@ def test_zero_instances_model_has_no_capacity():
     model = SpotCapacityModel(max_concurrent_instances=0)
     assert model.harvestable_gpus(10.0) == 0
     assert model.instances == ()
+
+
+# --------------------------------------------------------------------- #
+# Edge cases on the dormant query paths the dynamics layer activates
+# --------------------------------------------------------------------- #
+
+
+def _explicit(*windows):
+    return SpotCapacityModel(
+        instances=[
+            SpotInstance(f"s{i}", 1, 16, available_from=start, available_until=end)
+            for i, (start, end) in enumerate(windows)
+        ]
+    )
+
+
+def test_next_preemption_after_empty_schedule():
+    model = SpotCapacityModel(max_concurrent_instances=0)
+    assert model.next_preemption_after(0.0) is None
+    assert model.preemptions_between(0.0, 1e9) == []
+
+
+def test_next_preemption_at_exact_window_boundary_is_exclusive():
+    model = _explicit((0.0, 100.0), (50.0, 200.0))
+    # Querying exactly at a window's close skips that close.
+    assert model.next_preemption_after(100.0) == 200.0
+    # ...but any instant strictly before it still sees it.
+    assert model.next_preemption_after(99.999) == 100.0
+    assert model.next_preemption_after(200.0) is None
+
+
+def test_preemptions_between_boundaries_are_half_open():
+    model = _explicit((0.0, 100.0), (50.0, 200.0))
+    # (start, end]: a close at `start` is excluded, a close at `end` included.
+    assert [i.instance_id for i in model.preemptions_between(100.0, 200.0)] == ["s1"]
+    assert [i.instance_id for i in model.preemptions_between(0.0, 100.0)] == ["s0"]
+    assert model.preemptions_between(100.0, 150.0) == []
+
+
+def test_overlapping_windows_stack_capacity_and_close_independently():
+    model = _explicit((0.0, 100.0), (20.0, 80.0), (20.0, 100.0))
+    assert model.harvestable_gpus(50.0) == 3
+    assert model.harvestable_gpus(90.0) == 2
+    assert model.next_preemption_after(0.0) == 80.0
+    closes = model.preemptions_between(0.0, 100.0)
+    assert sorted(i.instance_id for i in closes) == ["s0", "s1", "s2"]
+
+
+def test_explicit_instances_stretch_horizon():
+    model = SpotCapacityModel(
+        horizon_s=10.0,
+        instances=[SpotInstance("s0", 1, 16, available_from=0.0, available_until=500.0)],
+    )
+    assert model.horizon_s == 500.0
