@@ -9,9 +9,12 @@ test:
 ## Stdlib-only lint: byte-compile every source tree with SyntaxWarning
 ## promoted to an error (catches invalid escapes, suspicious literals, and
 ## any syntax error before the test suite runs).  -f forces recompilation so
-## warnings fire even when .pyc files are fresh.
+## warnings fire even when .pyc files are fresh.  The repro.policies check
+## instantiates every registered control-plane bundle and asserts the
+## registry invariants (well-typed policies, unique fingerprints).
 lint:
 	$(PYTHON) -W error::SyntaxWarning -m compileall -q -f src tests benchmarks scripts examples
+	$(PYTHON) -c "from repro.policies import validate_registry; validate_registry()"
 
 ## Run the micro-benchmarks, append BENCH_<n>.json to the perf trajectory,
 ## and fail if a gated hot-path metric regressed >20% vs the previous record.

@@ -1,0 +1,44 @@
+"""Policy-sweep micro-benchmark (ours): one trace under every bundle.
+
+Non-gated by design: the sweep exists so every registered policy bundle is
+exercised end-to-end (plan, place, serve, memoize) on every CI run via
+``make bench-smoke``, and so local ``BENCH_<n>.json``-style timing runs can
+watch the relative serving cost of the bundles.  No regression gate applies
+— policy choice legitimately trades wall-clock for latency/energy, so a
+"slower" bundle is not a regression.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policies import available_bundles
+from repro.service import AIWorkflowService
+from repro.workloads.arrival import poisson_arrivals
+
+
+@pytest.fixture(scope="module")
+def sweep_arrivals():
+    return poisson_arrivals(
+        rate_per_s=0.5, horizon_s=60.0, workloads=("newsfeed",), seed=11
+    )
+
+
+@pytest.mark.parametrize("policy", available_bundles())
+def test_policy_sweep(benchmark, policy, sweep_arrivals):
+    def serve():
+        service = AIWorkflowService(policy=policy)
+        report = service.submit_trace(sweep_arrivals)
+        service.shutdown()
+        return report
+
+    report = benchmark.pedantic(serve, rounds=1, iterations=1)
+    assert report.jobs == len(sweep_arrivals)
+    assert report.failed_jobs == 0
+    benchmark.extra_info.update(
+        {
+            "policy": policy,
+            "mean_makespan_s": round(report.makespan_s.mean, 4),
+            "total_energy_wh": round(report.energy_wh.total, 4),
+        }
+    )

@@ -117,12 +117,15 @@ def run_smoke() -> int:
     plain invocation, so CI proves the perf code paths still *run* on every
     change without the noise-sensitive timing, without appending a
     ``BENCH_<n>.json`` to the trajectory, and without the regression gate.
+    The policy sweep rides along (non-gated) so CI exercises every
+    registered control-plane bundle end to end.
     """
     command = [
         sys.executable,
         "-m",
         "pytest",
         "benchmarks/test_microbenchmarks.py",
+        "benchmarks/test_policy_sweep.py",
         "-q",
         "--benchmark-disable",
     ]

@@ -49,6 +49,14 @@ from repro.cluster.dynamics import (
 )
 from repro.cluster.spot import SpotCapacityModel, SpotInstance
 from repro.loadgen import ServiceLoadGenerator, TraceReport, WorkloadRegistry, default_registry
+from repro.policies import (
+    PolicyBundle,
+    available_bundles,
+    get_bundle,
+    pinned_bundle,
+    register_bundle,
+    resolve_bundle,
+)
 from repro.service import AIWorkflowService, ServiceStats
 from repro.workloads.arrival import (
     JobArrival,
@@ -106,6 +114,12 @@ __all__ = [
     "NodeFailure",
     "SpotCapacityModel",
     "SpotInstance",
+    "PolicyBundle",
+    "available_bundles",
+    "get_bundle",
+    "register_bundle",
+    "resolve_bundle",
+    "pinned_bundle",
     "video_understanding_job",
     "omagent_imperative_workflow",
     "__version__",

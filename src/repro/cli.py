@@ -104,17 +104,17 @@ def _build_dynamics(args: argparse.Namespace):
     )
 
 
-def _cmd_loadtest(args: argparse.Namespace) -> int:
-    from repro import AIWorkflowService
+def _build_arrivals(args: argparse.Namespace):
+    """Translate the shared trace flags into an arrival schedule."""
     from repro.workloads.arrival import bursty_arrivals, diurnal_arrivals, poisson_arrivals
 
     workloads = tuple(args.workloads.split(","))
     if args.shape == "poisson":
-        arrivals = poisson_arrivals(
+        return poisson_arrivals(
             rate_per_s=args.rate, horizon_s=args.horizon, workloads=workloads, seed=args.seed
         )
-    elif args.shape == "bursty":
-        arrivals = bursty_arrivals(
+    if args.shape == "bursty":
+        return bursty_arrivals(
             burst_rate_per_s=args.rate,
             burst_duration_s=args.horizon / 10.0,
             idle_duration_s=args.horizon / 10.0,
@@ -122,18 +122,25 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             workloads=workloads,
             seed=args.seed,
         )
-    else:
-        arrivals = diurnal_arrivals(
-            base_rate_per_s=max(args.rate / 8.0, min(args.rate, 1e-3)),
-            peak_rate_per_s=args.rate,
-            period_s=args.horizon / 2.0,
-            horizon_s=args.horizon,
-            workloads=workloads,
-            seed=args.seed,
-        )
+    return diurnal_arrivals(
+        base_rate_per_s=max(args.rate / 8.0, min(args.rate, 1e-3)),
+        peak_rate_per_s=args.rate,
+        period_s=args.horizon / 2.0,
+        horizon_s=args.horizon,
+        workloads=workloads,
+        seed=args.seed,
+    )
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro import AIWorkflowService
+
+    arrivals = _build_arrivals(args)
     dynamics = _build_dynamics(args)
-    service = AIWorkflowService(dynamics=dynamics)
+    service = AIWorkflowService(dynamics=dynamics, policy=args.policy)
     report = service.submit_trace(arrivals, mode=args.mode)
+    if service.policy is not None:
+        print(f"{'policy':>22}: {service.policy.describe()}")
     for key, value in report.summary().items():
         print(f"{key:>22}: {value}")
     for workload, counters in sorted(report.groups.items()):
@@ -143,6 +150,83 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         for command in service.dynamics.log.commands:
             print(f"{'scaling command':>22}: {command.action.value} {command.reason}")
     service.shutdown()
+    return 0
+
+
+#: Post count of the ``compare-policies`` newsfeed: heavier than the stock
+#: 20-post feed so per-stage policy differences (lane counts, profile
+#: choices) surface in end-to-end latency instead of rounding away.
+COMPARISON_NEWSFEED_POSTS = 48
+
+
+def _comparison_registry():
+    from repro.loadgen import default_registry
+    from repro.workflows.newsfeed import newsfeed_job
+    from repro.workloads.posts import generate_posts
+
+    registry = default_registry()
+    posts = generate_posts(count=COMPARISON_NEWSFEED_POSTS)
+    registry.register(
+        "newsfeed", lambda job_id: newsfeed_job(posts=posts, job_id=job_id)
+    )
+    return registry
+
+
+def _cmd_compare_policies(args: argparse.Namespace) -> int:
+    from repro import AIWorkflowService
+    from repro.policies import available_bundles
+    from repro.telemetry.reporting import render_table
+
+    registered = available_bundles()
+    names = args.policies.split(",") if args.policies else registered
+    unknown = [name for name in names if name not in registered]
+    if unknown:
+        print(
+            f"unknown policy bundle(s) {', '.join(map(repr, unknown))}; "
+            f"registered: {', '.join(registered)}",
+            file=sys.stderr,
+        )
+        return 2
+    registry = _comparison_registry()
+    rows = []
+    for name in names:
+        # Fresh arrivals, service, and dynamics schedule per bundle: every
+        # policy serves the identical trace from the identical start state.
+        arrivals = _build_arrivals(args)
+        service = AIWorkflowService(policy=name, dynamics=_build_dynamics(args))
+        report = service.submit_trace(arrivals, registry=registry, mode=args.mode)
+        disruptions = sum(
+            report.disruptions.get(key, 0)
+            for key in ("preemptions", "failures", "scale_outs", "scale_ins")
+        )
+        rows.append(
+            [
+                name,
+                str(report.jobs),
+                f"{report.makespan_s.mean:.3f}",
+                f"{report.energy_wh.total:.3f}",
+                f"{report.cost.total:.4f}",
+                f"{report.quality.mean:.3f}",
+                str(report.failed_jobs),
+                str(disruptions),
+            ]
+        )
+        service.shutdown()
+    print(
+        render_table(
+            [
+                "Policy",
+                "Jobs",
+                "Mean latency (s)",
+                "Energy (Wh)",
+                "Cost",
+                "Quality",
+                "Failed",
+                "Disruptions",
+            ],
+            rows,
+        )
+    )
     return 0
 
 
@@ -192,53 +276,94 @@ def build_parser() -> argparse.ArgumentParser:
         "loadtest",
         help="serve a synthetic arrival trace through the AIWaaS batched-admission path (ours)",
     )
+    _add_trace_flags(loadtest)
+    _add_dynamics_flags(loadtest)
+    from repro.policies import available_bundles
+
     loadtest.add_argument(
+        "--policy",
+        default=None,
+        choices=available_bundles(),
+        help="control-plane policy bundle to serve under (default: stock behaviour)",
+    )
+    loadtest.set_defaults(func=_cmd_loadtest)
+
+    compare = subparsers.add_parser(
+        "compare-policies",
+        help="serve one trace under every policy bundle and print the "
+        "latency/energy/failed-jobs comparison (ours)",
+    )
+    _add_trace_flags(
+        compare, default_workloads="newsfeed", default_rate=0.5, default_horizon=120.0
+    )
+    _add_dynamics_flags(compare)
+    compare.add_argument(
+        "--policies",
+        default=None,
+        help="comma-separated bundle names to compare (default: every registered bundle)",
+    )
+    compare.set_defaults(func=_cmd_compare_policies)
+    return parser
+
+
+def _add_trace_flags(
+    parser: argparse.ArgumentParser,
+    default_workloads: str = "newsfeed,chain-of-thought",
+    default_rate: float = 1.0,
+    default_horizon: float = 600.0,
+) -> None:
+    parser.add_argument(
         "--shape", choices=("poisson", "bursty", "diurnal"), default="poisson"
     )
-    loadtest.add_argument("--rate", type=float, default=1.0, help="arrival rate (jobs/s)")
-    loadtest.add_argument("--horizon", type=float, default=600.0, help="trace horizon (s)")
-    loadtest.add_argument(
+    parser.add_argument(
+        "--rate", type=float, default=default_rate, help="arrival rate (jobs/s)"
+    )
+    parser.add_argument(
+        "--horizon", type=float, default=default_horizon, help="trace horizon (s)"
+    )
+    parser.add_argument(
         "--workloads",
-        default="newsfeed,chain-of-thought",
+        default=default_workloads,
         help="comma-separated workload names (see repro.loadgen.default_registry)",
     )
-    loadtest.add_argument(
+    parser.add_argument(
         "--mode",
         choices=("grouped", "multiplex"),
         default="grouped",
         help="grouped = steady-state memoized throughput path; multiplex = full interleaving",
     )
-    loadtest.add_argument("--seed", type=int, default=3)
-    loadtest.add_argument(
+    parser.add_argument("--seed", type=int, default=3)
+
+
+def _add_dynamics_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
         "--spot",
         action="store_true",
         help="run under a seeded spot-capacity schedule (windows open as extra "
         "nodes, closing windows preempt them)",
     )
-    loadtest.add_argument(
+    parser.add_argument(
         "--failures",
         action="store_true",
         help="inject seeded whole-server failures over the trace horizon",
     )
-    loadtest.add_argument(
+    parser.add_argument(
         "--autoscale",
         action="store_true",
         help="let sustained queueing pressure add nodes via scaling commands",
     )
-    loadtest.add_argument(
+    parser.add_argument(
         "--mtbf",
         type=float,
         default=None,
         help="mean time between failures in seconds (default: horizon/3)",
     )
-    loadtest.add_argument(
+    parser.add_argument(
         "--dynamics-seed",
         type=int,
         default=0,
         help="seed for the spot/failure schedules (independent of --seed)",
     )
-    loadtest.set_defaults(func=_cmd_loadtest)
-    return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -18,6 +18,12 @@ from repro.cluster.hardware import GpuGeneration
 from repro.cluster.node import Node
 
 
+#: Owner prefix identifying long-lived model/tool serving-instance requests
+#: (vs short-lived per-workflow task lanes).  Shared by the deploy sites and
+#: by placement policies that treat durable deployments specially.
+MODEL_OWNER_PREFIX = "model:"
+
+
 @dataclass(frozen=True)
 class ResourceRequest:
     """A request for devices on behalf of ``owner`` (a workflow or model)."""

@@ -12,7 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.cluster.allocator import Allocation, Allocator, ResourceRequest
+from repro.cluster.allocator import (
+    Allocation,
+    Allocator,
+    MODEL_OWNER_PREFIX,
+    ResourceRequest,
+)
 from repro.cluster.cluster import Cluster
 from repro.cluster.hardware import GpuGeneration
 from repro.cluster.scheduler import PlacementPolicy
@@ -117,7 +122,7 @@ class ClusterManager:
             RuntimeError: if the cluster cannot fit the instance.
         """
         request = ResourceRequest(
-            owner=f"model:{agent_name}",
+            owner=f"{MODEL_OWNER_PREFIX}{agent_name}",
             gpus=gpus,
             cpu_cores=cpu_cores,
             gpu_generation=gpu_generation,

@@ -1,102 +1,29 @@
-"""Placement policies used by the allocator.
+"""Placement policies used by the allocator (compatibility re-exports).
 
-Policies only decide *which node* hosts a request that already fits.  The
-workflow-aware policy implements the paper's observation that coupling
-orchestration with cluster management enables better placement: it prefers
-nodes where the requesting workflow (or model instance) already holds
-resources, reducing fragmentation and cross-node traffic.
+The placement layer moved into the unified control-plane policy subsystem:
+the abstract interface is :class:`repro.policies.base.PlacementPolicy` and
+the concrete policies live in :mod:`repro.policies.placement`.  This module
+keeps the historical import path working — ``from repro.cluster.scheduler
+import WorkflowAwarePolicy`` resolves to the very same classes, so existing
+``isinstance`` checks and subclasses are unaffected.
 """
 
 from __future__ import annotations
 
-import abc
-from typing import List, Optional, Sequence
+from repro.policies.base import PlacementPolicy
+from repro.policies.placement import (
+    BestFitPolicy,
+    FirstFitPolicy,
+    SpotAwarePlacementPolicy,
+    SpreadPolicy,
+    WorkflowAwarePolicy,
+)
 
-from repro.cluster.allocator import Allocation, ResourceRequest
-from repro.cluster.node import Node
-
-
-class PlacementPolicy(abc.ABC):
-    """Chooses a node among candidates that can fit the request."""
-
-    @abc.abstractmethod
-    def choose(
-        self,
-        request: ResourceRequest,
-        candidates: Sequence[Node],
-        active: Sequence[Allocation],
-    ) -> Optional[Node]:
-        """Return the chosen node, or ``None`` to reject placement."""
-
-    @property
-    def name(self) -> str:
-        return type(self).__name__
-
-
-class FirstFitPolicy(PlacementPolicy):
-    """Pick the first candidate in cluster order."""
-
-    def choose(
-        self,
-        request: ResourceRequest,
-        candidates: Sequence[Node],
-        active: Sequence[Allocation],
-    ) -> Optional[Node]:
-        return candidates[0] if candidates else None
-
-
-class BestFitPolicy(PlacementPolicy):
-    """Pick the candidate with the least remaining capacity (pack tightly)."""
-
-    def choose(
-        self,
-        request: ResourceRequest,
-        candidates: Sequence[Node],
-        active: Sequence[Allocation],
-    ) -> Optional[Node]:
-        if not candidates:
-            return None
-        if request.is_gpu_request:
-            return min(candidates, key=lambda n: (n.free_gpu_count, n.free_cpu_cores))
-        return min(candidates, key=lambda n: (n.free_cpu_cores, n.free_gpu_count))
-
-
-class SpreadPolicy(PlacementPolicy):
-    """Pick the candidate with the most remaining capacity (spread load)."""
-
-    def choose(
-        self,
-        request: ResourceRequest,
-        candidates: Sequence[Node],
-        active: Sequence[Allocation],
-    ) -> Optional[Node]:
-        if not candidates:
-            return None
-        if request.is_gpu_request:
-            return max(candidates, key=lambda n: (n.free_gpu_count, n.free_cpu_cores))
-        return max(candidates, key=lambda n: (n.free_cpu_cores, n.free_gpu_count))
-
-
-class WorkflowAwarePolicy(PlacementPolicy):
-    """Prefer nodes where the same owner already holds allocations.
-
-    Falls back to best-fit packing when the owner has no prior placements on
-    any candidate node.
-    """
-
-    def __init__(self) -> None:
-        self._fallback = BestFitPolicy()
-
-    def choose(
-        self,
-        request: ResourceRequest,
-        candidates: Sequence[Node],
-        active: Sequence[Allocation],
-    ) -> Optional[Node]:
-        if not candidates:
-            return None
-        owner_nodes = {a.node_id for a in active if a.owner == request.owner}
-        colocated: List[Node] = [n for n in candidates if n.node_id in owner_nodes]
-        if colocated:
-            return self._fallback.choose(request, colocated, active)
-        return self._fallback.choose(request, candidates, active)
+__all__ = [
+    "PlacementPolicy",
+    "FirstFitPolicy",
+    "BestFitPolicy",
+    "SpreadPolicy",
+    "WorkflowAwarePolicy",
+    "SpotAwarePlacementPolicy",
+]

@@ -33,7 +33,7 @@ from repro.agents.base import (
 )
 from repro.agents.library import AgentLibrary
 from repro.agents.synthetic import stable_embedding
-from repro.cluster.allocator import Allocation, ResourceRequest
+from repro.cluster.allocator import MODEL_OWNER_PREFIX, Allocation, ResourceRequest
 from repro.cluster.manager import ClusterManager, ModelInstance
 from repro.cluster.telemetry_exchange import WorkflowAnnouncement
 from repro.core.dag import TaskGraph
@@ -187,7 +187,7 @@ class ServerPool:
         holding them redeploy instead of scheduling onto released devices.
         """
         request = ResourceRequest(
-            owner=f"model:{assignment.agent_name}",
+            owner=f"{MODEL_OWNER_PREFIX}{assignment.agent_name}",
             gpus=assignment.config.gpus,
             cpu_cores=assignment.config.cpu_cores,
             gpu_generation=assignment.config.gpu_generation,

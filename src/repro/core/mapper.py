@@ -9,6 +9,8 @@ from repro.agents.library import AgentLibrary
 from repro.core.dag import TaskGraph
 from repro.core.task import Task
 from repro.llm.tool_calling import ToolCall, ToolCallGenerator
+from repro.policies.base import SchedulingPolicy
+from repro.policies.scheduling import DefaultSchedulingPolicy
 
 
 class TaskAgentMapper:
@@ -18,9 +20,14 @@ class TaskAgentMapper:
         self,
         library: AgentLibrary,
         tool_call_generator: Optional[ToolCallGenerator] = None,
+        scheduling_policy: Optional[SchedulingPolicy] = None,
     ) -> None:
         self.library = library
         self.tool_calls = tool_call_generator or ToolCallGenerator()
+        #: Decides which implementation backs a task when the planner's
+        #: chosen-agent map has no entry for its interface (the default takes
+        #: the first library candidate, as the mapper always did).
+        self.scheduling_policy = scheduling_policy or DefaultSchedulingPolicy()
 
     def candidates(self, task: Task) -> List[AgentImplementation]:
         """Implementations in the library that provide the task's interface."""
@@ -62,7 +69,9 @@ class TaskAgentMapper:
             implementation = (
                 self.library.get(agent_name)
                 if agent_name is not None
-                else self.candidates(task)[0]
+                else self.scheduling_policy.choose_implementation(
+                    task, self.candidates(task)
+                )
             )
             calls[task.task_id] = self.tool_call(task, implementation)
         return calls

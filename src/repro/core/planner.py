@@ -1,20 +1,23 @@
 """Configuration planning: choosing models, hardware, and execution modes.
 
 This is the paper's §3.2 "Model/Tool Selection" + "Resource Allocation" +
-"Execution Paths" combined into one greedy, hierarchy-of-objectives search
-(§3.3 notes the full space explodes, so Murakkab prunes it greedily):
+"Execution Paths" combined into one profile-driven search (§3.3 notes the
+full space explodes, so Murakkab prunes it greedily):
 
-for every agent interface the task graph needs, rank the profiled
-(implementation, hardware, mode) triples by the job's primary constraint,
-drop those below the quality floor or infeasible on the current cluster,
-prefer already-warm models when nearly tied (resource-aware orchestration),
-and break remaining ties with the secondary constraints.
+for every agent interface the task graph needs, collect the profiled
+(implementation, hardware, mode) triples that meet the quality floor and
+any explicit override, then delegate the actual choice to the installed
+:class:`~repro.policies.base.SchedulingPolicy` through the shared
+:class:`~repro.policies.context.PlanContext`.  The stock
+:class:`~repro.policies.scheduling.DefaultSchedulingPolicy` reproduces the
+original greedy hierarchy-of-objectives search (rank by primary constraint,
+prefer warm models when nearly tied, break ties with the secondaries).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 from repro import calibration
 from repro.agents.base import AgentInterface, ExecutionMode, HardwareConfig
@@ -23,6 +26,9 @@ from repro.agents.profiles import ExecutionProfile
 from repro.cluster.telemetry_exchange import ResourceStatsMessage
 from repro.core.constraints import ConstraintSet
 from repro.core.dag import TaskGraph
+from repro.policies.base import SchedulingPolicy
+from repro.policies.context import PlanContext
+from repro.policies.scheduling import DefaultSchedulingPolicy
 from repro.profiling.store import ProfileStore
 
 
@@ -127,20 +133,19 @@ class ExecutionPlan:
 
 
 class ConfigurationPlanner:
-    """Greedy, profile-driven configuration search.
+    """Profile-driven configuration search behind a pluggable policy.
 
     Repeated submissions of similar workflows re-plan the same interfaces
     under the same constraints against equivalent cluster snapshots, so the
     planner memoizes per-interface assignments keyed by
-    ``(interface, constraint set, override, stats digest)``.  The cache is
-    invalidated whenever the profile store changes (profile added, agent
-    retired) via the store's mutation :attr:`~ProfileStore.version`, and can
-    be dropped explicitly with :meth:`invalidate_cache`.
+    ``(interface, constraint set, override, stats digest, policy
+    fingerprint)``.  The policy fingerprint in the key is what lets one
+    long-lived service switch bundles without ever replaying another
+    policy's cached decisions.  The cache is invalidated whenever the
+    profile store changes (profile added, agent retired) via the store's
+    mutation :attr:`~ProfileStore.version`, and can be dropped explicitly
+    with :meth:`invalidate_cache`.
     """
-
-    #: Profiles within this relative margin of the best objective value are
-    #: considered "nearly tied" and may be displaced by a warm model.
-    WARM_PREFERENCE_MARGIN = 0.10
 
     #: Upper bound on memoized assignments (FIFO eviction beyond this).
     PLAN_CACHE_MAX = 4096
@@ -151,6 +156,7 @@ class ConfigurationPlanner:
         library: AgentLibrary,
         max_cpu_cores_per_agent: int = calibration.STT_CPU_TOTAL_CORES,
         enable_plan_cache: bool = True,
+        scheduling_policy: Optional[SchedulingPolicy] = None,
     ) -> None:
         if max_cpu_cores_per_agent <= 0:
             raise ValueError("max_cpu_cores_per_agent must be positive")
@@ -158,10 +164,22 @@ class ConfigurationPlanner:
         self.library = library
         self.max_cpu_cores_per_agent = max_cpu_cores_per_agent
         self.enable_plan_cache = enable_plan_cache
+        #: The scheduling policy every per-interface decision goes through;
+        #: reassigned by ``MurakkabRuntime.set_policy`` when a bundle is
+        #: installed (cached decisions stay keyed to the old fingerprint).
+        self.scheduling_policy = scheduling_policy or DefaultSchedulingPolicy()
+        #: Optional provider of the cluster-dynamics disruption version,
+        #: surfaced to policies through :class:`PlanContext` (installed by
+        #: ``MurakkabRuntime.attach_dynamics``).
+        self.dynamics_version_source: Optional[Callable[[], int]] = None
         self._plan_cache: Dict[tuple, PlanAssignment] = {}
         self._plan_cache_store_version = profile_store.version
         self._plan_cache_hits = 0
         self._plan_cache_misses = 0
+        # The installed policy's fingerprint, recomputed only when the policy
+        # object is swapped (it is read on every cache lookup).
+        self._fingerprint_of: Optional[SchedulingPolicy] = None
+        self._policy_fingerprint = ""
 
     # ------------------------------------------------------------------ #
     # Planning
@@ -234,15 +252,25 @@ class ConfigurationPlanner:
             return self._assignment_from_profile(interface, profile, override)
         if self._plan_cache_store_version != self.profile_store.version:
             self.invalidate_cache()
+        if self._fingerprint_of is not self.scheduling_policy:
+            self._fingerprint_of = self.scheduling_policy
+            self._policy_fingerprint = self.scheduling_policy.fingerprint()
         # max_cpu_cores_per_agent is a public attribute callers mutate after
         # construction (it shapes assignment concurrency), so it must be
-        # part of the key rather than assumed constant.
+        # part of the key rather than assumed constant.  The disruption-log
+        # version is in the key because PlanContext hands it to the policy:
+        # a policy conditioning on cluster volatility must be re-consulted
+        # after every disruption, even one that restores an identical stats
+        # digest.  (Policies reading PlanContext fields outside the planning
+        # digest and the dynamics version must disable the plan cache.)
         cache_key = (
             interface,
             constraint_set,
             stats_digest,
             override,
             self.max_cpu_cores_per_agent,
+            self._policy_fingerprint,
+            self._dynamics_version(),
         )
         assignment = self._plan_cache.get(cache_key)
         if assignment is not None:
@@ -267,11 +295,30 @@ class ConfigurationPlanner:
             for p in self.profile_store.profiles_for(interface)
             if p.quality >= constraint_set.quality_floor
         ]
-        return sorted(candidates, key=lambda p: self._sort_key(p, constraint_set))
+        return self.scheduling_policy.rank(
+            interface, candidates, self._plan_context(constraint_set, None)
+        )
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _dynamics_version(self) -> int:
+        if self.dynamics_version_source is not None:
+            return self.dynamics_version_source()
+        return 0
+
+    def _plan_context(
+        self,
+        constraint_set: ConstraintSet,
+        cluster_stats: Optional[ResourceStatsMessage],
+    ) -> PlanContext:
+        return PlanContext(
+            constraint_set=constraint_set,
+            cluster_stats=cluster_stats,
+            profile_store=self.profile_store,
+            dynamics_version=self._dynamics_version(),
+        )
+
     def _select_profile(
         self,
         interface: AgentInterface,
@@ -295,57 +342,15 @@ class ConfigurationPlanner:
                 f"{constraint_set.quality_floor:.2f} "
                 f"(best available: {max(p.quality for p in candidates):.2f})"
             )
-        if cluster_stats is not None:
-            feasible = [p for p in acceptable if self._fits_cluster(p, cluster_stats)]
-            if feasible:
-                acceptable = feasible
-        acceptable.sort(key=lambda p: self._sort_key(p, constraint_set))
-        best = acceptable[0]
-        if cluster_stats is not None:
-            best = self._prefer_warm(acceptable, best, cluster_stats, constraint_set)
-        return best
-
-    def _sort_key(self, profile: ExecutionProfile, constraint_set: ConstraintSet):
-        key = [profile.objective_value(constraint_set.objective)]
-        for objective in constraint_set.secondary_objectives():
-            key.append(profile.objective_value(objective))
-        key.append(-profile.quality)
-        key.append(profile.latency_s)
-        key.append(profile.agent_name)
-        key.append(profile.config.describe())
-        return tuple(key)
-
-    @staticmethod
-    def _fits_cluster(profile: ExecutionProfile, stats: ResourceStatsMessage) -> bool:
-        config = profile.config
-        if config.gpus > stats.total_gpus or config.cpu_cores > stats.total_cpu_cores:
-            return False
-        if config.gpus and stats.gpus_by_generation:
-            generation = config.gpu_generation.value
-            if stats.gpus_by_generation.get(generation, 0) < config.gpus:
-                return False
-        return True
-
-    def _prefer_warm(
-        self,
-        ranked: Sequence[ExecutionProfile],
-        best: ExecutionProfile,
-        stats: ResourceStatsMessage,
-        constraint_set: ConstraintSet,
-    ) -> ExecutionProfile:
-        """Resource-aware orchestration: prefer models already running when
-        the efficiency penalty is small (§3.2)."""
-        warm_agents = set(stats.per_model_gpus) | set(stats.per_model_cpu_cores)
-        if not warm_agents or best.agent_name in warm_agents:
-            return best
-        best_value = best.objective_value(constraint_set.objective)
-        threshold = best_value * (1.0 + self.WARM_PREFERENCE_MARGIN)
-        for profile in ranked:
-            if profile.agent_name in warm_agents and (
-                profile.objective_value(constraint_set.objective) <= threshold
-            ):
-                return profile
-        return best
+        chosen = self.scheduling_policy.select_profile(
+            interface, acceptable, self._plan_context(constraint_set, cluster_stats)
+        )
+        if chosen is None:
+            raise PlanningError(
+                f"policy {self.scheduling_policy.name!r} rejected every acceptable "
+                f"configuration for {interface.value!r}"
+            )
+        return chosen
 
     def _assignment_from_profile(
         self,

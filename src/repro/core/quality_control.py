@@ -24,6 +24,8 @@ from repro.agents.base import AgentInterface
 from repro.core.dag import TaskGraph
 from repro.core.planner import ExecutionPlan, PlanAssignment
 from repro.core.quality import cascade_quality
+from repro.policies.base import QualityAdaptationPolicy
+from repro.policies.quality import DefaultQualityPolicy
 from repro.profiling.store import ProfileStore
 
 
@@ -55,6 +57,11 @@ class UpgradeProposal:
     upgraded_quality: float
     extra_cost_per_unit: float
     projected_workflow_quality: float
+    #: Overheads of the substitution on the other efficiency axes, so
+    #: quality-adaptation policies can optimise latency or energy instead of
+    #: cost (negative values mean the upgrade is also faster/leaner).
+    extra_latency_s: float = 0.0
+    extra_energy_wh: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -67,10 +74,21 @@ class Checkpoint:
 
 
 class QualityController:
-    """Analyses a plan's quality cascade and proposes targeted fixes."""
+    """Analyses a plan's quality cascade and proposes targeted fixes.
 
-    def __init__(self, profile_store: ProfileStore) -> None:
+    Which of the viable single-stage substitutions gets applied is decided
+    by the installed :class:`~repro.policies.base.QualityAdaptationPolicy`;
+    the stock :class:`~repro.policies.quality.DefaultQualityPolicy` picks the
+    cheapest, as the controller always did.
+    """
+
+    def __init__(
+        self,
+        profile_store: ProfileStore,
+        policy: Optional[QualityAdaptationPolicy] = None,
+    ) -> None:
         self.profile_store = profile_store
+        self.policy = policy or DefaultQualityPolicy()
 
     # ------------------------------------------------------------------ #
     # Impact analysis
@@ -123,7 +141,7 @@ class QualityController:
         if current_quality >= quality_target:
             return None
 
-        best: Optional[UpgradeProposal] = None
+        proposals: List[UpgradeProposal] = []
         for interface, assignments in plan.assignments.items():
             assignment = assignments[0]
             for profile in self.profile_store.profiles_for(interface):
@@ -134,18 +152,25 @@ class QualityController:
                 )
                 if projected < quality_target:
                     continue
-                extra_cost = profile.cost - assignment.profile.cost
-                proposal = UpgradeProposal(
-                    interface=interface,
-                    current=assignment,
-                    upgraded_agent=profile.agent_name,
-                    upgraded_quality=profile.quality,
-                    extra_cost_per_unit=extra_cost,
-                    projected_workflow_quality=projected,
+                proposals.append(
+                    UpgradeProposal(
+                        interface=interface,
+                        current=assignment,
+                        upgraded_agent=profile.agent_name,
+                        upgraded_quality=profile.quality,
+                        extra_cost_per_unit=profile.cost - assignment.profile.cost,
+                        projected_workflow_quality=projected,
+                        extra_latency_s=profile.latency_s - assignment.profile.latency_s,
+                        extra_energy_wh=profile.energy_wh - assignment.profile.energy_wh,
+                    )
                 )
-                if best is None or extra_cost < best.extra_cost_per_unit:
-                    best = proposal
-        return best
+        chosen = self.policy.choose_upgrade(proposals, quality_target)
+        if chosen is not None and not isinstance(chosen, UpgradeProposal):
+            raise TypeError(
+                f"quality policy {self.policy.name!r} returned {type(chosen)!r}, "
+                "expected an UpgradeProposal or None"
+            )
+        return chosen
 
     # ------------------------------------------------------------------ #
     # Cost-quality frontier

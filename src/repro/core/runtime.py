@@ -25,6 +25,8 @@ from repro.core.job import Job, JobResult
 from repro.core.orchestrator import OrchestrationResult, WorkflowOrchestrator
 from repro.core.planner import PlannerOverride
 from repro.core.quality import cascade_quality, score_object_listing_answer
+from repro.core.quality_control import QualityController
+from repro.policies.bundles import PolicyBundle, PolicyLike, resolve_bundle
 from repro.profiling.profiler import default_profile_store
 from repro.profiling.store import ProfileStore
 from repro.sim.energy import EnergyAccountant
@@ -46,6 +48,7 @@ class MurakkabRuntime:
         engine: Optional[SimulationEngine] = None,
         placement_policy: Optional[PlacementPolicy] = None,
         max_cpu_cores_per_agent: int = calibration.STT_CPU_TOTAL_CORES,
+        policy: PolicyLike = None,
     ) -> None:
         self.engine = engine or SimulationEngine()
         self.cluster = cluster or paper_testbed()
@@ -68,6 +71,48 @@ class MurakkabRuntime:
         #: Installed cluster-dynamics schedule, or ``None`` for the frozen
         #: testbed (see :meth:`attach_dynamics`).
         self.dynamics: Optional[ClusterDynamics] = None
+        #: Installed control-plane policy bundle; ``None`` means the stock
+        #: behaviour (every layer falls back to its default policy).
+        self.policy: Optional[PolicyBundle] = None
+        if policy is not None:
+            if placement_policy is not None:
+                # Refuse the ambiguity rather than let the bundle fingerprint
+                # (which keys plan caches and trace memos, and is printed by
+                # reports) misdescribe the placement actually installed.
+                raise ValueError(
+                    "pass either placement_policy or a policy bundle, not both; "
+                    "to customise one seam, build a PolicyBundle with the "
+                    "desired placement policy"
+                )
+            self.set_policy(policy)
+
+    # ------------------------------------------------------------------ #
+    # Control-plane policy
+    # ------------------------------------------------------------------ #
+    def set_policy(self, policy: PolicyLike) -> PolicyBundle:
+        """Install a control-plane policy bundle on every decision seam.
+
+        Accepts a :class:`~repro.policies.bundles.PolicyBundle`, a registered
+        bundle name, or ``None`` for the ``default`` bundle.  Placement takes
+        effect on the allocator, scheduling on the configuration planner and
+        the task mapper.  The planner's decision cache is keyed by the policy
+        fingerprint, so switching bundles on a live runtime can never replay
+        another policy's cached plans.
+        """
+        bundle = resolve_bundle(policy)
+        self.policy = bundle
+        self.cluster_manager.allocator.policy = bundle.placement
+        self.orchestrator.planner.scheduling_policy = bundle.scheduling
+        self.orchestrator.mapper.scheduling_policy = bundle.scheduling
+        return bundle
+
+    def quality_controller(self) -> QualityController:
+        """A quality controller over this runtime's profiles, using the
+        installed bundle's quality-adaptation policy."""
+        return QualityController(
+            self.profile_store,
+            policy=self.policy.quality if self.policy is not None else None,
+        )
 
     # ------------------------------------------------------------------ #
     # Cluster dynamics
@@ -91,6 +136,8 @@ class MurakkabRuntime:
         if not dynamics.installed:
             dynamics.install(self.engine, self.cluster_manager)
         self.dynamics = dynamics
+        # Surface the disruption-log version to policies via PlanContext.
+        self.orchestrator.planner.dynamics_version_source = lambda: dynamics.log.version
         return dynamics
 
     def make_replanner(
@@ -120,6 +167,13 @@ class MurakkabRuntime:
         server_pool: Optional[ServerPool] = None,
     ) -> JobResult:
         """Run ``job`` to completion and return its result and metrics."""
+        if self.policy is not None and self.policy.overrides:
+            # Bundle-pinned choices apply to every submission; explicit
+            # per-call overrides win on conflicting interfaces.
+            merged: Dict[AgentInterface, PlannerOverride] = dict(self.policy.overrides)
+            if overrides:
+                merged.update(overrides)
+            overrides = merged
         submit_time = self.engine.now
         stats = self.cluster_manager.stats()
         orchestration = self.orchestrator.prepare(job, cluster_stats=stats, overrides=overrides)

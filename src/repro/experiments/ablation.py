@@ -9,7 +9,7 @@ them cumulatively to show each lever's contribution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.agents.base import AgentInterface, HardwareConfig, SEQUENTIAL_MODE
 from repro.baselines.omagent import OmAgentBaseline
@@ -18,6 +18,7 @@ from repro.core.job import JobResult
 from repro.core.planner import PlannerOverride
 from repro.core.runtime import MurakkabRuntime
 from repro.experiments.configs import paper_quality_target, stt_override
+from repro.policies import PolicyBundle, get_bundle, pinned_bundle
 from repro.telemetry.reporting import render_table
 from repro.workflows.video_understanding import video_understanding_job
 from repro.workloads.video import SyntheticVideo, paper_videos
@@ -41,17 +42,49 @@ class AblationStep:
         ]
 
 
+def ablation_bundles() -> List[Tuple[str, PolicyBundle]]:
+    """The cumulative ablation levers, each expressed as a policy bundle.
+
+    Every lever is the ``default`` control plane with progressively fewer
+    pinned choices: pinning lives in the bundle, so the levers run through
+    exactly the entry points production jobs use (``MurakkabRuntime(policy=...)``)
+    instead of hand-threading override dicts per call site.
+    """
+    # DAG parallelism only: Murakkab scheduling, but summarisation stays
+    # frame-by-frame (sequential mode) and STT stays on the baseline GPU.
+    dag_only = dict(stt_override("gpu"))
+    dag_only[AgentInterface.SCENE_SUMMARIZATION] = PlannerOverride(
+        agent_name="nvlm-summarizer",
+        config=HardwareConfig(gpus=8),
+        mode=SEQUENTIAL_MODE,
+    )
+    return [
+        (
+            "+ DAG parallelism across scenes",
+            pinned_bundle("dag-parallelism", dag_only),
+        ),
+        (
+            "+ batched intra-scene summarisation",
+            pinned_bundle("batched-summaries", stt_override("gpu")),
+        ),
+        (
+            "+ profile-driven STT configuration (MIN_COST)",
+            get_bundle("default"),
+        ),
+    ]
+
+
 def _murakkab_result(
-    videos: Sequence[SyntheticVideo], overrides: Optional[dict], label: str
+    videos: Sequence[SyntheticVideo], bundle: PolicyBundle, label: str
 ) -> JobResult:
-    runtime = MurakkabRuntime()
+    runtime = MurakkabRuntime(policy=bundle)
     job = video_understanding_job(
         videos=list(videos),
         constraints=MIN_COST,
         quality_target=paper_quality_target(),
         job_id=f"ablation-{label}",
     )
-    return runtime.submit(job, overrides=overrides)
+    return runtime.submit(job)
 
 
 def run_ablation(videos: Optional[Sequence[SyntheticVideo]] = None) -> List[AblationStep]:
@@ -69,45 +102,16 @@ def run_ablation(videos: Optional[Sequence[SyntheticVideo]] = None) -> List[Abla
         )
     )
 
-    # DAG parallelism only: Murakkab scheduling, but summarisation stays
-    # frame-by-frame (sequential mode) and STT stays on the baseline GPU.
-    dag_only_overrides = dict(stt_override("gpu"))
-    dag_only_overrides[AgentInterface.SCENE_SUMMARIZATION] = PlannerOverride(
-        agent_name="nvlm-summarizer",
-        config=HardwareConfig(gpus=8),
-        mode=SEQUENTIAL_MODE,
-    )
-    dag_only = _murakkab_result(videos, dag_only_overrides, "dag-parallelism")
-    steps.append(
-        AblationStep(
-            label="+ DAG parallelism across scenes",
-            makespan_s=dag_only.makespan_s,
-            energy_wh=dag_only.energy_wh,
-            cost=dag_only.cost,
+    for label, bundle in ablation_bundles():
+        result = _murakkab_result(videos, bundle, bundle.name)
+        steps.append(
+            AblationStep(
+                label=label,
+                makespan_s=result.makespan_s,
+                energy_wh=result.energy_wh,
+                cost=result.cost,
+            )
         )
-    )
-
-    # Add batched intra-scene summarisation (planner default), STT still GPU.
-    batched = _murakkab_result(videos, stt_override("gpu"), "batched-summaries")
-    steps.append(
-        AblationStep(
-            label="+ batched intra-scene summarisation",
-            makespan_s=batched.makespan_s,
-            energy_wh=batched.energy_wh,
-            cost=batched.cost,
-        )
-    )
-
-    # Add the profile-driven STT configuration choice (MIN_COST, no override).
-    adaptive = _murakkab_result(videos, None, "profile-driven-stt")
-    steps.append(
-        AblationStep(
-            label="+ profile-driven STT configuration (MIN_COST)",
-            makespan_s=adaptive.makespan_s,
-            energy_wh=adaptive.energy_wh,
-            cost=adaptive.cost,
-        )
-    )
     return steps
 
 

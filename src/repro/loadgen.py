@@ -155,6 +155,10 @@ class SteadyState:
     #: preemption, failure, or scaling event bumps it, so the group is fully
     #: re-simulated against the changed cluster before memoizing again.
     dynamics_version: int = 0
+    #: Fingerprint of the control-plane policy bundle the record was observed
+    #: under; a different bundle plans differently, so its steady state is
+    #: never replayed for another policy.
+    policy_fingerprint: str = "default"
 
 
 @dataclass
@@ -280,6 +284,10 @@ class ServiceLoadGenerator:
         self.last_probe_result: Optional[JobResult] = None
         #: Dynamics schedule active for the current run (set by :meth:`run`).
         self._dynamics = None
+        #: Fingerprint of the policy active for the current run; the policy
+        #: is fixed once :meth:`run` starts, so it is computed once rather
+        #: than re-derived (sorting pinned overrides) per arrival.
+        self._policy_fp = "default"
 
     # ------------------------------------------------------------------ #
     # Entry point
@@ -292,6 +300,7 @@ class ServiceLoadGenerator:
         max_per_job_records: Optional[int] = 256,
         job_ids: Optional[Callable[[int, str], str]] = None,
         dynamics=None,
+        policy=None,
     ) -> TraceReport:
         """Serve ``arrivals`` and return the streaming :class:`TraceReport`.
 
@@ -308,12 +317,22 @@ class ServiceLoadGenerator:
         automatically.  Disruption counters land in
         :attr:`TraceReport.disruptions`; jobs lost to an unrecoverable
         cluster are counted in :attr:`TraceReport.failed_jobs`.
+
+        ``policy`` serves the trace under a control-plane policy bundle (a
+        registered name or a :class:`~repro.policies.bundles.PolicyBundle`),
+        installing it on the service first; steady-state memos are keyed by
+        the bundle fingerprint, so traces served under different policies
+        never share memoized results.
         """
         if mode not in ("grouped", "multiplex"):
             raise ValueError(f"unknown mode {mode!r}; expected 'grouped' or 'multiplex'")
         if not arrivals:
             raise ValueError("at least one arrival is required")
         registry = registry or self.registry
+        if policy is not None:
+            self.service.set_policy(policy)
+        bundle = getattr(self.service, "policy", None)
+        self._policy_fp = bundle.fingerprint() if bundle is not None else "default"
         if dynamics is not None:
             self._dynamics = self.service.attach_dynamics(dynamics)
         else:
@@ -333,6 +352,9 @@ class ServiceLoadGenerator:
 
     def _dynamics_version(self) -> int:
         return self._dynamics.log.version if self._dynamics is not None else 0
+
+    def _policy_fingerprint(self) -> str:
+        return self._policy_fp
 
     # ------------------------------------------------------------------ #
     # Grouped (steady-state memoized) serving
@@ -383,6 +405,7 @@ class ServiceLoadGenerator:
                 and steady.pool_signature == pool_signature
                 and steady.store_version == store.version
                 and steady.dynamics_version == self._dynamics_version()
+                and steady.policy_fingerprint == self._policy_fingerprint()
             ):
                 # Steady state: account the completion incrementally — one
                 # batched engine event instead of a full pipeline run.
@@ -430,6 +453,7 @@ class ServiceLoadGenerator:
                     pool_signature,
                     store.version,
                     self._dynamics_version(),
+                    self._policy_fingerprint(),
                 )
                 if group.last_observation == observation:
                     group.steady = SteadyState(
@@ -442,6 +466,7 @@ class ServiceLoadGenerator:
                         pool_signature=pool_signature,
                         store_version=store.version,
                         dynamics_version=self._dynamics_version(),
+                        policy_fingerprint=self._policy_fingerprint(),
                     )
                 group.last_observation = observation
 

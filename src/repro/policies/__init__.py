@@ -1,0 +1,83 @@
+"""repro.policies: the pluggable control-plane policy layer.
+
+Defines the stable decision interfaces every orchestration layer delegates
+through (:class:`PlacementPolicy`, :class:`SchedulingPolicy`,
+:class:`QualityAdaptationPolicy`), the shared :class:`PlanContext` IR they
+read, and the named :class:`PolicyBundle` registry the entry points resolve
+(``default``, ``latency_first``, ``energy_first``, ``spot_aware``).
+
+See :mod:`repro.policies.bundles` for the registry and
+``python -m repro compare-policies`` for a side-by-side comparison.
+"""
+
+from repro.policies.base import (
+    PlacementPolicy,
+    Policy,
+    QualityAdaptationPolicy,
+    SchedulingPolicy,
+)
+from repro.policies.bundles import (
+    PolicyBundle,
+    PolicyLike,
+    available_bundles,
+    default_bundle,
+    energy_first_bundle,
+    get_bundle,
+    latency_first_bundle,
+    pinned_bundle,
+    register_bundle,
+    resolve_bundle,
+    spot_aware_bundle,
+    validate_registry,
+)
+from repro.policies.context import PlanContext
+from repro.policies.placement import (
+    BestFitPolicy,
+    FirstFitPolicy,
+    SpotAwarePlacementPolicy,
+    SpreadPolicy,
+    WorkflowAwarePolicy,
+)
+from repro.policies.quality import (
+    DefaultQualityPolicy,
+    EnergyFirstQualityPolicy,
+    LatencyFirstQualityPolicy,
+)
+from repro.policies.scheduling import (
+    DefaultSchedulingPolicy,
+    EnergyFirstSchedulingPolicy,
+    LatencyFirstSchedulingPolicy,
+    RankedSchedulingPolicy,
+)
+
+__all__ = [
+    "Policy",
+    "PlacementPolicy",
+    "SchedulingPolicy",
+    "QualityAdaptationPolicy",
+    "PlanContext",
+    "PolicyBundle",
+    "PolicyLike",
+    "available_bundles",
+    "get_bundle",
+    "register_bundle",
+    "resolve_bundle",
+    "pinned_bundle",
+    "validate_registry",
+    "default_bundle",
+    "latency_first_bundle",
+    "energy_first_bundle",
+    "spot_aware_bundle",
+    "FirstFitPolicy",
+    "BestFitPolicy",
+    "SpreadPolicy",
+    "WorkflowAwarePolicy",
+    "SpotAwarePlacementPolicy",
+    "RankedSchedulingPolicy",
+    "DefaultSchedulingPolicy",
+    "LatencyFirstSchedulingPolicy",
+    "EnergyFirstSchedulingPolicy",
+    "DefaultQualityPolicy",
+    "LatencyFirstQualityPolicy",
+    "EnergyFirstQualityPolicy",
+]

@@ -1,0 +1,252 @@
+"""Policy bundles: one implementation of every control-plane seam, named.
+
+A :class:`PolicyBundle` is what callers actually select — on
+``MurakkabRuntime(policy=...)``, ``AIWorkflowService(policy=...)``,
+``submit_trace(policy=...)``, or ``python -m repro loadtest --policy NAME``.
+It groups a placement, a scheduling, and a quality-adaptation policy (plus
+optional pinned per-interface overrides) under a stable name whose
+:meth:`~PolicyBundle.fingerprint` keys every decision cache.
+
+Stock bundles:
+
+* ``default`` — the pre-refactor greedy behaviour, byte-identical.
+* ``latency_first`` — fastest Pareto point per stage, no warm-model bias.
+* ``energy_first`` — minimum joules subject to constraints, packed tightly.
+* ``spot_aware`` — default decisions, but long-lived serving instances are
+  kept off preemptible ``spot:*`` nodes (integrates with the PR 3 dynamics
+  replanning hook: post-preemption redeploys also avoid spot capacity).
+
+``register_bundle`` admits project-specific bundles;
+:func:`pinned_bundle` derives a bundle that pins planner choices for some
+interfaces (how the ablation harness expresses its levers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Union
+
+from repro.policies.base import PlacementPolicy, QualityAdaptationPolicy, SchedulingPolicy
+from repro.policies.placement import (
+    BestFitPolicy,
+    SpotAwarePlacementPolicy,
+    WorkflowAwarePolicy,
+)
+from repro.policies.quality import (
+    DefaultQualityPolicy,
+    EnergyFirstQualityPolicy,
+    LatencyFirstQualityPolicy,
+)
+from repro.policies.scheduling import (
+    DefaultSchedulingPolicy,
+    EnergyFirstSchedulingPolicy,
+    LatencyFirstSchedulingPolicy,
+)
+
+if TYPE_CHECKING:
+    from repro.agents.base import AgentInterface
+    from repro.core.planner import PlannerOverride
+
+
+@dataclass(frozen=True, eq=False)
+class PolicyBundle:
+    """A named, coherent set of control-plane policies."""
+
+    name: str
+    placement: PlacementPolicy
+    scheduling: SchedulingPolicy
+    quality: QualityAdaptationPolicy
+    #: Pinned planner choices applied to every submission under this bundle
+    #: (merged under any explicit per-call overrides).
+    overrides: Mapping["AgentInterface", "PlannerOverride"] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("bundle name must be non-empty")
+        for attribute, expected in (
+            ("placement", PlacementPolicy),
+            ("scheduling", SchedulingPolicy),
+            ("quality", QualityAdaptationPolicy),
+        ):
+            value = getattr(self, attribute)
+            if not isinstance(value, expected):
+                raise TypeError(
+                    f"{attribute} must be a {expected.__name__}, got {type(value)!r}"
+                )
+
+    def fingerprint(self) -> str:
+        """Stable identity for plan caches and steady-state memo keys."""
+        parts = [
+            self.name,
+            self.placement.fingerprint(),
+            self.scheduling.fingerprint(),
+            self.quality.fingerprint(),
+        ]
+        if self.overrides:
+            pinned = sorted(
+                f"{interface.value}={override!r}"
+                for interface, override in self.overrides.items()
+            )
+            parts.append(";".join(pinned))
+        return "/".join(parts)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: placement={self.placement.name} "
+            f"scheduling={self.scheduling.name} quality={self.quality.name}"
+            + (f" pinned={len(self.overrides)} interface(s)" if self.overrides else "")
+        )
+
+
+#: Anything the entry points accept where a policy is expected.
+PolicyLike = Union[PolicyBundle, str, None]
+
+_REGISTRY: Dict[str, Callable[[], PolicyBundle]] = {}
+
+
+def register_bundle(
+    name: str, factory: Callable[[], PolicyBundle], overwrite: bool = False
+) -> None:
+    """Register a bundle factory under ``name`` (factories keep bundles
+    fresh per resolution, so no state ever leaks across runtimes)."""
+    if not name:
+        raise ValueError("bundle name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"bundle {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_bundles() -> List[str]:
+    """Registered bundle names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_bundle(name: str) -> PolicyBundle:
+    """Construct a fresh instance of the named bundle."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy bundle {name!r}; registered: {available_bundles()}"
+        ) from None
+    return factory()
+
+
+def resolve_bundle(policy: PolicyLike) -> PolicyBundle:
+    """Normalise the ways an entry point can name a policy.
+
+    ``None`` resolves to the ``default`` bundle; a string is looked up in the
+    registry; a :class:`PolicyBundle` passes through.
+    """
+    if policy is None:
+        return get_bundle("default")
+    if isinstance(policy, PolicyBundle):
+        return policy
+    if isinstance(policy, str):
+        return get_bundle(policy)
+    raise TypeError(f"cannot interpret policy: {policy!r}")
+
+
+def pinned_bundle(
+    name: str,
+    overrides: Mapping["AgentInterface", "PlannerOverride"],
+    base: PolicyLike = None,
+    description: str = "",
+) -> PolicyBundle:
+    """A bundle that pins planner choices for some interfaces on top of
+    ``base`` (default: the ``default`` bundle) while delegating every other
+    decision unchanged.  This is how experiment levers (e.g. the Table-2 STT
+    configurations) become first-class policies."""
+    resolved = resolve_bundle(base)
+    merged: Dict["AgentInterface", "PlannerOverride"] = dict(resolved.overrides)
+    merged.update(overrides)
+    return PolicyBundle(
+        name=name,
+        placement=resolved.placement,
+        scheduling=resolved.scheduling,
+        quality=resolved.quality,
+        overrides=merged,
+        description=description or f"{resolved.name} with pinned overrides",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Stock bundles
+# --------------------------------------------------------------------- #
+
+
+def default_bundle() -> PolicyBundle:
+    """The pre-refactor greedy control plane, byte-identical."""
+    return PolicyBundle(
+        name="default",
+        placement=WorkflowAwarePolicy(),
+        scheduling=DefaultSchedulingPolicy(),
+        quality=DefaultQualityPolicy(),
+        description=(
+            "greedy hierarchy-of-objectives search with warm-model preference "
+            "and workflow-aware placement (the stock behaviour)"
+        ),
+    )
+
+
+def latency_first_bundle() -> PolicyBundle:
+    """Fastest acceptable configuration per stage, regardless of efficiency."""
+    return PolicyBundle(
+        name="latency_first",
+        placement=WorkflowAwarePolicy(),
+        scheduling=LatencyFirstSchedulingPolicy(),
+        quality=LatencyFirstQualityPolicy(),
+        description="pick the fastest Pareto point per stage; never trade speed for warmth",
+    )
+
+
+def energy_first_bundle() -> PolicyBundle:
+    """Minimum joules subject to the job's constraints."""
+    return PolicyBundle(
+        name="energy_first",
+        placement=BestFitPolicy(),
+        scheduling=EnergyFirstSchedulingPolicy(),
+        quality=EnergyFirstQualityPolicy(),
+        description="minimise per-stage energy subject to the quality floor; pack nodes tightly",
+    )
+
+
+def spot_aware_bundle() -> PolicyBundle:
+    """Default decisions, but durable deployments avoid preemptible nodes."""
+    return PolicyBundle(
+        name="spot_aware",
+        placement=SpotAwarePlacementPolicy(WorkflowAwarePolicy()),
+        scheduling=DefaultSchedulingPolicy(),
+        quality=DefaultQualityPolicy(),
+        description=(
+            "default scheduling, but long-running serving instances are kept "
+            "off spot:* nodes so window closes cannot preempt them"
+        ),
+    )
+
+
+register_bundle("default", default_bundle)
+register_bundle("latency_first", latency_first_bundle)
+register_bundle("energy_first", energy_first_bundle)
+register_bundle("spot_aware", spot_aware_bundle)
+
+
+def validate_registry() -> None:
+    """Instantiate every registered bundle and check the registry invariants
+    (used by ``make lint``): factories produce well-typed bundles whose names
+    match their registration and whose fingerprints are unique."""
+    fingerprints: Dict[str, str] = {}
+    for name in available_bundles():
+        bundle = get_bundle(name)  # __post_init__ type-checks the policies
+        if bundle.name != name:
+            raise AssertionError(
+                f"bundle registered as {name!r} reports name {bundle.name!r}"
+            )
+        fingerprint = bundle.fingerprint()
+        if fingerprint in fingerprints:
+            raise AssertionError(
+                f"bundles {fingerprints[fingerprint]!r} and {name!r} share "
+                f"fingerprint {fingerprint!r}"
+            )
+        fingerprints[fingerprint] = name

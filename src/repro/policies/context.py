@@ -1,0 +1,49 @@
+"""The shared planning-context IR handed to control-plane policies.
+
+Every policy decision is a function of the same small set of runtime facts:
+the job's constraint set, the cluster manager's latest resource snapshot,
+the profile store in force, and how many disruptions (spot preemptions,
+failures, scaling events) the cluster has absorbed so far.  Bundling them in
+one immutable value object keeps the policy interfaces stable while the
+substrate underneath keeps evolving — policies read the IR, never the
+planner/scheduler internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.cluster.telemetry_exchange import ResourceStatsMessage
+from repro.core.constraints import ConstraintSet
+
+if TYPE_CHECKING:
+    from repro.profiling.store import ProfileStore
+
+
+@dataclass(frozen=True)
+class PlanContext:
+    """Immutable snapshot of everything a policy may condition on."""
+
+    #: The job's priority-ordered objectives and quality floor.
+    constraint_set: ConstraintSet
+    #: Cluster manager snapshot, or ``None`` when planning blind (no manager).
+    cluster_stats: Optional[ResourceStatsMessage] = None
+    #: The profile store the candidates were drawn from (read-only view).
+    profile_store: Optional["ProfileStore"] = None
+    #: Disruption-log version at decision time (0 = frozen testbed).  Bumped
+    #: by every spot preemption, node failure, and scaling event, so a policy
+    #: can tell "the cluster has been volatile" from "nothing ever changed".
+    dynamics_version: int = 0
+
+    @property
+    def stats_digest(self) -> Optional[Tuple]:
+        """The hashable digest of the planning-relevant stats fields."""
+        if self.cluster_stats is None:
+            return None
+        return self.cluster_stats.planning_digest()
+
+    @property
+    def store_version(self) -> int:
+        """Profile-store mutation version (0 when no store is attached)."""
+        return self.profile_store.version if self.profile_store is not None else 0

@@ -1,0 +1,55 @@
+"""Quality-adaptation policies: which single-stage upgrade to apply.
+
+The :class:`~repro.core.quality_control.QualityController` enumerates every
+single-stage substitution whose projected end-to-end quality meets the
+target; the policy picks among them.  The default reproduces the
+pre-refactor behaviour (cheapest extra cost, first match wins on ties); the
+alternatives optimise the upgrade's latency or energy overhead instead —
+the same trade-off axes the scheduling policies expose at plan time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.policies.base import QualityAdaptationPolicy
+
+
+class _LowestOverheadQualityPolicy(QualityAdaptationPolicy):
+    """Template: pick the proposal minimising :meth:`overhead_key`.
+
+    Iterates in proposal order with a strict ``<`` comparison, so the first
+    proposal achieving the minimum wins — exactly the tie-breaking the
+    pre-policy controller used.
+    """
+
+    def overhead_key(self, proposal) -> Tuple:
+        raise NotImplementedError
+
+    def choose_upgrade(self, proposals: Sequence[object], quality_target: float):
+        best = None
+        for proposal in proposals:
+            if best is None or self.overhead_key(proposal) < self.overhead_key(best):
+                best = proposal
+        return best
+
+
+class DefaultQualityPolicy(_LowestOverheadQualityPolicy):
+    """Cheapest substitution that meets the target (the stock behaviour)."""
+
+    def overhead_key(self, proposal):
+        return (proposal.extra_cost_per_unit,)
+
+
+class LatencyFirstQualityPolicy(_LowestOverheadQualityPolicy):
+    """Substitution adding the least service latency; cost breaks ties."""
+
+    def overhead_key(self, proposal):
+        return (proposal.extra_latency_s, proposal.extra_cost_per_unit)
+
+
+class EnergyFirstQualityPolicy(_LowestOverheadQualityPolicy):
+    """Substitution adding the least energy; cost breaks ties."""
+
+    def overhead_key(self, proposal):
+        return (proposal.extra_energy_wh, proposal.extra_cost_per_unit)

@@ -22,8 +22,10 @@ from repro.cluster.dynamics import ClusterDynamics, DynamicsConfig
 from repro.core.constraints import Constraint, ConstraintSet
 from repro.core.execution import ServerPool
 from repro.core.job import Job, JobResult
+from repro.core.quality_control import QualityController
 from repro.core.runtime import MurakkabRuntime
 from repro.loadgen import ServiceLoadGenerator
+from repro.policies.bundles import PolicyBundle, PolicyLike
 from repro.profiling.profiler import Profiler
 from repro.telemetry.metrics import StreamingAggregate, evict_oldest
 
@@ -90,8 +92,17 @@ class AIWorkflowService:
         runtime: Optional[MurakkabRuntime] = None,
         keep_warm: bool = True,
         dynamics: "ClusterDynamics | DynamicsConfig | None" = None,
+        policy: PolicyLike = None,
     ) -> None:
+        """``policy`` installs a control-plane bundle on the runtime via
+        :meth:`MurakkabRuntime.set_policy` — including a runtime passed in by
+        the caller, whose existing placement/scheduling policies are replaced
+        wholesale (bundles are coherent sets; to customise one seam, build a
+        :class:`~repro.policies.bundles.PolicyBundle` with the desired
+        policy instead of pre-configuring the runtime)."""
         self.runtime = runtime or MurakkabRuntime()
+        if policy is not None:
+            self.runtime.set_policy(policy)
         self.keep_warm = keep_warm
         self.stats = ServiceStats()
         self._profiler = Profiler()
@@ -102,6 +113,24 @@ class AIWorkflowService:
         self.dynamics: Optional[ClusterDynamics] = None
         if dynamics is not None:
             self.attach_dynamics(dynamics)
+
+    @property
+    def policy(self) -> Optional[PolicyBundle]:
+        """The runtime's installed policy bundle (``None`` = stock behaviour)."""
+        return self.runtime.policy
+
+    def set_policy(self, policy: PolicyLike) -> PolicyBundle:
+        """Switch the service's control-plane policy bundle.
+
+        Takes effect for every subsequent ``submit``/``submit_trace``; plan
+        caches and trace memos are keyed by the bundle fingerprint, so
+        decisions cached under another policy are never replayed.
+        """
+        return self.runtime.set_policy(policy)
+
+    def quality_controller(self) -> QualityController:
+        """Quality controller bound to this service's profiles and policy."""
+        return self.runtime.quality_controller()
 
     def attach_dynamics(
         self, dynamics: "ClusterDynamics | DynamicsConfig"
@@ -161,9 +190,11 @@ class AIWorkflowService:
         :class:`~repro.loadgen.TraceReport`.
 
         See :class:`~repro.loadgen.ServiceLoadGenerator` for the options
-        (``registry``, ``mode``, ``max_per_job_records``, ``dynamics`` —
-        the last runs the trace under a spot-preemption/failure schedule and
-        fills :attr:`~repro.loadgen.TraceReport.disruptions`).
+        (``registry``, ``mode``, ``max_per_job_records``, ``policy`` — a
+        bundle name or :class:`~repro.policies.bundles.PolicyBundle` to
+        serve the trace under — and ``dynamics``, which runs the trace under
+        a spot-preemption/failure schedule and fills
+        :attr:`~repro.loadgen.TraceReport.disruptions`).
         """
         return ServiceLoadGenerator(self).run(arrivals, **options)
 

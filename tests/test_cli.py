@@ -8,7 +8,16 @@ from repro.cli import build_parser, main
 def test_parser_lists_all_subcommands():
     parser = build_parser()
     help_text = parser.format_help()
-    for command in ("quickstart", "table2", "figure3", "table1", "ablation", "multitenant"):
+    for command in (
+        "quickstart",
+        "table2",
+        "figure3",
+        "table1",
+        "ablation",
+        "multitenant",
+        "loadtest",
+        "compare-policies",
+    ):
         assert command in help_text
 
 

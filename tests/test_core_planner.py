@@ -129,7 +129,8 @@ def test_warm_model_preferred_when_nearly_tied(planner, graph):
     # within the margin, otherwise it keeps the cheapest.  Either way the
     # chosen profile must not be worse than margin x best.
     best_cost = cold_stt.profile.cost
-    assert warm_stt.profile.cost <= best_cost * (1 + planner.WARM_PREFERENCE_MARGIN) + 1e-12
+    margin = planner.scheduling_policy.warm_preference_margin
+    assert warm_stt.profile.cost <= best_cost * (1 + margin) + 1e-12
 
 
 def test_unprofiled_interface_raises(library, graph):
