@@ -1,10 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench bench-record bench-smoke lint ci
+.PHONY: test bench bench-record bench-smoke examples-smoke lint ci
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Run every script in examples/ once (the public API surface in executable
+## form); fails on the first example that exits non-zero.
+examples-smoke:
+	$(PYTHON) scripts/examples_smoke.py
 
 ## Stdlib-only lint: byte-compile every source tree with SyntaxWarning
 ## promoted to an error (catches invalid escapes, suspicious literals, and
@@ -31,4 +36,4 @@ bench-smoke:
 	$(PYTHON) scripts/bench.py --smoke
 
 ## The exact entrypoint .github/workflows/ci.yml calls — reproducible locally.
-ci: lint test bench-smoke
+ci: lint test examples-smoke bench-smoke

@@ -13,12 +13,12 @@ Run with::
 
 from __future__ import annotations
 
-from repro import MurakkabRuntime
+from repro import MurakkabClient
 from repro.agents.base import AgentInterface
 from repro.core.constraints import MAX_QUALITY, MIN_COST, MIN_ENERGY, MIN_LATENCY
 from repro.experiments.table1 import render_table1, run_table1
 from repro.telemetry.reporting import render_table
-from repro.workflows.video_understanding import video_understanding_job
+from repro.workflows.video_understanding import video_understanding_spec
 
 CONSTRAINTS = (
     ("MIN_COST", MIN_COST),
@@ -31,20 +31,20 @@ CONSTRAINTS = (
 def main() -> None:
     rows = []
     for label, constraint in CONSTRAINTS:
-        runtime = MurakkabRuntime()
-        job = video_understanding_job(
-            constraints=constraint, quality_target=0.93, job_id=f"tradeoff-{label.lower()}"
-        )
-        result = runtime.submit(job)
-        stt = result.plan.primary_assignment(AgentInterface.SPEECH_TO_TEXT)
+        spec = video_understanding_spec(constraints=constraint, quality_target=0.93)
+        # A fresh client per constraint: each choice is made cold, without
+        # the warm-model bias a shared service would (correctly) apply.
+        with MurakkabClient() as client:
+            handle = client.submit(spec, job_id=f"tradeoff-{label.lower()}")
+        stt = handle.result.plan.primary_assignment(AgentInterface.SPEECH_TO_TEXT)
         rows.append(
             [
                 label,
                 f"{stt.agent_name}@{stt.config.describe()}",
-                f"{result.makespan_s:.1f}",
-                f"{result.energy_wh:.1f}",
-                f"{result.cost:.4f}",
-                f"{result.quality:.2f}",
+                f"{handle.makespan_s:.1f}",
+                f"{handle.energy_wh:.1f}",
+                f"{handle.cost:.4f}",
+                f"{handle.quality:.2f}",
             ]
         )
     print("=== Constraint-driven configuration choices (Video Understanding) ===")

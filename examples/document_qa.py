@@ -4,6 +4,8 @@ Shows that the declarative model generalises beyond the paper's video
 workload: the same library and planner serve an embed -> index -> retrieve ->
 answer pipeline over a synthetic document corpus, and the constraint still
 steers model/hardware selection (compare MIN_COST against MAX_QUALITY).
+The workload is a spec value, so swapping the constraint block is a
+one-line override, not a new factory.
 
 Run with::
 
@@ -12,37 +14,34 @@ Run with::
 
 from __future__ import annotations
 
-from repro import MAX_QUALITY, MIN_COST, MurakkabRuntime
+from repro import MAX_QUALITY, MIN_COST, MurakkabClient
 from repro.agents.base import AgentInterface
-from repro.workflows.document_qa import document_qa_job
-from repro.workloads.documents import generate_documents
+from repro.workflows.document_qa import document_qa_spec
 
 
-def run_one(constraint, quality_target: float, label: str) -> None:
-    documents = generate_documents(count=16)
-    job = document_qa_job(
+def run_one(client: MurakkabClient, constraint, quality_target: float, label: str) -> None:
+    spec = document_qa_spec(
         question="Which documents discuss energy efficiency?",
-        documents=documents,
         constraints=constraint,
         quality_target=quality_target,
-        job_id=f"docqa-{label}",
+        document_count=16,
     )
-    runtime = MurakkabRuntime()
-    result = runtime.submit(job)
-    embedding = result.plan.primary_assignment(AgentInterface.EMBEDDING)
+    handle = client.submit(spec, job_id=f"docqa-{label}")
+    embedding = handle.result.plan.primary_assignment(AgentInterface.EMBEDDING)
     print(f"--- {label} ---")
     print(f"embedding model/hardware: {embedding.agent_name} on {embedding.config.describe()}")
-    print(f"completion time:          {result.makespan_s:.1f} s")
-    print(f"GPU energy:               {result.energy_wh:.2f} Wh")
-    print(f"cost:                     {result.cost:.4f} $-units")
-    print(f"answer:                   {result.output.get('answer', '')[:140]}")
+    print(f"completion time:          {handle.makespan_s:.1f} s")
+    print(f"GPU energy:               {handle.energy_wh:.2f} Wh")
+    print(f"cost:                     {handle.cost:.4f} $-units")
+    print(f"answer:                   {handle.answer()[:140]}")
     print()
 
 
 def main() -> None:
     print("=== Document QA under different constraints ===\n")
-    run_one(MIN_COST, quality_target=0.8, label="MIN_COST (quality floor 0.80)")
-    run_one(MAX_QUALITY, quality_target=0.9, label="MAX_QUALITY (quality floor 0.90)")
+    with MurakkabClient() as client:
+        run_one(client, MIN_COST, quality_target=0.8, label="MIN_COST (quality floor 0.80)")
+        run_one(client, MAX_QUALITY, quality_target=0.9, label="MAX_QUALITY (quality floor 0.90)")
 
 
 if __name__ == "__main__":

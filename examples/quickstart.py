@@ -1,9 +1,11 @@
-"""Quickstart: run a declarative Compound AI job on the Murakkab runtime.
+"""Quickstart: declare a Compound AI workload as a spec and run it.
 
-This is the paper's Listing 2 in runnable form: describe *what* you want,
-hand over the inputs, state a constraint — the runtime decomposes the job,
-picks models/tools/hardware from their execution profiles, and schedules it
-on the (simulated) cluster.
+This is the paper's Listing 2 in runnable form, through the declarative
+front-end: author a serializable :class:`WorkflowSpec` with the fluent
+builder (*what* you want, not which models/hardware), hand it to the
+:class:`MurakkabClient`, and the runtime decomposes the job, picks
+models/tools/hardware from their execution profiles, and schedules it on
+the (simulated) cluster.
 
 Run with::
 
@@ -12,49 +14,47 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Job, MIN_COST, MurakkabRuntime
+from repro import MIN_COST, MurakkabClient, WorkflowBuilder
 
 
 def main() -> None:
-    # Define the job in natural language (paper Listing 2).
-    description = "List objects shown/mentioned in the videos"
-    # Optional: specify sub-tasks in the job.
-    task_hints = [
-        "Extract frames from each video",
-        "Run speech-to-text on all scenes",
-        "Detect objects in the frames",
-    ]
-    # Inputs: naming video files is enough — the synthetic workload generator
-    # materialises them with the paper's scene/frame statistics.
-    videos = ["cats.mov", "formula_1.mov"]
-
-    job = Job(
-        description=description,
-        inputs=videos,
-        tasks=task_hints,
-        constraints=MIN_COST,
-        quality_target=0.93,
+    # Define the workload declaratively: intent, stages, constraint, target.
+    spec = (
+        WorkflowBuilder("video-quickstart")
+        .describe("List objects shown/mentioned in the videos")
+        .inputs("videos", count=2)
+        .stage("frame_extraction", "Extract frames from each video")
+        .then("speech_to_text", "Run speech-to-text on all scenes")
+        .stage("object_detection", "Detect objects in the frames",
+               after=("frame_extraction",))
+        .constraints(MIN_COST)
+        .quality(0.93)
+        .build()
     )
 
-    runtime = MurakkabRuntime()
-    result = runtime.submit(job)
-
+    # The spec is a value: print it, save it, ship it, replay it.
     print("=== Murakkab quickstart ===")
-    print(f"job:                {job.description!r}")
-    print(f"constraint:         {job.constraint_set().describe()}")
+    print(spec.describe())
     print()
-    print("--- what the runtime decided ---")
-    print(result.plan.describe())
-    print()
-    print("--- how it went ---")
-    print(f"completion time:    {result.makespan_s:.1f} s (simulated)")
-    print(f"GPU energy:         {result.energy_wh:.1f} Wh")
-    print(f"cost:               {result.cost:.4f} $-units")
-    print(f"estimated quality:  {result.quality:.2f}")
-    print(f"tasks executed:     {len(result.task_results)}")
-    print()
-    print("--- answer ---")
-    print(result.output.get("answer", "(no answer produced)"))
+
+    with MurakkabClient() as client:
+        handle = client.submit(spec, job_id="quickstart")
+
+        print("--- what the runtime decided ---")
+        print(handle.describe_plan())
+        print()
+        print("--- how it went ---")
+        print(f"completion time:    {handle.makespan_s:.1f} s (simulated)")
+        print(f"GPU energy:         {handle.energy_wh:.1f} Wh")
+        print(f"cost:               {handle.cost:.4f} $-units")
+        print(f"estimated quality:  {handle.quality:.2f}")
+        print(f"tasks executed:     {len(handle.result.task_results)}")
+        print()
+        print("--- answer ---")
+        print(handle.answer() or "(no answer produced)")
+        print()
+        print("--- the spec as shareable JSON ---")
+        print(spec.to_json(indent=2))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,74 @@
+"""Run every script in ``examples/`` once and fail on the first error.
+
+The examples are the public API surface in executable form: if a refactor
+breaks ``MurakkabClient``, the spec builder, or a legacy factory shim, one
+of these scripts breaks with it.  ``make examples-smoke`` runs this as part
+of ``make ci``, so the front door cannot silently regress.
+
+Usage::
+
+    python scripts/examples_smoke.py [--filter SUBSTRING]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--filter", default="", help="only run examples whose filename contains this"
+    )
+    args = parser.parse_args()
+
+    scripts = sorted(
+        path
+        for path in EXAMPLES_DIR.glob("*.py")
+        if args.filter in path.name
+    )
+    if not scripts:
+        print(f"no examples match {args.filter!r}", file=sys.stderr)
+        return 2
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    failures = []
+    for script in scripts:
+        started = time.perf_counter()
+        result = subprocess.run(
+            [sys.executable, str(script)],
+            env=env,
+            cwd=str(REPO_ROOT),
+            capture_output=True,
+            text=True,
+        )
+        elapsed = time.perf_counter() - started
+        status = "ok" if result.returncode == 0 else f"FAIL ({result.returncode})"
+        print(f"{script.name:<28} {status:>10}  {elapsed:6.1f}s")
+        if result.returncode != 0:
+            failures.append(script.name)
+            sys.stdout.write(result.stdout[-2000:])
+            sys.stderr.write(result.stderr[-4000:])
+
+    if failures:
+        print(f"\n{len(failures)} example(s) failed: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(scripts)} examples passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

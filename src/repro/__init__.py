@@ -48,7 +48,14 @@ from repro.cluster.dynamics import (
     NodeFailure,
 )
 from repro.cluster.spot import SpotCapacityModel, SpotInstance
-from repro.loadgen import ServiceLoadGenerator, TraceReport, WorkloadRegistry, default_registry
+from repro.client import JobHandle, MurakkabClient, Session, TraceHandle
+from repro.loadgen import (
+    ServiceLoadGenerator,
+    TraceReport,
+    UnknownWorkloadError,
+    WorkloadRegistry,
+    default_registry,
+)
 from repro.policies import (
     PolicyBundle,
     available_bundles,
@@ -66,9 +73,19 @@ from repro.workloads.arrival import (
     poisson_arrivals,
     uniform_arrivals,
 )
+from repro.spec import (
+    InputsSpec,
+    SpecError,
+    SpecIssue,
+    StageSpec,
+    WorkflowBuilder,
+    WorkflowSpec,
+    compile_spec,
+)
 from repro.workflows.video_understanding import (
     omagent_imperative_workflow,
     video_understanding_job,
+    video_understanding_spec,
 )
 
 __version__ = "0.1.0"
@@ -97,8 +114,20 @@ __all__ = [
     "ServiceStats",
     "ServiceLoadGenerator",
     "TraceReport",
+    "UnknownWorkloadError",
     "WorkloadRegistry",
     "default_registry",
+    "MurakkabClient",
+    "Session",
+    "JobHandle",
+    "TraceHandle",
+    "WorkflowSpec",
+    "WorkflowBuilder",
+    "StageSpec",
+    "InputsSpec",
+    "SpecError",
+    "SpecIssue",
+    "compile_spec",
     "JobArrival",
     "poisson_arrivals",
     "uniform_arrivals",
@@ -121,6 +150,7 @@ __all__ = [
     "resolve_bundle",
     "pinned_bundle",
     "video_understanding_job",
+    "video_understanding_spec",
     "omagent_imperative_workflow",
     "__version__",
 ]

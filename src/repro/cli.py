@@ -13,18 +13,84 @@ from typing import List, Optional, Sequence
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> int:
-    from repro import MurakkabRuntime
-    from repro.workflows.video_understanding import video_understanding_job
+    from repro import MurakkabClient
+    from repro.workflows.video_understanding import video_understanding_spec
     from repro.workloads.video import generate_videos
 
     videos = generate_videos(count=2, scenes_per_video=args.scenes)
-    runtime = MurakkabRuntime()
-    result = runtime.submit(video_understanding_job(videos=videos, job_id="cli-quickstart"))
-    print(result.plan.describe())
+    with MurakkabClient() as client:
+        handle = client.submit(
+            video_understanding_spec(), inputs=videos, job_id="cli-quickstart"
+        )
+        print(handle.describe_plan())
+        print()
+        for key, value in handle.summary().items():
+            print(f"{key:>18}: {value}")
+        print(f"{'answer':>18}: {handle.answer()}")
+    return 0
+
+
+def _load_spec(path: str):
+    """Load a WorkflowSpec from a JSON file with friendly error reporting.
+
+    Returns ``(spec, None)`` on success or ``(None, message)`` on failure.
+    """
+    from repro.spec import SpecError, WorkflowSpec
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except (OSError, UnicodeDecodeError) as error:
+        return None, f"cannot read spec file {path!r}: {error}"
+    try:
+        return WorkflowSpec.from_json(text), None
+    except SpecError as error:
+        return None, str(error)
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.spec import SpecError, preview_stages
+
+    spec, error = _load_spec(args.spec)
+    if spec is None:
+        print(error, file=sys.stderr)
+        return 1
+    try:
+        from repro.spec import check_spec
+
+        check_spec(spec)
+    except SpecError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    print(spec.describe())
     print()
-    for key, value in result.summary().items():
-        print(f"{key:>18}: {value}")
-    print(f"{'answer':>18}: {result.output.get('answer', '')}")
+    print("compiled stage plan (including orchestrator-derived stages):")
+    declared = {stage.interface for stage in spec.stages}
+    for stage in preview_stages(spec):
+        marker = "declared" if stage.interface in declared else "derived"
+        after = f" <- {list(stage.depends_on)}" if stage.depends_on else ""
+        print(f"  {stage.name} [{stage.granularity}]{after} ({marker})")
+    print()
+    print("spec is valid")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro import MurakkabClient
+
+    spec, error = _load_spec(args.spec)
+    if spec is None:
+        print(error, file=sys.stderr)
+        return 1
+    with MurakkabClient(policy=args.policy) as client:
+        handle = client.submit(spec, job_id=args.job_id)
+        print(handle.describe_plan())
+        print()
+        for key, value in handle.summary().items():
+            print(f"{key:>18}: {value}")
+        answer = handle.answer()
+        if answer:
+            print(f"{'answer':>18}: {answer}")
     return 0
 
 
@@ -104,11 +170,50 @@ def _build_dynamics(args: argparse.Namespace):
     )
 
 
-def _build_arrivals(args: argparse.Namespace):
+def _resolve_workloads(args: argparse.Namespace, registry):
+    """The trace's workload names, registered specs included, validated.
+
+    Loads every ``--spec`` file into the registry first.  Returns the
+    workloads tuple, or an int exit code on error: 1 for an unreadable or
+    invalid spec file (as ``validate``/``submit`` return), 2 for an unknown
+    workload name — printed with the registered names listed, instead of a
+    bare ``KeyError`` deep inside the load generator.
+    """
+    spec_names = []
+    for path in getattr(args, "spec", None) or ():
+        spec, error = _load_spec(path)
+        if spec is None:
+            print(error, file=sys.stderr)
+            return 1
+        spec_names.append(registry.register_spec(spec))
+    if args.workloads is not None:
+        workloads = tuple(name for name in args.workloads.split(",") if name)
+    elif spec_names:
+        # --spec without --workloads serves just the supplied specs.
+        workloads = tuple(spec_names)
+    else:
+        workloads = tuple(args.default_workloads.split(","))
+    if not workloads:
+        print(
+            f"no workloads requested; registered: {', '.join(registry.names())}",
+            file=sys.stderr,
+        )
+        return 2
+    unknown = [name for name in workloads if name not in registry]
+    if unknown:
+        print(
+            f"unknown workload(s) {', '.join(map(repr, unknown))}; "
+            f"registered: {', '.join(registry.names())}",
+            file=sys.stderr,
+        )
+        return 2
+    return workloads
+
+
+def _build_arrivals(args: argparse.Namespace, workloads: tuple):
     """Translate the shared trace flags into an arrival schedule."""
     from repro.workloads.arrival import bursty_arrivals, diurnal_arrivals, poisson_arrivals
 
-    workloads = tuple(args.workloads.split(","))
     if args.shape == "poisson":
         return poisson_arrivals(
             rate_per_s=args.rate, horizon_s=args.horizon, workloads=workloads, seed=args.seed
@@ -133,23 +238,31 @@ def _build_arrivals(args: argparse.Namespace):
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
-    from repro import AIWorkflowService
+    from repro import MurakkabClient
+    from repro.loadgen import default_registry
 
-    arrivals = _build_arrivals(args)
-    dynamics = _build_dynamics(args)
-    service = AIWorkflowService(dynamics=dynamics, policy=args.policy)
-    report = service.submit_trace(arrivals, mode=args.mode)
-    if service.policy is not None:
-        print(f"{'policy':>22}: {service.policy.describe()}")
-    for key, value in report.summary().items():
-        print(f"{key:>22}: {value}")
-    for workload, counters in sorted(report.groups.items()):
-        print(f"{workload:>22}: {counters}")
-    if report.disruptions:
-        print(f"{'disruption log':>22}: {report.disruptions}")
-        for command in service.dynamics.log.commands:
-            print(f"{'scaling command':>22}: {command.action.value} {command.reason}")
-    service.shutdown()
+    # Validate workloads/specs before paying for service construction
+    # (cluster, library profiling): a typo exits without building anything.
+    registry = default_registry()
+    workloads = _resolve_workloads(args, registry)
+    if isinstance(workloads, int):
+        return workloads
+    arrivals = _build_arrivals(args, workloads)
+    with MurakkabClient(
+        dynamics=_build_dynamics(args), policy=args.policy, registry=registry
+    ) as client:
+        handle = client.submit_trace(arrivals, mode=args.mode)
+        service = client.service
+        if service.policy is not None:
+            print(f"{'policy':>22}: {service.policy.describe()}")
+        for key, value in handle.summary().items():
+            print(f"{key:>22}: {value}")
+        for workload, counters in sorted(handle.group_counters().items()):
+            print(f"{workload:>22}: {counters}")
+        if handle.disruptions():
+            print(f"{'disruption log':>22}: {handle.disruptions()}")
+            for command in service.dynamics.log.commands:
+                print(f"{'scaling command':>22}: {command.action.value} {command.reason}")
     return 0
 
 
@@ -161,14 +274,10 @@ COMPARISON_NEWSFEED_POSTS = 48
 
 def _comparison_registry():
     from repro.loadgen import default_registry
-    from repro.workflows.newsfeed import newsfeed_job
-    from repro.workloads.posts import generate_posts
+    from repro.workflows.newsfeed import newsfeed_spec
 
     registry = default_registry()
-    posts = generate_posts(count=COMPARISON_NEWSFEED_POSTS)
-    registry.register(
-        "newsfeed", lambda job_id: newsfeed_job(posts=posts, job_id=job_id)
-    )
+    registry.register_spec(newsfeed_spec(post_count=COMPARISON_NEWSFEED_POSTS))
     return registry
 
 
@@ -188,11 +297,14 @@ def _cmd_compare_policies(args: argparse.Namespace) -> int:
         )
         return 2
     registry = _comparison_registry()
+    workloads = _resolve_workloads(args, registry)
+    if isinstance(workloads, int):
+        return workloads
     rows = []
     for name in names:
         # Fresh arrivals, service, and dynamics schedule per bundle: every
         # policy serves the identical trace from the identical start state.
-        arrivals = _build_arrivals(args)
+        arrivals = _build_arrivals(args, workloads)
         service = AIWorkflowService(policy=name, dynamics=_build_dynamics(args))
         report = service.submit_trace(arrivals, registry=registry, mode=args.mode)
         disruptions = sum(
@@ -272,20 +384,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     multitenant.set_defaults(func=_cmd_multitenant)
 
+    validate = subparsers.add_parser(
+        "validate",
+        help="validate a workflow-spec JSON file and print its compiled "
+        "stage plan without running anything (ours)",
+    )
+    validate.add_argument("spec", help="path to the spec JSON file")
+    validate.set_defaults(func=_cmd_validate)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="compile a workflow-spec JSON file and run it once on a fresh "
+        "service (ours)",
+    )
+    submit.add_argument("--spec", required=True, help="path to the spec JSON file")
+    submit.add_argument("--job-id", default="", help="job id for the submission")
+    _add_policy_flag(submit)
+    submit.set_defaults(func=_cmd_submit)
+
     loadtest = subparsers.add_parser(
         "loadtest",
         help="serve a synthetic arrival trace through the AIWaaS batched-admission path (ours)",
     )
     _add_trace_flags(loadtest)
     _add_dynamics_flags(loadtest)
-    from repro.policies import available_bundles
-
-    loadtest.add_argument(
-        "--policy",
-        default=None,
-        choices=available_bundles(),
-        help="control-plane policy bundle to serve under (default: stock behaviour)",
-    )
+    _add_policy_flag(loadtest)
     loadtest.set_defaults(func=_cmd_loadtest)
 
     compare = subparsers.add_parser(
@@ -306,6 +429,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_policy_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.policies import available_bundles
+
+    parser.add_argument(
+        "--policy",
+        default=None,
+        choices=available_bundles(),
+        help="control-plane policy bundle to run under (default: stock behaviour)",
+    )
+
+
 def _add_trace_flags(
     parser: argparse.ArgumentParser,
     default_workloads: str = "newsfeed,chain-of-thought",
@@ -323,8 +457,16 @@ def _add_trace_flags(
     )
     parser.add_argument(
         "--workloads",
-        default=default_workloads,
-        help="comma-separated workload names (see repro.loadgen.default_registry)",
+        default=None,
+        help="comma-separated workload names (see repro.loadgen.default_registry; "
+        f"default: {default_workloads})",
+    )
+    parser.add_argument(
+        "--spec",
+        action="append",
+        metavar="PATH",
+        help="register a workflow-spec JSON file as a servable workload "
+        "(repeatable; without --workloads the trace serves just these specs)",
     )
     parser.add_argument(
         "--mode",
@@ -333,6 +475,7 @@ def _add_trace_flags(
         help="grouped = steady-state memoized throughput path; multiplex = full interleaving",
     )
     parser.add_argument("--seed", type=int, default=3)
+    parser.set_defaults(default_workloads=default_workloads)
 
 
 def _add_dynamics_flags(parser: argparse.ArgumentParser) -> None:

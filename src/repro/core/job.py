@@ -36,6 +36,10 @@ class Job:
     constraints: Union[Constraint, ConstraintSet, Sequence[Constraint], None] = None
     quality_target: float = 0.0
     job_id: str = ""
+    #: Content digest of the :class:`~repro.spec.ir.WorkflowSpec` this job
+    #: was compiled from (empty for hand-built jobs).  Joins the planner's
+    #: decision-cache key, so cached choices are namespaced per spec.
+    spec_digest: str = ""
 
     def __post_init__(self) -> None:
         if not self.description:

@@ -76,6 +76,7 @@ class WorkflowOrchestrator:
             constraint_set=job.constraint_set(),
             cluster_stats=cluster_stats,
             overrides=overrides,
+            spec_digest=getattr(job, "spec_digest", ""),
         )
         tool_calls = self.mapper.map_graph(graph, plan.chosen_agents())
         return OrchestrationResult(

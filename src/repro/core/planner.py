@@ -139,7 +139,7 @@ class ConfigurationPlanner:
     under the same constraints against equivalent cluster snapshots, so the
     planner memoizes per-interface assignments keyed by
     ``(interface, constraint set, override, stats digest, policy
-    fingerprint)``.  The policy fingerprint in the key is what lets one
+    fingerprint, workflow-spec digest)``.  The policy fingerprint in the key is what lets one
     long-lived service switch bundles without ever replaying another
     policy's cached decisions.  The cache is invalidated whenever the
     profile store changes (profile added, agent retired) via the store's
@@ -190,15 +190,22 @@ class ConfigurationPlanner:
         constraint_set: ConstraintSet,
         cluster_stats: Optional[ResourceStatsMessage] = None,
         overrides: Optional[Dict[AgentInterface, PlannerOverride]] = None,
+        spec_digest: str = "",
     ) -> ExecutionPlan:
-        """Choose one configuration per interface appearing in ``graph``."""
+        """Choose one configuration per interface appearing in ``graph``.
+
+        ``spec_digest`` is the submitting job's workflow-spec digest (empty
+        for hand-built jobs); it namespaces the memoized decisions so two
+        specs can never replay each other's cached choices.
+        """
         overrides = overrides or {}
         plan = ExecutionPlan(constraint_set=constraint_set)
         stats_digest = cluster_stats.planning_digest() if cluster_stats is not None else None
         for interface in graph.interfaces():
             override = overrides.get(interface)
             assignment = self._cached_assignment(
-                interface, constraint_set, cluster_stats, stats_digest, override
+                interface, constraint_set, cluster_stats, stats_digest, override,
+                spec_digest,
             )
             plan.add(assignment)
         return plan
@@ -209,6 +216,7 @@ class ConfigurationPlanner:
         constraint_set: ConstraintSet,
         cluster_stats: Optional[ResourceStatsMessage] = None,
         override: Optional[PlannerOverride] = None,
+        spec_digest: str = "",
     ) -> PlanAssignment:
         """Choose a configuration for one interface in isolation.
 
@@ -222,7 +230,7 @@ class ConfigurationPlanner:
             cluster_stats.planning_digest() if cluster_stats is not None else None
         )
         return self._cached_assignment(
-            interface, constraint_set, cluster_stats, stats_digest, override
+            interface, constraint_set, cluster_stats, stats_digest, override, spec_digest
         )
 
     def invalidate_cache(self) -> None:
@@ -246,9 +254,12 @@ class ConfigurationPlanner:
         cluster_stats: Optional[ResourceStatsMessage],
         stats_digest: Optional[tuple],
         override: Optional[PlannerOverride],
+        spec_digest: str = "",
     ) -> PlanAssignment:
         if not self.enable_plan_cache:
-            profile = self._select_profile(interface, constraint_set, cluster_stats, override)
+            profile = self._select_profile(
+                interface, constraint_set, cluster_stats, override, spec_digest
+            )
             return self._assignment_from_profile(interface, profile, override)
         if self._plan_cache_store_version != self.profile_store.version:
             self.invalidate_cache()
@@ -263,6 +274,10 @@ class ConfigurationPlanner:
         # after every disruption, even one that restores an identical stats
         # digest.  (Policies reading PlanContext fields outside the planning
         # digest and the dynamics version must disable the plan cache.)
+        # The spec digest namespaces entries per submitting workflow spec:
+        # hand-built jobs (digest "") share entries exactly as before, while
+        # spec-compiled jobs can never replay a decision cached for a
+        # different spec (e.g. under a spec-conditioned policy).
         cache_key = (
             interface,
             constraint_set,
@@ -271,13 +286,16 @@ class ConfigurationPlanner:
             self.max_cpu_cores_per_agent,
             self._policy_fingerprint,
             self._dynamics_version(),
+            spec_digest,
         )
         assignment = self._plan_cache.get(cache_key)
         if assignment is not None:
             self._plan_cache_hits += 1
             return assignment
         self._plan_cache_misses += 1
-        profile = self._select_profile(interface, constraint_set, cluster_stats, override)
+        profile = self._select_profile(
+            interface, constraint_set, cluster_stats, override, spec_digest
+        )
         assignment = self._assignment_from_profile(interface, profile, override)
         if len(self._plan_cache) >= self.PLAN_CACHE_MAX:
             self._plan_cache.pop(next(iter(self._plan_cache)))
@@ -311,12 +329,14 @@ class ConfigurationPlanner:
         self,
         constraint_set: ConstraintSet,
         cluster_stats: Optional[ResourceStatsMessage],
+        spec_digest: str = "",
     ) -> PlanContext:
         return PlanContext(
             constraint_set=constraint_set,
             cluster_stats=cluster_stats,
             profile_store=self.profile_store,
             dynamics_version=self._dynamics_version(),
+            spec_digest=spec_digest,
         )
 
     def _select_profile(
@@ -325,6 +345,7 @@ class ConfigurationPlanner:
         constraint_set: ConstraintSet,
         cluster_stats: Optional[ResourceStatsMessage],
         override: Optional[PlannerOverride],
+        spec_digest: str = "",
     ) -> ExecutionProfile:
         candidates = self.profile_store.profiles_for(interface)
         if not candidates:
@@ -343,7 +364,9 @@ class ConfigurationPlanner:
                 f"(best available: {max(p.quality for p in candidates):.2f})"
             )
         chosen = self.scheduling_policy.select_profile(
-            interface, acceptable, self._plan_context(constraint_set, cluster_stats)
+            interface,
+            acceptable,
+            self._plan_context(constraint_set, cluster_stats, spec_digest),
         )
         if chosen is None:
             raise PlanningError(

@@ -144,6 +144,7 @@ class MurakkabRuntime:
         self,
         constraint_set: ConstraintSet,
         overrides: Optional[Dict[AgentInterface, PlannerOverride]] = None,
+        spec_digest: str = "",
     ):
         """Per-interface replanning hook for disrupted executors."""
         overrides = overrides or {}
@@ -151,7 +152,11 @@ class MurakkabRuntime:
         def replan(interface: AgentInterface):
             stats = self.cluster_manager.stats()
             return self.orchestrator.planner.plan_interface(
-                interface, constraint_set, stats, override=overrides.get(interface)
+                interface,
+                constraint_set,
+                stats,
+                override=overrides.get(interface),
+                spec_digest=spec_digest,
             )
 
         return replan
@@ -202,7 +207,9 @@ class MurakkabRuntime:
             trace=trace,
             workflow_id=job.job_id,
             replanner=(
-                self.make_replanner(job.constraint_set(), overrides)
+                self.make_replanner(
+                    job.constraint_set(), overrides, spec_digest=job.spec_digest
+                )
                 if dynamics is not None
                 else None
             ),

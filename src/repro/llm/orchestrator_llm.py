@@ -131,6 +131,16 @@ _ALTERNATIVE_CONSUMERS = {
     AgentInterface.SENTIMENT_ANALYSIS,
 }
 
+def default_granularity(interface: AgentInterface) -> str:
+    """The canonical expansion granularity for an interface.
+
+    Public accessor for other layers (the declarative spec IR defaults and
+    validates stage fan-out against this) so they need not reach into the
+    private table below.
+    """
+    return _GRANULARITY.get(interface, "once")
+
+
 #: Default expansion granularity per interface.
 _GRANULARITY: Dict[AgentInterface, str] = {
     AgentInterface.FRAME_EXTRACTION: "per_video",

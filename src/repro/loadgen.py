@@ -55,6 +55,21 @@ from repro.workloads.arrival import JobArrival
 # --------------------------------------------------------------------- #
 
 
+class UnknownWorkloadError(KeyError):
+    """An unregistered workload name was requested; lists what exists."""
+
+    def __init__(self, name: str, registered: Sequence[str]):
+        self.workload = name
+        self.registered = list(registered)
+        super().__init__(
+            f"unknown workload {name!r}; registered: {self.registered}"
+        )
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr-quotes its message; keep it human-readable.
+        return self.args[0] if self.args else "unknown workload"
+
+
 class WorkloadRegistry:
     """Named workload templates: ``workload name -> Job factory``.
 
@@ -65,15 +80,47 @@ class WorkloadRegistry:
     load generator reuse one plan and one steady-state record per group.
     The generator verifies this signature on every simulated job and falls
     back to full simulation for workloads that violate it.
+
+    The preferred registration surface is :meth:`register_spec`: a
+    declarative :class:`~repro.spec.ir.WorkflowSpec` is validated eagerly,
+    its inputs are materialized once (so every job of the workload shares
+    them — the determinism contract above holds by construction), and the
+    spec stays retrievable via :meth:`spec` for capture/replay.
     """
 
     def __init__(self) -> None:
         self._factories: Dict[str, Callable[[str], Job]] = {}
+        self._specs: Dict[str, object] = {}
+        self._inputs: Dict[str, list] = {}
 
     def register(self, name: str, factory: Callable[[str], Job]) -> None:
         if not name:
             raise ValueError("workload name must be non-empty")
         self._factories[name] = factory
+        self._specs.pop(name, None)
+        self._inputs.pop(name, None)
+
+    def register_spec(self, spec, name: str = "") -> str:
+        """Register a declarative workflow spec as a named workload.
+
+        Validates eagerly (structural checks plus the decomposition
+        cross-check), materializes the spec's input source once, and
+        registers a compile factory sharing those inputs.  Returns the
+        registered name (``spec.name`` unless overridden).
+        """
+        from repro.spec.compiler import check_spec, compile_spec, materialize_inputs
+
+        check_spec(spec)
+        name = name or spec.name
+        if not name:
+            raise ValueError("workload name must be non-empty")
+        inputs = materialize_inputs(spec)
+        self._factories[name] = lambda job_id: compile_spec(
+            spec, inputs=inputs, job_id=job_id
+        )
+        self._specs[name] = spec
+        self._inputs[name] = inputs
+        return name
 
     def names(self) -> List[str]:
         return sorted(self._factories)
@@ -81,51 +128,49 @@ class WorkloadRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._factories
 
+    def spec(self, name: str):
+        """The :class:`~repro.spec.ir.WorkflowSpec` behind a registered
+        workload, or ``None`` for factories registered without one."""
+        if name not in self._factories:
+            raise UnknownWorkloadError(name, self.names())
+        return self._specs.get(name)
+
+    def materialized_inputs(self, name: str):
+        """The input corpus materialized once at :meth:`register_spec` time
+        (``None`` for factories registered without a spec), so callers
+        compiling variants of a registered spec can share it instead of
+        regenerating the corpus per job."""
+        if name not in self._factories:
+            raise UnknownWorkloadError(name, self.names())
+        return self._inputs.get(name)
+
     def build(self, name: str, job_id: str) -> Job:
         try:
             factory = self._factories[name]
         except KeyError:
-            raise KeyError(
-                f"unknown workload {name!r}; registered: {self.names()}"
-            ) from None
+            raise UnknownWorkloadError(name, self.names()) from None
         return factory(job_id)
 
 
 def default_registry() -> WorkloadRegistry:
-    """The four named paper workloads, with inputs generated once and shared.
+    """The four named paper workloads, registered from their declarative
+    specs with inputs materialized once and shared.
 
     Sharing the synthetic inputs across jobs is what makes jobs of a group
     identical (and job construction nearly free): every ``video-understanding``
-    arrival sees the same four paper videos, every ``newsfeed`` arrival the
-    same post stream, and so on.
+    arrival sees the same paper videos, every ``newsfeed`` arrival the same
+    post stream, and so on.
     """
-    from repro.workflows.chain_of_thought import chain_of_thought_job
-    from repro.workflows.document_qa import document_qa_job
-    from repro.workflows.newsfeed import newsfeed_job
-    from repro.workflows.video_understanding import video_understanding_job
-    from repro.workloads.documents import generate_documents
-    from repro.workloads.posts import generate_posts
-    from repro.workloads.video import paper_videos
-
-    videos = paper_videos()
-    posts = generate_posts()
-    documents = generate_documents()
+    from repro.workflows.chain_of_thought import chain_of_thought_spec
+    from repro.workflows.document_qa import document_qa_spec
+    from repro.workflows.newsfeed import newsfeed_spec
+    from repro.workflows.video_understanding import video_understanding_spec
 
     registry = WorkloadRegistry()
-    registry.register(
-        "video-understanding",
-        lambda job_id: video_understanding_job(videos=videos, job_id=job_id),
-    )
-    registry.register(
-        "newsfeed", lambda job_id: newsfeed_job(posts=posts, job_id=job_id)
-    )
-    registry.register(
-        "document-qa",
-        lambda job_id: document_qa_job(documents=documents, job_id=job_id),
-    )
-    registry.register(
-        "chain-of-thought", lambda job_id: chain_of_thought_job(job_id=job_id)
-    )
+    registry.register_spec(video_understanding_spec())
+    registry.register_spec(newsfeed_spec())
+    registry.register_spec(document_qa_spec())
+    registry.register_spec(chain_of_thought_spec())
     return registry
 
 

@@ -35,6 +35,11 @@ class PlanContext:
     #: by every spot preemption, node failure, and scaling event, so a policy
     #: can tell "the cluster has been volatile" from "nothing ever changed".
     dynamics_version: int = 0
+    #: Content digest of the workflow spec the job being planned was compiled
+    #: from ("" for hand-built jobs).  Part of the planner's decision-cache
+    #: key, so a policy may condition on the submitting spec without its
+    #: decisions leaking into another spec's cache entries.
+    spec_digest: str = ""
 
     @property
     def stats_digest(self) -> Optional[Tuple]:

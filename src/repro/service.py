@@ -176,6 +176,19 @@ class AIWorkflowService:
         self.stats.record(result)
         return result
 
+    def submit_spec(
+        self,
+        spec,
+        inputs: Optional[Sequence[object]] = None,
+        job_id: str = "",
+    ) -> JobResult:
+        """Compile a declarative :class:`~repro.spec.ir.WorkflowSpec` and
+        submit it (eagerly validated; raises
+        :class:`~repro.spec.ir.SpecError` before anything executes)."""
+        from repro.spec.compiler import compile_spec
+
+        return self.submit_job(compile_spec(spec, inputs=inputs, job_id=job_id))
+
     def submit_trace(self, arrivals, **options):
         """Serve a whole arrival trace through the batched-admission path.
 

@@ -1,0 +1,46 @@
+"""``repro.spec``: the declarative workflow front-end.
+
+* :class:`WorkflowSpec` — the frozen, serializable IR (stages, DAG edges,
+  constraint/SLO block, quality target, input source) with JSON round-trip
+  and eager structured validation (:class:`SpecError`);
+* :class:`WorkflowBuilder` — the fluent authoring surface;
+* :func:`compile_spec` — lowering to an executable
+  :class:`~repro.core.job.Job` through the existing orchestrator pipeline,
+  unchanged and differentially checked against the legacy factories.
+"""
+
+from repro.spec.builder import WorkflowBuilder
+from repro.spec.compiler import (
+    check_spec,
+    compile_spec,
+    materialize_inputs,
+    preview_stages,
+    spec_issues,
+)
+from repro.spec.ir import (
+    FAN_OUT_VALUES,
+    INPUT_SOURCES,
+    SPEC_SCHEMA_VERSION,
+    InputsSpec,
+    SpecError,
+    SpecIssue,
+    StageSpec,
+    WorkflowSpec,
+)
+
+__all__ = [
+    "FAN_OUT_VALUES",
+    "INPUT_SOURCES",
+    "SPEC_SCHEMA_VERSION",
+    "InputsSpec",
+    "SpecError",
+    "SpecIssue",
+    "StageSpec",
+    "WorkflowBuilder",
+    "WorkflowSpec",
+    "check_spec",
+    "compile_spec",
+    "materialize_inputs",
+    "preview_stages",
+    "spec_issues",
+]

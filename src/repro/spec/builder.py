@@ -1,0 +1,180 @@
+"""Fluent construction of :class:`~repro.spec.ir.WorkflowSpec` values.
+
+The builder is the Listing-2 authoring surface for user-defined workloads::
+
+    spec = (
+        WorkflowBuilder("newsfeed")
+        .describe("Generate social media newsfeed for Alice")
+        .inputs("posts")
+        .stage("sentiment_analysis", "Run sentiment analysis on the recent posts")
+        .then("text_generation",
+              "Compose a personalised newsfeed for Alice from the posts")
+        .constraints(MIN_COST)
+        .quality(0.85)
+        .build()
+    )
+
+``build()`` validates eagerly, so a misdeclared workflow fails at authoring
+time with structured :class:`~repro.spec.ir.SpecError` findings, never at
+submission time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.agents.base import AgentInterface
+from repro.core.constraints import Constraint, ConstraintSet
+from repro.spec.ir import (
+    InputsSpec,
+    SpecError,
+    SpecIssue,
+    StageSpec,
+    WorkflowSpec,
+    _constraint_of,
+    _interface_of,
+)
+
+InterfaceLike = Union[AgentInterface, str]
+
+
+class WorkflowBuilder:
+    """Accumulates stages/edges/constraints and builds a validated spec."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self._name = name
+        self._description = description
+        self._stages: List[StageSpec] = []
+        self._inputs = InputsSpec()
+        self._constraints: Tuple[Constraint, ...] = (Constraint.MIN_COST,)
+        self._quality_target = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Intent and inputs
+    # ------------------------------------------------------------------ #
+    def describe(self, description: str) -> "WorkflowBuilder":
+        """Set the natural-language job description (the workflow's intent)."""
+        self._description = description
+        return self
+
+    def inputs(
+        self,
+        source: str,
+        count: Optional[int] = None,
+        items: Sequence[object] = (),
+    ) -> "WorkflowBuilder":
+        """Name the input source (``videos``/``posts``/``documents``/``inline``/``none``)."""
+        self._inputs = InputsSpec(source=source, count=count, items=tuple(items))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Stages and edges
+    # ------------------------------------------------------------------ #
+    def stage(
+        self,
+        interface: InterfaceLike,
+        prompt: str = "",
+        *,
+        name: str = "",
+        after: Sequence[InterfaceLike] = (),
+        fan_out: str = "",
+        modality: str = "",
+    ) -> "WorkflowBuilder":
+        """Declare a stage; ``after`` names its upstream stages (DAG edges)."""
+        self._stages.append(
+            StageSpec(
+                interface=_interface_of(interface, name),
+                prompt=prompt,
+                name=name,
+                after=tuple(self._stage_name(upstream) for upstream in after),
+                fan_out=fan_out,
+                modality=modality,
+            )
+        )
+        return self
+
+    def then(
+        self,
+        interface: InterfaceLike,
+        prompt: str = "",
+        **kwargs,
+    ) -> "WorkflowBuilder":
+        """Declare a stage depending on the most recently declared one."""
+        if not self._stages:
+            raise SpecError(
+                [
+                    SpecIssue(
+                        code="no-upstream",
+                        message="then() needs a preceding stage(); "
+                        "declare the first stage with stage()",
+                    )
+                ]
+            )
+        after = tuple(kwargs.pop("after", ())) + (self._stages[-1].name,)
+        return self.stage(interface, prompt, after=after, **kwargs)
+
+    def edge(self, upstream: InterfaceLike, downstream: InterfaceLike) -> "WorkflowBuilder":
+        """Add a dependency edge between two already-declared stages."""
+        upstream_name = self._stage_name(upstream)
+        downstream_name = self._stage_name(downstream)
+        for index, stage in enumerate(self._stages):
+            if stage.name == downstream_name:
+                if upstream_name not in stage.after:
+                    self._stages[index] = replace(
+                        stage, after=stage.after + (upstream_name,)
+                    )
+                return self
+        raise SpecError(
+            [
+                SpecIssue(
+                    code="dangling-edge",
+                    message=f"edge references undeclared stage {downstream_name!r}",
+                )
+            ]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Constraint / SLO block
+    # ------------------------------------------------------------------ #
+    def constraints(
+        self, *objectives: Union[Constraint, str, ConstraintSet]
+    ) -> "WorkflowBuilder":
+        """Set the priority-ordered objectives (``MIN_COST``, ``"min_energy"``, ...)."""
+        if len(objectives) == 1 and isinstance(objectives[0], ConstraintSet):
+            constraint_set = objectives[0]
+            self._constraints = constraint_set.priorities
+            if constraint_set.quality_floor:
+                self._quality_target = constraint_set.quality_floor
+            return self
+        self._constraints = tuple(_constraint_of(objective) for objective in objectives)
+        return self
+
+    def quality(self, target: float) -> "WorkflowBuilder":
+        """Set the end-to-end result-quality floor."""
+        self._quality_target = target
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Build
+    # ------------------------------------------------------------------ #
+    def build(self) -> WorkflowSpec:
+        """Assemble the frozen spec and validate it eagerly."""
+        return WorkflowSpec(
+            name=self._name,
+            description=self._description,
+            stages=tuple(self._stages),
+            constraints=self._constraints,
+            quality_target=self._quality_target,
+            inputs=self._inputs,
+        ).validate()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _stage_name(value: InterfaceLike) -> str:
+        """Edges may name stages by declared name or by interface."""
+        if isinstance(value, AgentInterface):
+            return value.value
+        return str(value)

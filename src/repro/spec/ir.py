@@ -1,0 +1,734 @@
+"""The declarative workflow IR (paper Listing 2, made serializable).
+
+A :class:`WorkflowSpec` is the frozen, self-contained description of a
+compound-AI workload: the natural-language intent, the declared stages
+(each naming the agent *interface* it needs, the input modality and fan-out
+it expands with, and the natural-language prompt the orchestrator consumes),
+the DAG edges between them, the constraint/SLO block, and the input source.
+Unlike a hand-written ``Job`` factory, a spec
+
+* round-trips through ``to_dict``/``from_dict`` and JSON unchanged, so
+  workloads are shareable, versionable, and replayable (capture/replay in
+  the CGReplay sense);
+* validates eagerly — unknown interfaces, dependency cycles, dangling
+  edges, misrouted prompts, and malformed constraint blocks all surface as
+  structured :class:`SpecError`\\ s *before* anything executes;
+* carries a stable content :meth:`~WorkflowSpec.digest` that downstream
+  layers use to namespace cached planning decisions.
+
+The IR deliberately stays at the *declarative* altitude: it names intents,
+not models, hardware, or plans.  Lowering to the executable form is the
+compiler's job (:func:`repro.spec.compiler.compile_spec`), which reuses the
+existing orchestrator/decomposer/planner pipeline unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.agents.base import AgentInterface
+from repro.core.constraints import Constraint, ConstraintSet
+from repro.llm.orchestrator_llm import classify_task_description, default_granularity
+
+#: Schema version written into every serialized spec; bumped on breaking
+#: layout changes so old captures fail loudly instead of misparsing.
+SPEC_SCHEMA_VERSION = 1
+
+#: Legal stage fan-out values (how a stage expands over the job's inputs).
+FAN_OUT_VALUES: Tuple[str, ...] = (
+    "per_video",
+    "per_scene",
+    "per_item",
+    "per_query",
+    "once",
+)
+
+#: The input modality implied by each fan-out (what one expanded task sees).
+MODALITY_OF_FAN_OUT: Dict[str, str] = {
+    "per_video": "video",
+    "per_scene": "scene",
+    "per_item": "item",
+    "per_query": "query",
+    "once": "batch",
+}
+
+#: Legal input sources a spec can name (see
+#: :func:`repro.spec.compiler.materialize_inputs`).
+INPUT_SOURCES: Tuple[str, ...] = ("none", "videos", "posts", "documents", "inline")
+
+
+# --------------------------------------------------------------------- #
+# Structured validation errors
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SpecIssue:
+    """One structured validation finding."""
+
+    #: Machine-readable issue code (``unknown-interface``, ``cycle``, ...).
+    code: str
+    #: Human-readable explanation.
+    message: str
+    #: The stage the issue anchors to, when stage-scoped.
+    stage: str = ""
+
+    def render(self) -> str:
+        prefix = f"[{self.code}]"
+        if self.stage:
+            prefix += f" stage {self.stage!r}:"
+        return f"{prefix} {self.message}"
+
+
+class SpecError(ValueError):
+    """A workflow spec failed validation; carries every finding at once."""
+
+    def __init__(self, issues: Sequence[SpecIssue]):
+        self.issues: Tuple[SpecIssue, ...] = tuple(issues)
+        super().__init__(
+            "invalid workflow spec:\n"
+            + "\n".join(f"  - {issue.render()}" for issue in self.issues)
+        )
+
+
+def _interface_of(value: Union[AgentInterface, str], stage: str = "") -> AgentInterface:
+    """Resolve an interface name, raising a structured error when unknown."""
+    if isinstance(value, AgentInterface):
+        return value
+    try:
+        return AgentInterface(str(value))
+    except ValueError:
+        known = ", ".join(sorted(i.value for i in AgentInterface))
+        raise SpecError(
+            [
+                SpecIssue(
+                    code="unknown-interface",
+                    message=f"unknown interface {value!r}; known interfaces: {known}",
+                    stage=stage,
+                )
+            ]
+        ) from None
+
+
+def _unknown_key_issues(
+    data: Mapping[str, object], allowed: Tuple[str, ...], scope: str
+) -> List[SpecIssue]:
+    """Findings for keys a hand-authored payload should not contain.
+
+    Silently dropping a misplaced or typo'd key (``fanout`` for
+    ``fan_out``, a top-level ``quality_target``) would defeat eager
+    validation: the spec would parse clean and run with defaults.
+    """
+    return [
+        SpecIssue(
+            code="unknown-key",
+            message=f"unknown key {key!r} in {scope}; allowed keys: "
+            f"{', '.join(allowed)}",
+        )
+        for key in data
+        if key not in allowed
+    ]
+
+
+def _number_of(value: object, field_name: str, converter):
+    """Convert a serialized numeric field, raising a structured error."""
+    try:
+        return converter(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise SpecError(
+            [
+                SpecIssue(
+                    code="malformed",
+                    message=f"{field_name} must be a number: {value!r}",
+                )
+            ]
+        ) from None
+
+
+def _constraint_of(value: Union[Constraint, str]) -> Constraint:
+    if isinstance(value, Constraint):
+        return value
+    try:
+        return Constraint(str(value))
+    except ValueError:
+        known = ", ".join(sorted(c.value for c in Constraint))
+        raise SpecError(
+            [
+                SpecIssue(
+                    code="unknown-constraint",
+                    message=f"unknown constraint {value!r}; known constraints: {known}",
+                )
+            ]
+        ) from None
+
+
+# --------------------------------------------------------------------- #
+# Stage and input declarations
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One declared stage of a workflow.
+
+    ``prompt`` is the natural-language intent handed to the orchestrator LLM
+    as a sub-task hint; validation checks it actually routes to the declared
+    ``interface`` so a spec can never silently steer the orchestrator
+    somewhere else.  A stage with an empty prompt is *descriptive only*: it
+    documents a pipeline step the orchestrator derives on its own, and the
+    compiler verifies the derivation really produces it.
+    """
+
+    interface: AgentInterface
+    prompt: str = ""
+    #: Unique stage name; defaults to the interface value.
+    name: str = ""
+    #: Names of upstream stages this stage consumes outputs from.
+    after: Tuple[str, ...] = ()
+    #: How the stage expands over the job's inputs; defaults to the
+    #: interface's canonical granularity.
+    fan_out: str = ""
+    #: Input modality of one expanded task; derived from ``fan_out``.
+    modality: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "interface", _interface_of(self.interface, self.name))
+        object.__setattr__(self, "after", tuple(self.after))
+        if not self.name:
+            object.__setattr__(self, "name", self.interface.value)
+        if not self.fan_out:
+            object.__setattr__(self, "fan_out", default_granularity(self.interface))
+        if not self.modality and self.fan_out in MODALITY_OF_FAN_OUT:
+            object.__setattr__(self, "modality", MODALITY_OF_FAN_OUT[self.fan_out])
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "interface": self.interface.value,
+            "prompt": self.prompt,
+            "after": list(self.after),
+            "fan_out": self.fan_out,
+            "modality": self.modality,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "StageSpec":
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                [SpecIssue(code="malformed", message=f"stage must be an object: {data!r}")]
+            )
+        issues = _unknown_key_issues(
+            data,
+            ("name", "interface", "prompt", "after", "fan_out", "modality"),
+            f"stage {data.get('name', data.get('interface', '?'))!r}",
+        )
+        if issues:
+            raise SpecError(issues)
+        after = data.get("after", ())
+        if isinstance(after, (str, bytes)) or not isinstance(after, Sequence):
+            # A bare string would iterate character-by-character into 16
+            # baffling dangling edges; reject the likeliest authoring typo
+            # with one clear finding instead.
+            raise SpecError(
+                [
+                    SpecIssue(
+                        code="malformed",
+                        message=f"'after' must be a list of stage names: {after!r}",
+                        stage=str(data.get("name", "")),
+                    )
+                ]
+            )
+        return cls(
+            interface=_interface_of(data.get("interface", ""), str(data.get("name", ""))),
+            prompt=str(data.get("prompt", "")),
+            name=str(data.get("name", "")),
+            after=tuple(str(edge) for edge in after),
+            fan_out=str(data.get("fan_out", "")),
+            modality=str(data.get("modality", "")),
+        )
+
+
+@dataclass(frozen=True)
+class InputsSpec:
+    """Declarative input source: which synthetic corpus feeds the workflow.
+
+    ``inline`` carries the items verbatim in the spec (JSON payloads);
+    every other source names a deterministic generator, so two holders of
+    the same spec materialize byte-identical inputs.
+    """
+
+    source: str = "none"
+    #: How many items to generate (``None`` = the source's paper default).
+    count: Optional[int] = None
+    #: Inline items (only for ``source="inline"``).
+    items: Tuple[object, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "items", tuple(self.items))
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"source": self.source}
+        if self.count is not None:
+            data["count"] = self.count
+        if self.items:
+            data["items"] = list(self.items)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "InputsSpec":
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                [SpecIssue(code="malformed", message=f"inputs must be an object: {data!r}")]
+            )
+        issues = _unknown_key_issues(data, ("source", "count", "items"), "inputs")
+        if issues:
+            raise SpecError(issues)
+        count = data.get("count")
+        items = data.get("items", ())
+        if isinstance(items, (str, bytes)) or not isinstance(items, Sequence):
+            raise SpecError(
+                [
+                    SpecIssue(
+                        code="malformed",
+                        message=f"inputs.items must be a list: {items!r}",
+                    )
+                ]
+            )
+        return cls(
+            source=str(data.get("source", "none")),
+            count=None if count is None else _number_of(count, "inputs.count", int),
+            items=tuple(items),
+        )
+
+
+# --------------------------------------------------------------------- #
+# The workflow spec
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class WorkflowSpec:
+    """A frozen, serializable declarative workflow description."""
+
+    name: str
+    description: str
+    stages: Tuple[StageSpec, ...] = ()
+    #: Priority-ordered optimisation objectives (the constraint/SLO block).
+    constraints: Tuple[Constraint, ...] = (Constraint.MIN_COST,)
+    #: End-to-end result-quality floor in [0, 1].
+    quality_target: float = 0.0
+    inputs: InputsSpec = field(default_factory=InputsSpec)
+    schema_version: int = SPEC_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stages", tuple(self.stages))
+        object.__setattr__(
+            self, "constraints", tuple(_constraint_of(c) for c in self.constraints)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def issues(self) -> List[SpecIssue]:
+        """Every validation finding, without raising."""
+        issues: List[SpecIssue] = []
+        if not self.name:
+            issues.append(SpecIssue(code="missing-name", message="spec needs a name"))
+        if not self.description:
+            issues.append(
+                SpecIssue(
+                    code="missing-description",
+                    message="spec needs a natural-language description",
+                )
+            )
+        if not self.stages:
+            issues.append(
+                SpecIssue(code="no-stages", message="spec declares no stages")
+            )
+        if not 0.0 <= self.quality_target <= 1.0:
+            issues.append(
+                SpecIssue(
+                    code="bad-quality-target",
+                    message=f"quality_target must be in [0, 1]: {self.quality_target}",
+                )
+            )
+        if not self.constraints:
+            issues.append(
+                SpecIssue(
+                    code="no-constraints",
+                    message="the constraint block needs at least one objective",
+                )
+            )
+        elif len(set(self.constraints)) != len(self.constraints):
+            issues.append(
+                SpecIssue(
+                    code="duplicate-constraints",
+                    message=f"duplicate objectives in the constraint block: "
+                    f"{[c.value for c in self.constraints]}",
+                )
+            )
+        if self.inputs.source not in INPUT_SOURCES:
+            issues.append(
+                SpecIssue(
+                    code="unknown-input-source",
+                    message=f"unknown input source {self.inputs.source!r}; "
+                    f"known sources: {', '.join(INPUT_SOURCES)}",
+                )
+            )
+        if self.inputs.count is not None and self.inputs.count < 0:
+            issues.append(
+                SpecIssue(
+                    code="bad-input-count",
+                    message=f"inputs.count must be non-negative: {self.inputs.count}",
+                )
+            )
+        if self.inputs.items and self.inputs.source != "inline":
+            issues.append(
+                SpecIssue(
+                    code="stray-inline-items",
+                    message="inputs.items is only meaningful with source='inline'",
+                )
+            )
+
+        names = [stage.name for stage in self.stages]
+        seen_names = set()
+        seen_interfaces: Dict[AgentInterface, str] = {}
+        for stage in self.stages:
+            if stage.name in seen_names:
+                issues.append(
+                    SpecIssue(
+                        code="duplicate-stage",
+                        message=f"stage name {stage.name!r} is declared twice",
+                        stage=stage.name,
+                    )
+                )
+            seen_names.add(stage.name)
+            if stage.interface in seen_interfaces:
+                issues.append(
+                    SpecIssue(
+                        code="duplicate-interface",
+                        message=f"interface {stage.interface.value!r} is already "
+                        f"declared by stage {seen_interfaces[stage.interface]!r}; "
+                        "the orchestrator runs one stage per interface",
+                        stage=stage.name,
+                    )
+                )
+            else:
+                seen_interfaces[stage.interface] = stage.name
+            if stage.fan_out not in FAN_OUT_VALUES:
+                issues.append(
+                    SpecIssue(
+                        code="bad-fan-out",
+                        message=f"unknown fan_out {stage.fan_out!r}; "
+                        f"legal values: {', '.join(FAN_OUT_VALUES)}",
+                        stage=stage.name,
+                    )
+                )
+            else:
+                canonical = default_granularity(stage.interface)
+                if stage.fan_out != canonical:
+                    issues.append(
+                        SpecIssue(
+                            code="unrealizable-fan-out",
+                            message=f"fan_out {stage.fan_out!r} cannot be realised: "
+                            f"the orchestrator expands {stage.interface.value!r} "
+                            f"stages {canonical!r}",
+                            stage=stage.name,
+                        )
+                    )
+                expected_modality = MODALITY_OF_FAN_OUT.get(stage.fan_out)
+                if expected_modality is not None and stage.modality != expected_modality:
+                    issues.append(
+                        SpecIssue(
+                            code="modality-mismatch",
+                            message=f"modality {stage.modality!r} is inconsistent "
+                            f"with fan_out {stage.fan_out!r} "
+                            f"(expected {expected_modality!r})",
+                            stage=stage.name,
+                        )
+                    )
+            if stage.prompt:
+                routed = classify_task_description(stage.prompt)
+                if routed is not stage.interface:
+                    routed_name = routed.value if routed is not None else "nothing"
+                    issues.append(
+                        SpecIssue(
+                            code="misrouted-prompt",
+                            message=f"prompt {stage.prompt!r} routes to {routed_name}, "
+                            f"not the declared interface {stage.interface.value!r}; "
+                            "rephrase the prompt or fix the interface",
+                            stage=stage.name,
+                        )
+                    )
+            for upstream in stage.after:
+                if upstream not in names:
+                    issues.append(
+                        SpecIssue(
+                            code="dangling-edge",
+                            message=f"edge references undeclared stage {upstream!r}",
+                            stage=stage.name,
+                        )
+                    )
+                elif upstream == stage.name:
+                    issues.append(
+                        SpecIssue(
+                            code="self-edge",
+                            message="stage cannot depend on itself",
+                            stage=stage.name,
+                        )
+                    )
+
+        issues.extend(self._cycle_issues())
+        return issues
+
+    def _cycle_issues(self) -> List[SpecIssue]:
+        """Report the stages actually on a dependency cycle.
+
+        Kahn's algorithm leaves every stage *downstream* of a cycle
+        unresolved too; intersecting the forward and reverse leftovers
+        keeps only true cycle members, so the finding never points a user
+        at an innocent consumer of the cycle.
+        """
+        edges = [
+            (upstream, stage.name)
+            for stage in self.stages
+            for upstream in stage.after
+            if upstream != stage.name
+            and any(upstream == candidate.name for candidate in self.stages)
+        ]
+        names = {stage.name for stage in self.stages}
+
+        def _kahn_leftovers(pairs) -> set:
+            indegree = {name: 0 for name in names}
+            consumers: Dict[str, List[str]] = {name: [] for name in names}
+            for upstream, downstream in pairs:
+                indegree[downstream] += 1
+                consumers[upstream].append(downstream)
+            ready = [name for name, degree in indegree.items() if degree == 0]
+            while ready:
+                name = ready.pop()
+                for consumer in consumers[name]:
+                    indegree[consumer] -= 1
+                    if indegree[consumer] == 0:
+                        ready.append(consumer)
+            return {name for name, degree in indegree.items() if degree > 0}
+
+        forward = _kahn_leftovers(edges)
+        if not forward:
+            return []
+        reverse = _kahn_leftovers([(d, u) for u, d in edges])
+        cyclic = sorted(forward & reverse)
+        return [
+            SpecIssue(
+                code="cycle",
+                message=f"dependency cycle among stages: {cyclic}",
+                stage=cyclic[0] if cyclic else "",
+            )
+        ]
+
+    def validate(self) -> "WorkflowSpec":
+        """Raise a :class:`SpecError` carrying every finding; return self."""
+        issues = self.issues()
+        if issues:
+            raise SpecError(issues)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    def stage(self, name: str) -> StageSpec:
+        for candidate in self.stages:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"spec {self.name!r} has no stage {name!r}")
+
+    def task_hints(self) -> Tuple[str, ...]:
+        """The natural-language sub-task hints, in declared order.
+
+        This is the exact ``Job.tasks`` surface the orchestrator LLM
+        consumes; descriptive (prompt-less) stages are not hinted.
+        """
+        return tuple(stage.prompt for stage in self.stages if stage.prompt)
+
+    def constraint_set(self) -> ConstraintSet:
+        """The normalised constraint block (priorities + quality floor)."""
+        return ConstraintSet(priorities=self.constraints, quality_floor=self.quality_target)
+
+    def with_overrides(
+        self,
+        constraints: Union[Constraint, ConstraintSet, Sequence[Constraint], None] = None,
+        quality_target: Optional[float] = None,
+        description: Optional[str] = None,
+    ) -> "WorkflowSpec":
+        """A copy of this spec with the constraint block / intent replaced."""
+        spec = self
+        if constraints is not None:
+            constraint_set = ConstraintSet.of(constraints)
+            spec = replace(spec, constraints=constraint_set.priorities)
+            # A ConstraintSet override carries its own quality floor; an
+            # explicit quality_target still wins over it.
+            if quality_target is None and constraint_set.quality_floor:
+                quality_target = constraint_set.quality_floor
+        if quality_target is not None:
+            spec = replace(spec, quality_target=quality_target)
+        if description is not None:
+            spec = replace(spec, description=description)
+        return spec
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "description": self.description,
+            "stages": [stage.to_dict() for stage in self.stages],
+            "constraints": {
+                "priorities": [constraint.value for constraint in self.constraints],
+                "quality_target": self.quality_target,
+            },
+            "inputs": self.inputs.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "WorkflowSpec":
+        """Parse and eagerly validate a spec payload (raises SpecError)."""
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                [SpecIssue(code="malformed", message=f"spec must be an object: {data!r}")]
+            )
+        version = _number_of(
+            data.get("schema_version", SPEC_SCHEMA_VERSION), "schema_version", int
+        )
+        if version > SPEC_SCHEMA_VERSION:
+            raise SpecError(
+                [
+                    SpecIssue(
+                        code="unsupported-schema",
+                        message=f"spec schema_version {version} is newer than the "
+                        f"supported version {SPEC_SCHEMA_VERSION}",
+                    )
+                ]
+            )
+        constraint_block = data.get("constraints", {})
+        if not isinstance(constraint_block, Mapping):
+            raise SpecError(
+                [
+                    SpecIssue(
+                        code="malformed",
+                        message=f"constraints must be an object with 'priorities' "
+                        f"and 'quality_target': {constraint_block!r}",
+                    )
+                ]
+            )
+        stages_data = data.get("stages", ())
+        if not isinstance(stages_data, Sequence) or isinstance(stages_data, (str, bytes)):
+            raise SpecError(
+                [SpecIssue(code="malformed", message=f"stages must be a list: {stages_data!r}")]
+            )
+        # Parse-level findings are collected across every stage, constraint,
+        # and field before raising, honouring the "every finding at once"
+        # contract even for errors caught during conversion.
+        issues: List[SpecIssue] = _unknown_key_issues(
+            data,
+            ("schema_version", "name", "description", "stages", "constraints", "inputs"),
+            "the spec",
+        )
+        issues.extend(
+            _unknown_key_issues(
+                constraint_block, ("priorities", "quality_target"), "constraints"
+            )
+        )
+        stages: List[StageSpec] = []
+        for entry in stages_data:
+            try:
+                stages.append(StageSpec.from_dict(entry))
+            except SpecError as error:
+                issues.extend(error.issues)
+        constraints: List[Constraint] = []
+        for value in constraint_block.get("priorities", ("min_cost",)):
+            try:
+                constraints.append(_constraint_of(value))
+            except SpecError as error:
+                issues.extend(error.issues)
+        quality_target = 0.0
+        try:
+            quality_target = _number_of(
+                constraint_block.get("quality_target", 0.0),
+                "constraints.quality_target",
+                float,
+            )
+        except SpecError as error:
+            issues.extend(error.issues)
+        inputs = InputsSpec()
+        try:
+            inputs = InputsSpec.from_dict(data.get("inputs", {"source": "none"}))
+        except SpecError as error:
+            issues.extend(error.issues)
+        if issues:
+            raise SpecError(issues)
+        spec = cls(
+            name=str(data.get("name", "")),
+            description=str(data.get("description", "")),
+            stages=tuple(stages),
+            constraints=tuple(constraints),
+            quality_target=quality_target,
+            inputs=inputs,
+            schema_version=version,
+        )
+        return spec.validate()
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkflowSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SpecError(
+                [SpecIssue(code="malformed", message=f"not valid JSON: {error}")]
+            ) from None
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    def digest(self) -> str:
+        """Stable content digest over the canonical serialized form.
+
+        Joins the planner's decision-cache key (via ``Job.spec_digest``), so
+        cached planning decisions are namespaced per spec and two specs that
+        differ anywhere can never replay each other's cached choices.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            canonical = json.dumps(
+                self.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+            cached = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    def describe(self) -> str:
+        """A compact human-readable rendering (used by the CLI)."""
+        lines = [
+            f"WorkflowSpec {self.name!r} (schema v{self.schema_version}, "
+            f"digest {self.digest()[:12]})",
+            f"  intent: {self.description!r}",
+            f"  constraints: {self.constraint_set().describe()}",
+            f"  inputs: {self.inputs.source}"
+            + (f" x{self.inputs.count}" if self.inputs.count is not None else ""),
+        ]
+        for stage in self.stages:
+            after = f" <- {list(stage.after)}" if stage.after else ""
+            hint = "" if stage.prompt else " (derived)"
+            lines.append(
+                f"  stage {stage.name}: {stage.interface.value} "
+                f"[{stage.fan_out}/{stage.modality}]{after}{hint}"
+            )
+        return "\n".join(lines)

@@ -1,6 +1,14 @@
-"""Workflow definitions: the imperative (Listing 1) and declarative (Listing 2)
-APIs plus the named workloads used in the paper and in the examples."""
+"""Workflow definitions: the imperative (Listing 1) and declarative
+(Listing 2) APIs plus the named workloads used in the paper and examples.
 
+The declarative API lives in :mod:`repro.spec` and is re-exported here:
+:class:`WorkflowBuilder` authors a serializable :class:`WorkflowSpec`, and
+:func:`compile_spec` lowers it to an executable job.  Each shipped workload
+is defined once as a spec (``*_spec``); the ``*_job`` factories are thin
+compile shims kept for legacy call sites.
+"""
+
+from repro.spec import SpecError, WorkflowBuilder, WorkflowSpec, compile_spec
 from repro.workflows.imperative import (
     LLM,
     ImperativeComponent,
@@ -11,10 +19,14 @@ from repro.workflows.imperative import (
 from repro.workflows.video_understanding import (
     omagent_imperative_workflow,
     video_understanding_job,
+    video_understanding_spec,
 )
-from repro.workflows.newsfeed import newsfeed_job
-from repro.workflows.document_qa import document_qa_job
-from repro.workflows.chain_of_thought import chain_of_thought_job
+from repro.workflows.newsfeed import newsfeed_job, newsfeed_spec
+from repro.workflows.document_qa import document_qa_job, document_qa_spec
+from repro.workflows.chain_of_thought import (
+    chain_of_thought_job,
+    chain_of_thought_spec,
+)
 
 __all__ = [
     "Tool",
@@ -22,9 +34,17 @@ __all__ = [
     "LLM",
     "ImperativeComponent",
     "ImperativeWorkflow",
+    "SpecError",
+    "WorkflowBuilder",
+    "WorkflowSpec",
+    "compile_spec",
     "video_understanding_job",
+    "video_understanding_spec",
     "omagent_imperative_workflow",
     "newsfeed_job",
+    "newsfeed_spec",
     "document_qa_job",
+    "document_qa_spec",
     "chain_of_thought_job",
+    "chain_of_thought_spec",
 ]

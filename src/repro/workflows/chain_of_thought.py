@@ -3,6 +3,11 @@
 Used by the Table-1 "Execution Paths" lever experiments: allocating more
 resources lets the runtime explore additional reasoning paths in parallel,
 raising answer quality at higher cost and power (§3.2 "Execution Paths").
+
+The workload is defined once as a declarative :class:`WorkflowSpec`
+(:func:`chain_of_thought_spec`); :func:`chain_of_thought_job` is a thin
+compile shim kept for the legacy factory call sites, proven byte-identical
+differentially in ``tests/test_spec_compile.py``.
 """
 
 from __future__ import annotations
@@ -11,6 +16,27 @@ from typing import Union
 
 from repro.core.constraints import Constraint, ConstraintSet, MAX_QUALITY
 from repro.core.job import Job
+from repro.spec import WorkflowBuilder, WorkflowSpec, compile_spec
+
+
+def chain_of_thought_spec(
+    question: str = "Which speech-to-text configuration minimises energy for 16 scenes?",
+    constraints: Union[Constraint, ConstraintSet] = MAX_QUALITY,
+    quality_target: float = 0.9,
+) -> WorkflowSpec:
+    """The declarative single-question reasoning spec (no inputs needed)."""
+    builder = (
+        WorkflowBuilder("chain-of-thought")
+        .describe(question)
+        .inputs("none")
+        .stage("question_answering", "Answer the question with step-by-step reasoning")
+        .constraints(ConstraintSet.of(constraints))
+    )
+    # A falsy quality_target defers to the constraint set's own floor, as
+    # the legacy factory's ConstraintSet.of(constraints, quality_target) did.
+    if quality_target:
+        builder.quality(quality_target)
+    return builder.build()
 
 
 def chain_of_thought_job(
@@ -20,12 +46,8 @@ def chain_of_thought_job(
     job_id: str = "",
 ) -> Job:
     """A single-question reasoning job whose quality benefits from multiple
-    parallel reasoning paths."""
-    return Job(
-        description=question,
-        inputs=(),
-        tasks=("Answer the question with step-by-step reasoning",),
-        constraints=constraints,
-        quality_target=quality_target,
-        job_id=job_id,
+    parallel reasoning paths; compiled from its spec."""
+    spec = chain_of_thought_spec(
+        question=question, constraints=constraints, quality_target=quality_target
     )
+    return compile_spec(spec, job_id=job_id)

@@ -3,6 +3,11 @@
 This exercises the embedding -> vector database -> question answering slice
 of the agent library on text inputs (no video substrate involved), the kind
 of "unstructured analytics" workload the paper cites as related work.
+
+The workload is defined once as a declarative :class:`WorkflowSpec`
+(:func:`document_qa_spec`); :func:`document_qa_job` is a thin compile shim
+kept for the legacy factory call sites, proven byte-identical
+differentially in ``tests/test_spec_compile.py``.
 """
 
 from __future__ import annotations
@@ -11,7 +16,30 @@ from typing import Optional, Sequence, Union
 
 from repro.core.constraints import Constraint, ConstraintSet, MIN_COST
 from repro.core.job import Job
-from repro.workloads.documents import generate_documents
+from repro.spec import WorkflowBuilder, WorkflowSpec, compile_spec
+
+
+def document_qa_spec(
+    question: str = "Which documents discuss energy efficiency?",
+    constraints: Union[Constraint, ConstraintSet] = MIN_COST,
+    quality_target: float = 0.8,
+    document_count: Optional[int] = None,
+) -> WorkflowSpec:
+    """The declarative document-QA spec over a synthetic corpus."""
+    builder = (
+        WorkflowBuilder("document-qa")
+        .describe(question)
+        .inputs("documents", count=document_count)
+        .stage("embedding", "Embed each document")
+        .then("vector_db", "Insert the embeddings into a vector database")
+        .then("question_answering", "Answer the question from the most relevant documents")
+        .constraints(ConstraintSet.of(constraints))
+    )
+    # A falsy quality_target defers to the constraint set's own floor, as
+    # the legacy factory's ConstraintSet.of(constraints, quality_target) did.
+    if quality_target:
+        builder.quality(quality_target)
+    return builder.build()
 
 
 def document_qa_job(
@@ -21,17 +49,8 @@ def document_qa_job(
     quality_target: float = 0.8,
     job_id: str = "",
 ) -> Job:
-    """A declarative document-QA job over a synthetic corpus."""
-    inputs = list(documents) if documents is not None else generate_documents()
-    return Job(
-        description=question,
-        inputs=inputs,
-        tasks=(
-            "Embed each document",
-            "Insert the embeddings into a vector database",
-            "Answer the question from the most relevant documents",
-        ),
-        constraints=constraints,
-        quality_target=quality_target,
-        job_id=job_id,
+    """The declarative document-QA job, compiled from its spec."""
+    spec = document_qa_spec(
+        question=question, constraints=constraints, quality_target=quality_target
     )
+    return compile_spec(spec, inputs=documents, job_id=job_id)

@@ -3,6 +3,11 @@
 "Generate social media newsfeed for Alice": classify the sentiment of recent
 posts relevant to the user, then generate the personalised feed text.  This
 is the second tenant used in the multi-tenant experiments.
+
+The workload is defined once as a declarative :class:`WorkflowSpec`
+(:func:`newsfeed_spec`); :func:`newsfeed_job` is a thin compile shim kept
+for the legacy factory call sites, proven byte-identical differentially in
+``tests/test_spec_compile.py``.
 """
 
 from __future__ import annotations
@@ -11,7 +16,33 @@ from typing import Optional, Sequence, Union
 
 from repro.core.constraints import Constraint, ConstraintSet, MIN_COST
 from repro.core.job import Job
-from repro.workloads.posts import generate_posts
+from repro.spec import WorkflowBuilder, WorkflowSpec, compile_spec
+
+
+def newsfeed_spec(
+    user: str = "Alice",
+    constraints: Union[Constraint, ConstraintSet] = MIN_COST,
+    quality_target: float = 0.85,
+    post_count: Optional[int] = None,
+) -> WorkflowSpec:
+    """The declarative newsfeed-generation spec (paper Figure 2, Workflow B)."""
+    builder = (
+        WorkflowBuilder("newsfeed")
+        .describe(f"Generate social media newsfeed for {user}")
+        .inputs("posts", count=post_count)
+        .stage("sentiment_analysis", "Run sentiment analysis on the recent posts")
+        .then(
+            "text_generation",
+            f"Compose a personalised newsfeed for {user} from the posts",
+        )
+        .constraints(ConstraintSet.of(constraints))
+    )
+    # A falsy quality_target defers to the constraint set's own floor
+    # (captured by .constraints above), matching the legacy factory's
+    # ConstraintSet.of(constraints, quality_target) semantics.
+    if quality_target:
+        builder.quality(quality_target)
+    return builder.build()
 
 
 def newsfeed_job(
@@ -21,16 +52,6 @@ def newsfeed_job(
     quality_target: float = 0.85,
     job_id: str = "",
 ) -> Job:
-    """The declarative newsfeed-generation job (paper Figure 2, Workflow B)."""
-    inputs = list(posts) if posts is not None else generate_posts()
-    return Job(
-        description=f"Generate social media newsfeed for {user}",
-        inputs=inputs,
-        tasks=(
-            "Run sentiment analysis on the recent posts",
-            f"Compose a personalised newsfeed for {user} from the posts",
-        ),
-        constraints=constraints,
-        quality_target=quality_target,
-        job_id=job_id,
-    )
+    """The declarative newsfeed-generation job, compiled from its spec."""
+    spec = newsfeed_spec(user=user, constraints=constraints, quality_target=quality_target)
+    return compile_spec(spec, inputs=posts, job_id=job_id)

@@ -1,10 +1,13 @@
 """The Video Understanding workflow (paper §2, §4; derived from OmAgent).
 
-Two forms are provided:
+Three forms are provided:
 
-* :func:`video_understanding_job` — the declarative Listing-2 form Murakkab
-  executes ("List objects shown/mentioned in the videos", optional sub-task
-  hints, a constraint);
+* :func:`video_understanding_spec` — the declarative, serializable
+  :class:`WorkflowSpec` form ("List objects shown/mentioned in the videos",
+  the Listing-2 sub-task hints as declared stages, a constraint block);
+* :func:`video_understanding_job` — a thin compile shim over the spec kept
+  for the legacy factory call sites, proven byte-identical differentially
+  in ``tests/test_spec_compile.py``;
 * :func:`omagent_imperative_workflow` — the imperative Listing-1 form used as
   the baseline, with every model, resource amount, and hyperparameter pinned
   (OpenCV on CPUs, Whisper on one GPU, CLIP on CPUs, NVLM on 8 GPUs for text
@@ -20,7 +23,8 @@ from repro import calibration
 from repro.agents.base import AgentInterface
 from repro.core.constraints import Constraint, ConstraintSet, MIN_COST
 from repro.core.job import Job
-from repro.workloads.video import SyntheticVideo, paper_videos
+from repro.spec import WorkflowBuilder, WorkflowSpec, compile_spec
+from repro.workloads.video import SyntheticVideo
 from repro.workflows.imperative import ImperativeWorkflow, LLM, MLModel, Tool
 
 #: Quality floor used throughout the paper-reproduction experiments: high
@@ -39,6 +43,35 @@ PAPER_TASK_HINTS = (
 )
 
 
+def video_understanding_spec(
+    constraints: Union[Constraint, ConstraintSet] = MIN_COST,
+    quality_target: float = PAPER_QUALITY_TARGET,
+    description: str = PAPER_JOB_DESCRIPTION,
+    video_count: Optional[int] = None,
+) -> WorkflowSpec:
+    """The declarative Video Understanding spec (paper Listing 2).
+
+    The three declared stages are the paper's optional sub-task hints; the
+    orchestrator derives the rest of the pipeline (scene summarisation,
+    embeddings, the vector index, and the final answer) exactly as it does
+    for the hand-written job.
+    """
+    builder = (
+        WorkflowBuilder("video-understanding")
+        .describe(description)
+        .inputs("videos", count=video_count)
+        .stage("frame_extraction", PAPER_TASK_HINTS[0])
+        .then("speech_to_text", PAPER_TASK_HINTS[1])
+        .stage("object_detection", PAPER_TASK_HINTS[2], after=("frame_extraction",))
+        .constraints(ConstraintSet.of(constraints))
+    )
+    # A falsy quality_target defers to the constraint set's own floor, as
+    # the legacy factory's ConstraintSet.of(constraints, quality_target) did.
+    if quality_target:
+        builder.quality(quality_target)
+    return builder.build()
+
+
 def video_understanding_job(
     videos: Optional[Sequence[Union[SyntheticVideo, dict, str]]] = None,
     constraints: Union[Constraint, ConstraintSet] = MIN_COST,
@@ -46,16 +79,11 @@ def video_understanding_job(
     description: str = PAPER_JOB_DESCRIPTION,
     job_id: str = "",
 ) -> Job:
-    """The declarative Video Understanding job (paper Listing 2)."""
-    inputs = list(videos) if videos is not None else paper_videos()
-    return Job(
-        description=description,
-        inputs=inputs,
-        tasks=list(PAPER_TASK_HINTS),
-        constraints=constraints,
-        quality_target=quality_target,
-        job_id=job_id,
+    """The declarative Video Understanding job, compiled from its spec."""
+    spec = video_understanding_spec(
+        constraints=constraints, quality_target=quality_target, description=description
     )
+    return compile_spec(spec, inputs=videos, job_id=job_id)
 
 
 def omagent_imperative_workflow(name: str = "omagent-baseline") -> ImperativeWorkflow:

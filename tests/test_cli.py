@@ -5,6 +5,15 @@ import pytest
 from repro.cli import build_parser, main
 
 
+@pytest.fixture
+def spec_file(tmp_path):
+    from repro.workflows.newsfeed import newsfeed_spec
+
+    path = tmp_path / "newsfeed.json"
+    path.write_text(newsfeed_spec().to_json(indent=2))
+    return str(path)
+
+
 def test_parser_lists_all_subcommands():
     parser = build_parser()
     help_text = parser.format_help()
@@ -15,6 +24,8 @@ def test_parser_lists_all_subcommands():
         "table1",
         "ablation",
         "multitenant",
+        "validate",
+        "submit",
         "loadtest",
         "compare-policies",
     ):
@@ -45,3 +56,76 @@ def test_cli_table1_reports_consistency(capsys):
     assert exit_code == 0
     assert "GPU Generation" in output
     assert "consistent with the paper" in output
+
+
+def test_cli_validate_accepts_a_valid_spec(capsys, spec_file):
+    exit_code = main(["validate", spec_file])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "spec is valid" in output
+    assert "sentiment_analysis" in output
+    assert "compiled stage plan" in output
+
+
+def test_cli_validate_reports_structured_errors(capsys, tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(
+        '{"name": "bad", "description": "Generate a newsfeed", '
+        '"stages": [{"interface": "telepathy"}]}'
+    )
+    exit_code = main(["validate", str(path)])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "unknown-interface" in captured.err
+    assert "telepathy" in captured.err
+
+
+def test_cli_validate_missing_file_is_friendly(capsys):
+    exit_code = main(["validate", "/no/such/spec.json"])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "cannot read spec file" in captured.err
+
+
+def test_cli_submit_runs_a_spec_file(capsys, spec_file):
+    exit_code = main(["submit", "--spec", spec_file, "--job-id", "cli-spec"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "cli-spec" in output
+    assert "makespan_s" in output
+
+
+def test_cli_loadtest_serves_a_spec_file(capsys, spec_file):
+    exit_code = main(
+        ["loadtest", "--spec", spec_file, "--rate", "0.5", "--horizon", "30"]
+    )
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "newsfeed" in output
+    assert "jobs" in output
+
+
+def test_cli_loadtest_unknown_workload_lists_registry(capsys):
+    exit_code = main(["loadtest", "--workloads", "nope", "--horizon", "10"])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "unknown workload(s) 'nope'" in captured.err
+    # The friendly error lists every registered name.
+    for name in ("chain-of-thought", "document-qa", "newsfeed", "video-understanding"):
+        assert name in captured.err
+
+
+def test_cli_loadtest_empty_workloads_is_friendly(capsys):
+    exit_code = main(["loadtest", "--workloads", "", "--horizon", "10"])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "no workloads requested" in captured.err
+
+
+def test_cli_loadtest_bad_spec_file_exits_like_validate(capsys):
+    # Same failure, same exit code as `validate`/`submit` (1), not the
+    # unknown-workload usage code (2).
+    exit_code = main(["loadtest", "--spec", "/no/such/spec.json", "--horizon", "10"])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "cannot read spec file" in captured.err

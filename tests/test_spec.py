@@ -1,0 +1,427 @@
+"""Tests for the declarative workflow IR (``repro.spec``).
+
+Covers the acceptance bar for the spec front-end:
+
+* JSON round-trip: every shipped workload spec survives
+  ``to_json -> from_json`` unchanged, and matches its golden file under
+  ``tests/data/specs/`` byte for byte;
+* eager validation: unknown interfaces, cycles, dangling edges, misrouted
+  prompts, and malformed constraint blocks surface as structured
+  :class:`SpecError` findings before anything executes;
+* the fluent builder and the content digest.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.constraints import Constraint, ConstraintSet, MIN_COST, MIN_ENERGY
+from repro.spec import (
+    InputsSpec,
+    SpecError,
+    StageSpec,
+    WorkflowBuilder,
+    WorkflowSpec,
+    check_spec,
+    compile_spec,
+    materialize_inputs,
+    preview_stages,
+)
+from repro.workflows import (
+    chain_of_thought_spec,
+    document_qa_spec,
+    newsfeed_spec,
+    video_understanding_spec,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "data" / "specs"
+
+SHIPPED_SPECS = {
+    "newsfeed": newsfeed_spec,
+    "video-understanding": video_understanding_spec,
+    "document-qa": document_qa_spec,
+    "chain-of-thought": chain_of_thought_spec,
+}
+
+
+# --------------------------------------------------------------------- #
+# Round-trip and golden files
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("name", sorted(SHIPPED_SPECS))
+def test_spec_json_round_trip_unchanged(name):
+    spec = SHIPPED_SPECS[name]()
+    restored = WorkflowSpec.from_json(spec.to_json())
+    assert restored == spec
+    assert restored.digest() == spec.digest()
+    # A second round trip is a fixed point.
+    assert WorkflowSpec.from_json(restored.to_json()) == restored
+
+
+@pytest.mark.parametrize("name", sorted(SHIPPED_SPECS))
+def test_spec_matches_golden_file(name):
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    golden = golden_path.read_text()
+    spec = SHIPPED_SPECS[name]()
+    # The serialized form is stable byte-for-byte (the capture/replay
+    # contract: a spec written yesterday still describes today's workload).
+    assert spec.to_json(indent=2) + "\n" == golden
+    assert WorkflowSpec.from_json(golden) == spec
+
+
+def test_round_trip_preserves_non_default_fields():
+    spec = (
+        WorkflowBuilder("custom")
+        .describe("Which documents discuss cooling?")
+        .inputs("documents", count=7)
+        .stage("embedding", "Embed each document")
+        .then("vector_db", "Insert the embeddings into a vector database")
+        .then("question_answering", "Answer the question from the documents")
+        .constraints(MIN_ENERGY, MIN_COST)
+        .quality(0.7)
+        .build()
+    )
+    restored = WorkflowSpec.from_json(spec.to_json())
+    assert restored == spec
+    assert restored.constraints == (Constraint.MIN_ENERGY, Constraint.MIN_COST)
+    assert restored.inputs.count == 7
+    assert restored.stage("vector_db").after == ("embedding",)
+
+
+def test_inline_inputs_round_trip_and_materialize():
+    spec = (
+        WorkflowBuilder("inline-feed")
+        .describe("Generate social media newsfeed for Bob")
+        .inputs("inline", items=({"id": "p1", "text": "hello"},))
+        .stage("sentiment_analysis", "Run sentiment analysis on the recent posts")
+        .then("text_generation", "Compose a personalised newsfeed for Bob")
+        .build()
+    )
+    restored = WorkflowSpec.from_json(spec.to_json())
+    assert restored == spec
+    assert materialize_inputs(restored) == [{"id": "p1", "text": "hello"}]
+
+
+def test_digest_is_content_addressed():
+    base = newsfeed_spec()
+    assert base.digest() == newsfeed_spec().digest()
+    assert base.digest() != newsfeed_spec(user="Bob").digest()
+    assert base.digest() != newsfeed_spec(quality_target=0.5).digest()
+    assert len(base.digest()) == 64
+
+
+# --------------------------------------------------------------------- #
+# Eager validation
+# --------------------------------------------------------------------- #
+
+
+def _codes(error: SpecError):
+    return {issue.code for issue in error.issues}
+
+
+def test_unknown_interface_is_a_structured_error():
+    with pytest.raises(SpecError) as excinfo:
+        WorkflowBuilder("bad").describe("x").stage("telepathy").build()
+    assert "unknown-interface" in _codes(excinfo.value)
+    assert "telepathy" in str(excinfo.value)
+
+
+def test_dangling_edge_is_reported():
+    spec = WorkflowSpec(
+        name="bad",
+        description="Generate a newsfeed",
+        stages=(
+            StageSpec(interface="text_generation", prompt="Compose a newsfeed",
+                      after=("missing-stage",)),
+        ),
+    )
+    with pytest.raises(SpecError) as excinfo:
+        spec.validate()
+    assert "dangling-edge" in _codes(excinfo.value)
+
+
+def test_cycle_is_reported():
+    spec = WorkflowSpec(
+        name="bad",
+        description="Generate a newsfeed",
+        stages=(
+            StageSpec(interface="sentiment_analysis", after=("text_generation",)),
+            StageSpec(interface="text_generation", after=("sentiment_analysis",)),
+        ),
+    )
+    with pytest.raises(SpecError) as excinfo:
+        spec.validate()
+    assert "cycle" in _codes(excinfo.value)
+
+
+def test_cycle_finding_excludes_innocent_downstream_stages():
+    # question_answering merely consumes the cycle; the finding must not
+    # point the user at it.
+    spec = WorkflowSpec(
+        name="bad",
+        description="Generate a newsfeed",
+        stages=(
+            StageSpec(interface="sentiment_analysis", after=("text_generation",)),
+            StageSpec(interface="text_generation", after=("sentiment_analysis",)),
+            StageSpec(interface="question_answering", after=("sentiment_analysis",)),
+        ),
+    )
+    with pytest.raises(SpecError) as excinfo:
+        spec.validate()
+    cycle_issue = next(i for i in excinfo.value.issues if i.code == "cycle")
+    assert "sentiment_analysis" in cycle_issue.message
+    assert "text_generation" in cycle_issue.message
+    assert "question_answering" not in cycle_issue.message
+
+
+def test_unknown_keys_are_rejected_not_ignored():
+    # The likeliest authoring typos: a misplaced top-level quality_target
+    # and a misspelt stage key must fail loudly, not silently default.
+    payload = newsfeed_spec().to_dict()
+    payload["quality_target"] = 0.9
+    with pytest.raises(SpecError) as excinfo:
+        WorkflowSpec.from_dict(payload)
+    assert "unknown-key" in _codes(excinfo.value)
+
+    payload = newsfeed_spec().to_dict()
+    payload["stages"][0]["fanout"] = "per_item"
+    with pytest.raises(SpecError) as excinfo:
+        WorkflowSpec.from_dict(payload)
+    assert "unknown-key" in _codes(excinfo.value)
+    assert "fanout" in str(excinfo.value)
+
+
+def test_misrouted_prompt_is_reported():
+    # The prompt reads as sentiment analysis but the stage declares
+    # embedding: the orchestrator would silently build the wrong stage.
+    spec = WorkflowSpec(
+        name="bad",
+        description="Generate a newsfeed",
+        stages=(
+            StageSpec(interface="embedding", prompt="Run sentiment analysis on posts"),
+        ),
+    )
+    with pytest.raises(SpecError) as excinfo:
+        spec.validate()
+    assert "misrouted-prompt" in _codes(excinfo.value)
+
+
+def test_duplicate_interface_and_bad_quality_collect_together():
+    spec = WorkflowSpec(
+        name="bad",
+        description="Generate a newsfeed",
+        stages=(
+            StageSpec(interface="text_generation", name="a"),
+            StageSpec(interface="text_generation", name="b"),
+        ),
+        quality_target=1.5,
+    )
+    with pytest.raises(SpecError) as excinfo:
+        spec.validate()
+    codes = _codes(excinfo.value)
+    # Every finding surfaces at once, not one per raise.
+    assert {"duplicate-interface", "bad-quality-target"} <= codes
+
+
+def test_unrealizable_fan_out_is_reported():
+    spec = WorkflowSpec(
+        name="bad",
+        description="Generate a newsfeed",
+        stages=(StageSpec(interface="text_generation", fan_out="per_video"),),
+    )
+    with pytest.raises(SpecError) as excinfo:
+        spec.validate()
+    assert "unrealizable-fan-out" in _codes(excinfo.value)
+
+
+def test_unknown_constraint_and_input_source():
+    with pytest.raises(SpecError) as excinfo:
+        WorkflowSpec.from_json(
+            '{"name": "x", "description": "Generate a newsfeed", '
+            '"stages": [{"interface": "text_generation"}], '
+            '"constraints": {"priorities": ["min_vibes"]}}'
+        )
+    assert "unknown-constraint" in _codes(excinfo.value)
+
+    spec = WorkflowSpec(
+        name="x",
+        description="Generate a newsfeed",
+        stages=(StageSpec(interface="text_generation"),),
+        inputs=InputsSpec(source="mainframe"),
+    )
+    with pytest.raises(SpecError) as excinfo:
+        spec.validate()
+    assert "unknown-input-source" in _codes(excinfo.value)
+
+
+def test_malformed_json_is_a_spec_error():
+    with pytest.raises(SpecError) as excinfo:
+        WorkflowSpec.from_json("{not json")
+    assert "malformed" in _codes(excinfo.value)
+
+
+@pytest.mark.parametrize(
+    "payload_patch",
+    [
+        {"constraints": {"priorities": ["min_cost"], "quality_target": "high"}},
+        {"schema_version": "abc"},
+        {"inputs": {"source": "posts", "count": "many"}},
+    ],
+)
+def test_non_numeric_fields_are_structured_errors(payload_patch):
+    payload = newsfeed_spec().to_dict()
+    payload.update(payload_patch)
+    with pytest.raises(SpecError) as excinfo:
+        WorkflowSpec.from_dict(payload)
+    assert "malformed" in _codes(excinfo.value)
+
+
+def test_string_valued_after_is_one_malformed_finding():
+    # {"after": "frame_extraction"} must not explode into per-character
+    # dangling-edge findings.
+    payload = video_understanding_spec().to_dict()
+    payload["stages"][1]["after"] = "frame_extraction"
+    with pytest.raises(SpecError) as excinfo:
+        WorkflowSpec.from_dict(payload)
+    assert [issue.code for issue in excinfo.value.issues] == ["malformed"]
+    assert "list of stage names" in str(excinfo.value)
+
+
+def test_string_valued_inline_items_is_malformed():
+    with pytest.raises(SpecError) as excinfo:
+        InputsSpec.from_dict({"source": "inline", "items": "hello"})
+    assert "malformed" in _codes(excinfo.value)
+
+
+def test_parse_level_findings_are_collected_across_stages():
+    # Two unknown interfaces plus a bad quality target: one raise, three
+    # findings — not fix-one-rerun-discover-the-next.
+    with pytest.raises(SpecError) as excinfo:
+        WorkflowSpec.from_dict(
+            {
+                "name": "bad",
+                "description": "Generate a newsfeed",
+                "stages": [
+                    {"interface": "telepathy"},
+                    {"interface": "levitation"},
+                ],
+                "constraints": {"priorities": ["min_cost"], "quality_target": "high"},
+            }
+        )
+    messages = str(excinfo.value)
+    assert len(excinfo.value.issues) == 3
+    assert "telepathy" in messages and "levitation" in messages and "high" in messages
+
+
+def test_newer_schema_version_is_rejected():
+    payload = newsfeed_spec().to_dict()
+    payload["schema_version"] = 99
+    with pytest.raises(SpecError) as excinfo:
+        WorkflowSpec.from_dict(payload)
+    assert "unsupported-schema" in _codes(excinfo.value)
+
+
+def test_dropped_stage_caught_by_decomposition_cross_check():
+    # A prompt-less web_search stage is never derived by the orchestrator
+    # for this description: structural validation passes, the compile-time
+    # cross-check refuses it.
+    spec = WorkflowSpec(
+        name="bad",
+        description="Generate a newsfeed",
+        stages=(
+            StageSpec(interface="sentiment_analysis",
+                      prompt="Run sentiment analysis on the posts"),
+            StageSpec(interface="web_search"),
+            StageSpec(interface="text_generation",
+                      prompt="Compose a newsfeed from the posts"),
+        ),
+    )
+    spec.validate()  # structurally fine
+    with pytest.raises(SpecError) as excinfo:
+        check_spec(spec)
+    assert "dropped-stage" in _codes(excinfo.value)
+    with pytest.raises(SpecError):
+        compile_spec(spec)
+
+
+# --------------------------------------------------------------------- #
+# Builder ergonomics
+# --------------------------------------------------------------------- #
+
+
+def test_builder_then_chains_edges():
+    spec = (
+        WorkflowBuilder("chain")
+        .describe("Which documents discuss energy?")
+        .inputs("documents")
+        .stage("embedding", "Embed each document")
+        .then("vector_db", "Insert the embeddings into a vector database")
+        .then("question_answering", "Answer the question from the documents")
+        .build()
+    )
+    assert spec.stage("vector_db").after == ("embedding",)
+    assert spec.stage("question_answering").after == ("vector_db",)
+
+
+def test_builder_then_requires_a_previous_stage():
+    with pytest.raises(SpecError):
+        WorkflowBuilder("x").describe("y").then("text_generation")
+
+
+def test_builder_edge_adds_dependencies_between_declared_stages():
+    spec = (
+        WorkflowBuilder("video")
+        .describe("List objects shown/mentioned in the videos")
+        .inputs("videos")
+        .stage("frame_extraction", "Extract frames from each video")
+        .stage("object_detection", "Detect objects in the frames")
+        .edge("frame_extraction", "object_detection")
+        .build()
+    )
+    assert spec.stage("object_detection").after == ("frame_extraction",)
+
+
+def test_builder_accepts_constraint_set_with_floor():
+    spec = (
+        WorkflowBuilder("x")
+        .describe("Generate a newsfeed")
+        .stage("text_generation", "Compose a newsfeed")
+        .constraints(ConstraintSet((Constraint.MIN_LATENCY,), quality_floor=0.6))
+        .build()
+    )
+    assert spec.constraints == (Constraint.MIN_LATENCY,)
+    assert spec.quality_target == 0.6
+    assert spec.constraint_set() == ConstraintSet(
+        (Constraint.MIN_LATENCY,), quality_floor=0.6
+    )
+
+
+# --------------------------------------------------------------------- #
+# Preview / derived stages
+# --------------------------------------------------------------------- #
+
+
+def test_preview_includes_orchestrator_derived_stages():
+    stages = preview_stages(video_understanding_spec())
+    names = [stage.name for stage in stages]
+    # Three declared + the derived summarise/embed/index/answer pipeline.
+    assert names == [
+        "frame_extraction",
+        "speech_to_text",
+        "object_detection",
+        "scene_summarization",
+        "embedding",
+        "vector_db",
+        "question_answering",
+    ]
+
+
+def test_registry_spec_accessor_round_trips():
+    from repro.loadgen import default_registry
+
+    registry = default_registry()
+    for name in ("newsfeed", "video-understanding", "document-qa", "chain-of-thought"):
+        spec = registry.spec(name)
+        assert spec is not None
+        assert WorkflowSpec.from_json(spec.to_json()) == spec
