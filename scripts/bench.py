@@ -20,6 +20,9 @@ Gated metrics (min seconds — the noise-robust statistic — lower is better):
 * ``test_discrete_event_engine_throughput`` — simulation substrate
 * ``test_configuration_search_overhead``    — planning latency
 * ``test_repeated_murakkab_submission``     — warm construct+submit path
+* ``test_trace_throughput_1k_jobs``         — warm-restart trace replay (1k)
+* ``test_trace_throughput_10k_jobs``        — warm-restart trace replay (10k)
+* ``test_service_cold_vs_warm_start``       — restart-to-first-trace latency
 """
 
 from __future__ import annotations
@@ -42,6 +45,8 @@ GATES = {
     "test_configuration_search_overhead": 1.20,
     "test_repeated_murakkab_submission": 1.20,
     "test_trace_throughput_1k_jobs": 1.20,
+    "test_trace_throughput_10k_jobs": 1.20,
+    "test_service_cold_vs_warm_start": 1.20,
 }
 
 
@@ -110,6 +115,62 @@ def gate(current: dict, previous: dict, previous_name: str) -> list:
     return failures
 
 
+#: Cold generation: serve a small trace with a warm cache attached, persist
+#: profiles/plans/the trace recording, and prove the run was actually cold.
+_SMOKE_COLD = """
+import sys
+from repro.loadgen import default_registry
+from repro.service import AIWorkflowService
+from repro.workloads.arrival import uniform_arrivals
+
+service = AIWorkflowService(warm_cache=sys.argv[1])
+report = service.submit_trace(
+    uniform_arrivals(12, 1.0, workloads=("newsfeed",)), registry=default_registry()
+)
+service.shutdown()
+assert not report.warm_trace and report.simulated_jobs > 0, report.summary()
+assert service.warm_cache.stores >= 3, service.warm_cache.counters()
+print(f"cold: {report.jobs} jobs, {report.simulated_jobs} simulated")
+"""
+
+#: Warm generation in a **separate process**: the only shared state is the
+#: on-disk cache, so zero sweeps + full replay proves the restart is warm.
+_SMOKE_WARM = """
+import sys
+from repro.loadgen import default_registry
+from repro.profiling.profiler import profiling_sweep_count
+from repro.service import AIWorkflowService
+from repro.workloads.arrival import uniform_arrivals
+
+service = AIWorkflowService(warm_cache=sys.argv[1])
+report = service.submit_trace(
+    uniform_arrivals(12, 1.0, workloads=("newsfeed",)), registry=default_registry()
+)
+service.shutdown()
+assert profiling_sweep_count() == 0, "warm restart ran a profiling sweep"
+assert report.warm_trace and report.simulated_jobs == 0, report.summary()
+print(f"warm: {report.jobs} jobs replayed, 0 sweeps")
+"""
+
+
+def run_restart_smoke() -> int:
+    """Cold-then-warm restart smoke: two separate interpreter processes that
+    share only the on-disk warm-state cache.  The second process must restore
+    everything from disk — zero profiling sweeps, zero convergence probes —
+    or the warm-restart path has regressed."""
+    print("cold-then-warm restart smoke:")
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = str(Path(tmp) / "warm-cache")
+        for label, script in (("cold", _SMOKE_COLD), ("warm", _SMOKE_WARM)):
+            result = subprocess.run(
+                [sys.executable, "-c", script, cache_dir], cwd=REPO_ROOT
+            )
+            if result.returncode != 0:
+                print(f"restart smoke failed in the {label} generation")
+                return result.returncode
+    return 0
+
+
 def run_smoke() -> int:
     """Execute every micro-benchmark body once, untimed.
 
@@ -118,7 +179,9 @@ def run_smoke() -> int:
     change without the noise-sensitive timing, without appending a
     ``BENCH_<n>.json`` to the trajectory, and without the regression gate.
     The policy sweep rides along (non-gated) so CI exercises every
-    registered control-plane bundle end to end.
+    registered control-plane bundle end to end, and the cold-then-warm
+    restart smoke proves the persistent warm-state cache still delivers
+    zero-sweep restarts across real process boundaries.
     """
     command = [
         sys.executable,
@@ -129,7 +192,10 @@ def run_smoke() -> int:
         "-q",
         "--benchmark-disable",
     ]
-    return subprocess.run(command, cwd=REPO_ROOT).returncode
+    returncode = subprocess.run(command, cwd=REPO_ROOT).returncode
+    if returncode != 0:
+        return returncode
+    return run_restart_smoke()
 
 
 def main() -> int:

@@ -65,6 +65,7 @@ from repro.policies import (
     resolve_bundle,
 )
 from repro.service import AIWorkflowService, ServiceStats
+from repro.warmstate import WarmStateCache
 from repro.workloads.arrival import (
     JobArrival,
     bursty_arrivals,
@@ -112,6 +113,7 @@ __all__ = [
     "OmAgentBaseline",
     "AIWorkflowService",
     "ServiceStats",
+    "WarmStateCache",
     "ServiceLoadGenerator",
     "TraceReport",
     "UnknownWorkloadError",

@@ -249,7 +249,10 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         return workloads
     arrivals = _build_arrivals(args, workloads)
     with MurakkabClient(
-        dynamics=_build_dynamics(args), policy=args.policy, registry=registry
+        dynamics=_build_dynamics(args),
+        policy=args.policy,
+        registry=registry,
+        warm_cache=args.warm_cache,
     ) as client:
         handle = client.submit_trace(arrivals, mode=args.mode)
         service = client.service
@@ -259,10 +262,35 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             print(f"{key:>22}: {value}")
         for workload, counters in sorted(handle.group_counters().items()):
             print(f"{workload:>22}: {counters}")
+        if service.warm_cache is not None:
+            counters = service.warm_cache.counters()
+            print(
+                f"{'warm cache':>22}: hits={counters['hits']} "
+                f"misses={counters['misses']} invalid={counters['invalid']} "
+                f"stores={counters['stores']}"
+            )
+            print(f"{'warm trace replay':>22}: {handle.report.warm_trace}")
         if handle.disruptions():
             print(f"{'disruption log':>22}: {handle.disruptions()}")
             for command in service.dynamics.log.commands:
                 print(f"{'scaling command':>22}: {command.action.value} {command.reason}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.warmstate import DEFAULT_CACHE_DIR, WarmStateCache
+
+    cache = WarmStateCache(args.dir or DEFAULT_CACHE_DIR)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache file(s) from {cache.root}")
+        return 0
+    entries = cache.entries()
+    print(f"{'path':>12}: {cache.root}")
+    print(f"{'entries':>12}: {len(entries)}")
+    print(f"{'total bytes':>12}: {cache.total_size_bytes()}")
+    for entry in entries:
+        print(f"{entry.kind:>12}: {entry.digest}  ({entry.size_bytes} bytes)")
     return 0
 
 
@@ -409,7 +437,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_flags(loadtest)
     _add_dynamics_flags(loadtest)
     _add_policy_flag(loadtest)
+    loadtest.add_argument(
+        "--warm-cache",
+        metavar="DIR",
+        default=None,
+        help="persist warm service state (profiles, plans, trace recordings) "
+        "in DIR: a rerun with the same trace skips the profiling sweep and "
+        "replays the recording with zero probe simulations",
+    )
     loadtest.set_defaults(func=_cmd_loadtest)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear a persistent warm-state cache (ours)"
+    )
+    cache.add_argument(
+        "--dir",
+        default=None,
+        help="cache directory (default: .repro-warm-cache)",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("info", help="show path, size, and entry fingerprints")
+    cache_sub.add_parser("clear", help="delete every cache file")
+    cache.set_defaults(func=_cmd_cache)
 
     compare = subparsers.add_parser(
         "compare-policies",

@@ -357,9 +357,18 @@ class MurakkabClient:
         dynamics=None,
         registry: Optional[WorkloadRegistry] = None,
         keep_warm: bool = True,
+        warm_cache=None,
     ):
+        """``warm_cache`` (a :class:`~repro.warmstate.WarmStateCache` or a
+        directory path) persists warm service state across processes: a
+        restarted client skips the profiling sweep and replays recorded
+        traces — see :mod:`repro.warmstate`."""
         self.service = service or AIWorkflowService(
-            runtime=runtime, keep_warm=keep_warm, dynamics=dynamics, policy=policy
+            runtime=runtime,
+            keep_warm=keep_warm,
+            dynamics=dynamics,
+            policy=policy,
+            warm_cache=warm_cache,
         )
         #: Built lazily: a client submitting only explicit specs/jobs never
         #: pays for registering (validating, materializing) the four

@@ -238,6 +238,36 @@ class ConfigurationPlanner:
         self._plan_cache.clear()
         self._plan_cache_store_version = self.profile_store.version
 
+    def export_plan_cache(self) -> List[tuple]:
+        """Memoized ``(key, assignment)`` pairs, insertion-ordered.
+
+        The persistence surface for the warm-state cache: keys are
+        self-validating (each embeds the constraint set, cluster-stats
+        digest, policy fingerprint, and spec digest it was decided under),
+        so an exported entry can be re-imported into any planner over the
+        same profile store and only ever hit for an identical decision.
+        """
+        return list(self._plan_cache.items())
+
+    def import_plan_cache(self, entries) -> int:
+        """Seed the decision cache from :meth:`export_plan_cache` output.
+
+        Entries beyond :attr:`PLAN_CACHE_MAX` or with malformed keys are
+        skipped.  Returns how many entries were imported.
+        """
+        imported = 0
+        for entry in entries:
+            if len(self._plan_cache) >= self.PLAN_CACHE_MAX:
+                break
+            key, assignment = entry
+            if not isinstance(key, tuple):
+                continue
+            self._plan_cache[key] = assignment
+            imported += 1
+        if imported:
+            self._plan_cache_store_version = self.profile_store.version
+        return imported
+
     @property
     def plan_cache_info(self) -> Dict[str, int]:
         """Hit/miss/size counters for benchmarks and regression tests."""

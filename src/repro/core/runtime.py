@@ -86,6 +86,11 @@ class MurakkabRuntime:
                 )
             self.set_policy(policy)
 
+    @property
+    def planner(self):
+        """The configuration planner (owned by the orchestrator)."""
+        return self.orchestrator.planner
+
     # ------------------------------------------------------------------ #
     # Control-plane policy
     # ------------------------------------------------------------------ #

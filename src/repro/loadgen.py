@@ -47,7 +47,14 @@ from repro.core.execution import ExecutionError
 from repro.core.job import Job, JobResult
 from repro.core.planner import PlanningError
 from repro.sim.energy import EnergyBreakdown
-from repro.telemetry.metrics import StreamingAggregate, ThroughputMeter, evict_oldest
+from repro.telemetry.metrics import (
+    StreamingAggregate,
+    ThroughputMeter,
+    evict_oldest,
+    repeated_sum,
+    sequential_sum,
+)
+from repro.warmstate import ReplayRecord, TraceRecording, trace_context_key
 from repro.workloads.arrival import JobArrival
 
 # --------------------------------------------------------------------- #
@@ -220,6 +227,13 @@ class GroupState:
     #: Set when the factory broke its determinism contract; the group is
     #: then always fully simulated.
     unstable: bool = False
+    #: ``(makespan_s, energy_wh, cost, quality)`` of :attr:`steady` — the
+    #: exact floats per-replay accounting would observe, precomputed once so
+    #: the vectorized path accounts whole runs without building JobResults.
+    steady_values: Optional[Tuple[float, float, float, float]] = None
+    #: Index of the steady record in the trace recording being captured
+    #: (``None`` when no recording is active for this steady state).
+    steady_record: Optional[int] = None
 
     def counters(self) -> Dict[str, int]:
         return {"simulated": self.simulated, "replayed": self.replayed}
@@ -233,6 +247,12 @@ class TraceReport:
     jobs: int = 0
     simulated_jobs: int = 0
     replayed_jobs: int = 0
+    #: How many contiguous steady-state runs were accounted at array level
+    #: (0 on the per-arrival reference path).
+    replay_runs: int = 0
+    #: True when the whole trace was replayed from a persistent warm-state
+    #: recording — zero probe simulations ran.
+    warm_trace: bool = False
     makespan_s: StreamingAggregate = field(default_factory=StreamingAggregate)
     energy_wh: StreamingAggregate = field(default_factory=StreamingAggregate)
     cost: StreamingAggregate = field(default_factory=StreamingAggregate)
@@ -297,6 +317,7 @@ class TraceReport:
             "jobs": self.jobs,
             "simulated_jobs": self.simulated_jobs,
             "replayed_jobs": self.replayed_jobs,
+            "replay_runs": self.replay_runs,
             "batch_makespan_s": round(self.batch_makespan_s, 2),
             "jobs_per_second": round(self.jobs_per_second, 4),
             "wall_jobs_per_second": round(self.wall_jobs_per_second, 2),
@@ -346,6 +367,7 @@ class ServiceLoadGenerator:
         job_ids: Optional[Callable[[int, str], str]] = None,
         dynamics=None,
         policy=None,
+        vectorized: bool = True,
     ) -> TraceReport:
         """Serve ``arrivals`` and return the streaming :class:`TraceReport`.
 
@@ -368,6 +390,15 @@ class ServiceLoadGenerator:
         installing it on the service first; steady-state memos are keyed by
         the bundle fingerprint, so traces served under different policies
         never share memoized results.
+
+        ``vectorized=False`` forces the per-arrival reference path for
+        grouped serving: every steady-state completion is scheduled and
+        accounted one engine event at a time.  The default vectorized path
+        accounts contiguous steady-state runs at array level; its
+        :class:`TraceReport` aggregates and the service's stats are
+        byte-identical to the reference path (asserted differentially in the
+        test suite), it is just O(runs) instead of O(jobs) in Python-level
+        work.
         """
         if mode not in ("grouped", "multiplex"):
             raise ValueError(f"unknown mode {mode!r}; expected 'grouped' or 'multiplex'")
@@ -387,12 +418,15 @@ class ServiceLoadGenerator:
         job_ids = job_ids or (lambda index, workload: f"trace-{index:05d}-{workload}")
         started = _wall_time.perf_counter()
         if mode == "grouped":
-            report = self._run_grouped(arrivals, registry, job_ids)
+            report = self._run_grouped(arrivals, registry, job_ids, vectorized)
         else:
             report = self._run_multiplexed(arrivals, registry, job_ids)
         report.wall_seconds = _wall_time.perf_counter() - started
         if self._dynamics is not None:
             report.disruptions = self._dynamics.log.counters()
+        save_warm_state = getattr(self.service, "save_warm_state", None)
+        if save_warm_state is not None:
+            save_warm_state()
         return report
 
     def _dynamics_version(self) -> int:
@@ -409,12 +443,14 @@ class ServiceLoadGenerator:
         arrivals: Sequence[JobArrival],
         registry: WorkloadRegistry,
         job_ids: Callable[[int, str], str],
+        vectorized: bool = True,
     ) -> TraceReport:
         service = self.service
         engine = service.runtime.engine
         report = TraceReport(mode="grouped")
         groups: Dict[str, GroupState] = {}
         #: Replayed completions not yet injected: (finish, callback, args).
+        #: Only used on the per-arrival reference path (``vectorized=False``).
         pending: List[tuple] = []
         pool_signature = self._pool_signature()
         store = service.runtime.profile_store
@@ -428,6 +464,54 @@ class ServiceLoadGenerator:
         ordered = sorted(
             enumerate(arrivals), key=lambda pair: (pair[1].arrival_time, pair[0])
         )
+
+        # Persistent warm state: when a cache is attached and the serving
+        # context matches a recorded one exactly, the whole trace replays
+        # from the recording with zero probe simulations.
+        cache = getattr(service, "warm_cache", None)
+        recording: Optional[TraceRecording] = None
+        recording_key: Optional[tuple] = None
+        if vectorized and cache is not None and self._dynamics is None:
+            recording_key = self._trace_context_key(
+                registry, ordered, pool_signature, store, epoch
+            )
+            if recording_key is not None:
+                cached = cache.load_trace_recording(recording_key)
+                if (
+                    cached is not None
+                    and len(cached.script) == len(ordered)
+                    and all(
+                        0 <= step < len(cached.records) for step in cached.script
+                    )
+                ):
+                    return self._replay_recording(
+                        cached, ordered, epoch, job_ids, report
+                    )
+                recording = TraceRecording(
+                    store_version=store.version, epoch=epoch
+                )
+
+        #: Columns of the current contiguous steady-state run (vectorized
+        #: path): job ids, arrival/start/finish times, and the memoized
+        #: (makespan, energy, cost, quality) tuple per job.
+        run_ids: List[str] = []
+        run_arrivals: List[float] = []
+        run_starts: List[float] = []
+        run_finishes: List[float] = []
+        run_values: List[tuple] = []
+
+        def drain() -> None:
+            """Account the buffered steady-state run at array level."""
+            if run_ids:
+                self._account_run(
+                    report, run_ids, run_arrivals, run_starts, run_finishes, run_values
+                )
+                run_ids.clear()
+                run_arrivals.clear()
+                run_starts.clear()
+                run_finishes.clear()
+                run_values.clear()
+
         for index, arrival in ordered:
             group = groups.setdefault(arrival.workload, GroupState(arrival.workload))
             job_id = job_ids(index, arrival.workload)
@@ -440,7 +524,10 @@ class ServiceLoadGenerator:
                 # the batched replay path stays untouched.
                 upcoming = self._dynamics.next_event_at()
                 if upcoming is not None and upcoming <= service_start:
-                    self._flush(engine, pending)
+                    if vectorized:
+                        drain()
+                    else:
+                        self._flush(engine, pending)
                     engine.run(until=service_start)
                     pool_signature = self._pool_signature()
             steady = group.steady
@@ -452,19 +539,35 @@ class ServiceLoadGenerator:
                 and steady.dynamics_version == self._dynamics_version()
                 and steady.policy_fingerprint == self._policy_fingerprint()
             ):
-                # Steady state: account the completion incrementally — one
-                # batched engine event instead of a full pipeline run.
+                # Steady state: account the completion incrementally — a
+                # buffered array entry (or, on the reference path, one
+                # batched engine event) instead of a full pipeline run.
                 finish = service_start + steady.makespan_s
-                result = self._replay_result(job_id, steady, service_start, finish)
-                pending.append(
-                    (finish, self._complete_replay, (result, arrival_at, report))
-                )
+                if vectorized:
+                    run_ids.append(job_id)
+                    run_arrivals.append(arrival_at)
+                    run_starts.append(service_start)
+                    run_finishes.append(finish)
+                    run_values.append(group.steady_values)
+                    if recording is not None:
+                        if group.steady_record is None:
+                            recording = None
+                        else:
+                            recording.script.append(group.steady_record)
+                else:
+                    result = self._replay_result(job_id, steady, service_start, finish)
+                    pending.append(
+                        (finish, self._complete_replay, (result, arrival_at, report))
+                    )
                 previous_finish = finish
                 group.replayed += 1
                 continue
 
             # Probe: run the standard submission path on the shared engine.
-            self._flush(engine, pending)
+            if vectorized:
+                drain()
+            else:
+                self._flush(engine, pending)
             if service_start > engine.now:
                 engine.run(until=service_start)
             job = registry.build(arrival.workload, job_id)
@@ -491,6 +594,22 @@ class ServiceLoadGenerator:
             group.simulated += 1
             previous_finish = result.finished_at
             pool_signature = self._pool_signature()
+            if recording is not None:
+                if group.unstable:
+                    # Non-deterministic factories never replay identically;
+                    # drop the recording rather than persist a wrong one.
+                    recording = None
+                else:
+                    recording.records.append(
+                        ReplayRecord(
+                            makespan_s=result.makespan_s,
+                            energy_wh=result.energy_wh,
+                            cost=result.cost,
+                            quality=result.quality,
+                            pinned_finish=result.finished_at,
+                        )
+                    )
+                    recording.script.append(len(recording.records) - 1)
             if not group.unstable:
                 digest = self._result_digest(result)
                 observation = (
@@ -513,11 +632,45 @@ class ServiceLoadGenerator:
                         dynamics_version=self._dynamics_version(),
                         policy_fingerprint=self._policy_fingerprint(),
                     )
+                    group.steady_values = (
+                        result.makespan_s,
+                        result.energy_wh,
+                        result.cost,
+                        result.quality,
+                    )
+                    if recording is not None:
+                        recording.records.append(
+                            ReplayRecord(
+                                makespan_s=result.makespan_s,
+                                energy_wh=result.energy_wh,
+                                cost=result.cost,
+                                quality=result.quality,
+                            )
+                        )
+                        group.steady_record = len(recording.records) - 1
+                    else:
+                        group.steady_record = None
                 group.last_observation = observation
 
-        self._flush(engine, pending)
-        engine.run()
+        if vectorized:
+            drain()
+            engine.run()
+            if engine.now < previous_finish:
+                # Replayed completions never entered the event queue; bring
+                # the shared clock to the last completion, exactly where the
+                # reference path's final event leaves it.
+                engine.run(until=previous_finish)
+        else:
+            self._flush(engine, pending)
+            engine.run()
         report.groups = {name: group.counters() for name, group in groups.items()}
+        if (
+            recording is not None
+            and recording_key is not None
+            and report.failed_jobs == 0
+            and len(recording.script) == len(ordered)
+        ):
+            cache.save_trace_recording(recording_key, recording)
         return report
 
     def _complete_replay(
@@ -534,6 +687,284 @@ class ServiceLoadGenerator:
         if pending:
             engine.schedule_at_batch(pending)
             pending.clear()
+
+    # ------------------------------------------------------------------ #
+    # Vectorized steady-state accounting
+    # ------------------------------------------------------------------ #
+    def _account_run(
+        self,
+        report: TraceReport,
+        ids: List[str],
+        arrival_col: List[float],
+        starts: List[float],
+        finishes: List[float],
+        values: List[tuple],
+    ) -> None:
+        """Account one contiguous run of replayed completions at array level.
+
+        Byte-identical to firing one engine event per completion and
+        accounting each through :meth:`_complete_replay`: every streaming
+        aggregate receives the same value sequence in the same order (totals
+        accumulate in sequential IEEE-754 order — see
+        :func:`~repro.telemetry.metrics.sequential_sum`), and the bounded
+        detail dicts end in the same state with the same eviction counters.
+        """
+        n = len(ids)
+        stats = self.service.stats
+        report.jobs += n
+        report.replayed_jobs += n
+        report.replay_runs += 1
+        first = values[0]
+        if all(value is first for value in values):
+            # Homogeneous run (one group in steady state): every job carries
+            # the same memoized tuple, so totals are repeated additions and
+            # min/max are single comparisons.
+            makespan, energy, cost, quality = first
+            report.makespan_s.add_repeated(makespan, n)
+            report.energy_wh.add_repeated(energy, n)
+            report.cost.add_repeated(cost, n)
+            report.quality.add_repeated(quality, n)
+            stats.makespan_s.add_repeated(makespan, n)
+            stats.energy_wh.add_repeated(energy, n)
+            stats.cost.add_repeated(cost, n)
+            stats.quality.add_repeated(quality, n)
+            stats.total_makespan_s = repeated_sum(stats.total_makespan_s, makespan, n)
+            stats.total_energy_wh = repeated_sum(stats.total_energy_wh, energy, n)
+            stats.total_cost = repeated_sum(stats.total_cost, cost, n)
+        else:
+            makespans = [value[0] for value in values]
+            energies = [value[1] for value in values]
+            costs = [value[2] for value in values]
+            qualities = [value[3] for value in values]
+            report.makespan_s.add_sequence(makespans)
+            report.energy_wh.add_sequence(energies)
+            report.cost.add_sequence(costs)
+            report.quality.add_sequence(qualities)
+            stats.makespan_s.add_sequence(makespans)
+            stats.energy_wh.add_sequence(energies)
+            stats.cost.add_sequence(costs)
+            stats.quality.add_sequence(qualities)
+            stats.total_makespan_s = sequential_sum(stats.total_makespan_s, makespans)
+            stats.total_energy_wh = sequential_sum(stats.total_energy_wh, energies)
+            stats.total_cost = sequential_sum(stats.total_cost, costs)
+        # Starts never precede arrivals on this path, so the delay is the
+        # plain difference (the reference path's max(0.0, ...) is a no-op).
+        delays = [start - arrived for start, arrived in zip(starts, arrival_col)]
+        report.queue_delay_s.add_sequence(delays)
+        throughput = report.throughput
+        throughput.completed += n
+        low = min(starts)
+        high = max(finishes)
+        if low < throughput.first_start:
+            throughput.first_start = low
+        if high > throughput.last_finish:
+            throughput.last_finish = high
+        stats.jobs_completed += n
+        engine = self.service.runtime.engine
+        self._bulk_mark(engine.watermarks, engine.WATERMARK_CAP, ids, finishes)
+        stats.per_job_evicted += self._bulk_insert(
+            stats.per_job,
+            stats.max_per_job_records,
+            ids,
+            [self._values_summary(value) for value in values],
+        )
+        self._bulk_insert(
+            report.job_summaries,
+            report.max_job_summaries,
+            ids,
+            [self._values_summary(value) for value in values],
+        )
+
+    @staticmethod
+    def _values_summary(values: tuple) -> Dict[str, float]:
+        """The :meth:`JobResult.compact_summary` dict for a memoized tuple."""
+        return {
+            "makespan_s": values[0],
+            "energy_wh": values[1],
+            "cost": values[2],
+            "quality": values[3],
+        }
+
+    @staticmethod
+    def _bulk_insert(mapping: Dict, cap: Optional[int], keys, payloads) -> int:
+        """``mapping[key] = payload`` pairwise with insertion-oldest eviction
+        beyond ``cap`` — byte-identical (final contents, order, and eviction
+        count) to inserting one at a time, in O(n + evictions).
+
+        The arithmetic fast path requires every key to be fresh (no
+        duplicates in the batch, none already present): re-inserting an
+        existing key keeps its dict position, which arithmetic cannot model,
+        so such batches fall back to the sequential loop.
+        """
+        n = len(keys)
+        fresh = len(set(keys)) == n and (
+            not mapping or not any(key in mapping for key in keys)
+        )
+        if not fresh:
+            evicted = 0
+            for key, payload in zip(keys, payloads):
+                mapping[key] = payload
+                evicted += evict_oldest(mapping, cap)
+            return evicted
+        if cap is None:
+            for key, payload in zip(keys, payloads):
+                mapping[key] = payload
+            return 0
+        overflow = len(mapping) + n - cap
+        if overflow <= 0:
+            for key, payload in zip(keys, payloads):
+                mapping[key] = payload
+            return 0
+        if overflow >= len(mapping):
+            # Everything pre-existing is evicted, plus the head of the batch.
+            mapping.clear()
+            keep_from = max(0, n - cap)
+            for key, payload in zip(keys[keep_from:], payloads[keep_from:]):
+                mapping[key] = payload
+            return overflow
+        evict_oldest(mapping, len(mapping) - overflow)
+        for key, payload in zip(keys, payloads):
+            mapping[key] = payload
+        return overflow
+
+    @staticmethod
+    def _bulk_mark(watermarks: Dict[str, float], cap: int, keys, times) -> None:
+        """Batched :meth:`SimulationEngine.mark` at given completion times.
+
+        Matches marking each key as its completion event fires: same final
+        watermark contents, order, and cap behaviour.
+        """
+        n = len(keys)
+        fresh = len(set(keys)) == n and (
+            not watermarks or not any(key in watermarks for key in keys)
+        )
+        if not fresh:
+            for key, at in zip(keys, times):
+                existing = watermarks.get(key)
+                if existing is None or at > existing:
+                    watermarks[key] = at
+                while len(watermarks) > cap:
+                    del watermarks[next(iter(watermarks))]
+            return
+        overflow = len(watermarks) + n - cap
+        if overflow <= 0:
+            for key, at in zip(keys, times):
+                watermarks[key] = at
+            return
+        if overflow >= len(watermarks):
+            watermarks.clear()
+            keep_from = max(0, n - cap)
+            for key, at in zip(keys[keep_from:], times[keep_from:]):
+                watermarks[key] = at
+            return
+        evict_oldest(watermarks, len(watermarks) - overflow)
+        for key, at in zip(keys, times):
+            watermarks[key] = at
+
+    # ------------------------------------------------------------------ #
+    # Persistent trace recordings (warm-state cache)
+    # ------------------------------------------------------------------ #
+    def _trace_context_key(
+        self,
+        registry: WorkloadRegistry,
+        ordered: List[tuple],
+        pool_signature: tuple,
+        store,
+        epoch: float,
+    ) -> Optional[tuple]:
+        """The exact-match cache key for recording/replaying this trace.
+
+        Returns ``None`` when the trace has no content identity — a workload
+        registered from a bare factory has no spec digest, so its recording
+        could not be validated against a restarted process.
+        """
+        runtime = self.service.runtime
+        workload_sequence = tuple(arrival.workload for _, arrival in ordered)
+        spec_digests = []
+        for name in sorted(set(workload_sequence)):
+            if name not in registry:
+                return None
+            spec = registry.spec(name)
+            digest = getattr(spec, "digest", None) if spec is not None else None
+            if digest is None:
+                return None
+            spec_digests.append((name, digest()))
+        cluster_fingerprint = tuple(
+            (
+                node.node_id,
+                node.total_gpus,
+                node.total_cpu_cores,
+                str(node.gpu_generation),
+            )
+            for node in runtime.cluster.nodes
+        )
+        return trace_context_key(
+            library_fingerprint=runtime.library.fingerprint(),
+            policy_fingerprint=self._policy_fingerprint(),
+            workload_sequence=workload_sequence,
+            spec_digests=tuple(spec_digests),
+            cluster_fingerprint=cluster_fingerprint,
+            pool_signature=pool_signature,
+            store_version=store.version,
+            epoch=epoch,
+        )
+
+    def _replay_recording(
+        self,
+        recording: TraceRecording,
+        ordered: List[tuple],
+        epoch: float,
+        job_ids: Callable[[int, str], str],
+        report: TraceReport,
+    ) -> TraceReport:
+        """Serve the whole trace from a persistent recording: zero probes.
+
+        Every completion — including positions that were probe simulations
+        when the recording was captured — is replayed from its record.
+        Probe records carry their exact simulated ``finished_at`` (pinned),
+        because ``start + makespan`` does not round-trip bit-exactly; steady
+        records recompute ``finish = start + makespan`` exactly as live
+        replay accounting does.  The resulting aggregates, service stats,
+        and watermarks are byte-identical to a cold serving of the same
+        trace in the same context.
+        """
+        engine = self.service.runtime.engine
+        records = recording.records
+        values_by_record = [
+            (record.makespan_s, record.energy_wh, record.cost, record.quality)
+            for record in records
+        ]
+        previous_finish = engine.now
+        run_ids: List[str] = []
+        run_arrivals: List[float] = []
+        run_starts: List[float] = []
+        run_finishes: List[float] = []
+        run_values: List[tuple] = []
+        groups: Dict[str, GroupState] = {}
+        for position, (index, arrival) in enumerate(ordered):
+            step = recording.script[position]
+            record = records[step]
+            arrival_at = epoch + arrival.arrival_time
+            start = arrival_at if arrival_at > previous_finish else previous_finish
+            pinned = record.pinned_finish
+            finish = pinned if pinned is not None else start + record.makespan_s
+            run_ids.append(job_ids(index, arrival.workload))
+            run_arrivals.append(arrival_at)
+            run_starts.append(start)
+            run_finishes.append(finish)
+            run_values.append(values_by_record[step])
+            previous_finish = finish
+            group = groups.setdefault(arrival.workload, GroupState(arrival.workload))
+            group.replayed += 1
+        self._account_run(
+            report, run_ids, run_arrivals, run_starts, run_finishes, run_values
+        )
+        report.warm_trace = True
+        engine.run()
+        if engine.now < previous_finish:
+            engine.run(until=previous_finish)
+        report.groups = {name: group.counters() for name, group in groups.items()}
+        return report
 
     def _pool_signature(self) -> Tuple[Tuple[str, str], ...]:
         pool = getattr(self.service, "_pool", None)

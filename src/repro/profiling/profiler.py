@@ -80,6 +80,8 @@ class Profiler:
 
     def profile_library(self, library: AgentLibrary) -> ProfileStore:
         """Profile every implementation in ``library`` into a new store."""
+        global _sweep_count
+        _sweep_count += 1
         store = ProfileStore()
         for name in library.names():
             implementation = library.get(name)
@@ -96,6 +98,17 @@ class Profiler:
             for profile in self.profile_implementation(implementation):
                 store.add(profile)
         return store
+
+
+#: Full library profiling sweeps performed by this process — the cold-start
+#: cost the persistent warm cache (``repro.warmstate``) exists to avoid.
+#: Tests assert a warm-started service leaves this counter flat.
+_sweep_count = 0
+
+
+def profiling_sweep_count() -> int:
+    """How many full library profiling sweeps this process has run."""
+    return _sweep_count
 
 
 #: Memoized master stores keyed by library fingerprint; the cache holds at

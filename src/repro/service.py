@@ -28,6 +28,7 @@ from repro.loadgen import ServiceLoadGenerator
 from repro.policies.bundles import PolicyBundle, PolicyLike
 from repro.profiling.profiler import Profiler
 from repro.telemetry.metrics import StreamingAggregate, evict_oldest
+from repro.warmstate import WarmStateCache, resolve_warm_cache
 
 
 @dataclass
@@ -93,14 +94,28 @@ class AIWorkflowService:
         keep_warm: bool = True,
         dynamics: "ClusterDynamics | DynamicsConfig | None" = None,
         policy: PolicyLike = None,
+        warm_cache: "WarmStateCache | str | None" = None,
     ) -> None:
         """``policy`` installs a control-plane bundle on the runtime via
         :meth:`MurakkabRuntime.set_policy` — including a runtime passed in by
         the caller, whose existing placement/scheduling policies are replaced
         wholesale (bundles are coherent sets; to customise one seam, build a
         :class:`~repro.policies.bundles.PolicyBundle` with the desired
-        policy instead of pre-configuring the runtime)."""
-        self.runtime = runtime or MurakkabRuntime()
+        policy instead of pre-configuring the runtime).
+
+        ``warm_cache`` attaches a persistent
+        :class:`~repro.warmstate.WarmStateCache` (or a directory path for
+        one): a fresh process restores the profiling sweep and planner
+        decisions a previous process saved — the rolling-restart story —
+        and served traces are recorded so an identical trace replays with
+        zero probe simulations.  A stale or corrupted cache silently falls
+        back to the cold path."""
+        self.warm_cache: Optional[WarmStateCache] = resolve_warm_cache(warm_cache)
+        if runtime is None:
+            runtime = self._build_runtime(self.warm_cache)
+        self.runtime = runtime
+        if self.warm_cache is not None:
+            self._restore_plan_cache()
         if policy is not None:
             self.runtime.set_policy(policy)
         self.keep_warm = keep_warm
@@ -113,6 +128,78 @@ class AIWorkflowService:
         self.dynamics: Optional[ClusterDynamics] = None
         if dynamics is not None:
             self.attach_dynamics(dynamics)
+
+    # ------------------------------------------------------------------ #
+    # Warm-state cache (zero-cost restarts)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _build_runtime(cache: Optional[WarmStateCache]) -> MurakkabRuntime:
+        """A runtime over the default library, warm-started when possible.
+
+        With a cache hit the profile store is rebuilt from the recorded
+        sweep (same profiles, same insertion order — so planner behaviour is
+        byte-identical) and the profiling sweep never runs.  Any miss or
+        malformed payload falls back to the cold construction path.
+        """
+        if cache is None:
+            return MurakkabRuntime()
+        from repro.agents.library import default_library
+        from repro.profiling.store import ProfileStore
+
+        library = default_library()
+        profiles = cache.load_profiles(library)
+        if profiles is not None:
+            master = ProfileStore()
+            try:
+                for profile in profiles:
+                    master.add(profile)
+            except Exception:
+                pass  # malformed payload: profile below stays None-equivalent
+            else:
+                if len(master):
+                    # ``copy()`` starts the mutation version at 0, exactly
+                    # like the cold ``default_profile_store`` path.
+                    return MurakkabRuntime(
+                        library=library, profile_store=master.copy()
+                    )
+        runtime = MurakkabRuntime(library=library)
+        cache.save_profiles(library, runtime.profile_store.all_profiles())
+        return runtime
+
+    def _restore_plan_cache(self) -> None:
+        """Seed the planner's decision cache from the warm-state cache.
+
+        Entries are self-validating (each key embeds the policy fingerprint,
+        cluster-stats digest, and spec digest it was decided under), so a
+        restored entry can only ever be served for an identical decision.
+        The payload is rejected wholesale when it was saved against a
+        different profile-store version.
+        """
+        payload = self.warm_cache.load_plan_cache(self.runtime.library)
+        if payload is None:
+            return
+        if payload.get("store_version") != self.runtime.profile_store.version:
+            return
+        planner = self.runtime.planner
+        try:
+            planner.import_plan_cache(payload.get("entries", []))
+        except Exception:
+            planner.invalidate_cache()
+
+    def save_warm_state(self) -> None:
+        """Persist planner decisions to the warm cache (no-op without one).
+
+        Called automatically at the end of every ``submit_trace`` and on
+        :meth:`shutdown`; safe to call at any time.
+        """
+        cache = self.warm_cache
+        if cache is None:
+            return
+        entries = self.runtime.planner.export_plan_cache()
+        if entries:
+            cache.save_plan_cache(
+                self.runtime.library, self.runtime.profile_store.version, entries
+            )
 
     @property
     def policy(self) -> Optional[PolicyBundle]:
@@ -223,6 +310,12 @@ class AIWorkflowService:
         self.runtime.library.register(implementation)
         for profile in self._profiler.profile_implementation(implementation):
             self.runtime.profile_store.add(profile)
+        if self.warm_cache is not None:
+            # The library fingerprint changed: record the extended sweep so
+            # a restart with the same library skips profiling again.
+            self.warm_cache.save_profiles(
+                self.runtime.library, self.runtime.profile_store.all_profiles()
+            )
 
     def retire_agent(self, name: str) -> None:
         """Remove a deprecated model/tool from the library and its profiles."""
@@ -241,6 +334,7 @@ class AIWorkflowService:
 
     def shutdown(self) -> None:
         """Tear down warm serving instances and release all resources."""
+        self.save_warm_state()
         if self._pool is not None:
             self._pool.teardown_all()
             if self.dynamics is not None:

@@ -12,9 +12,58 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Sequence
 
 from repro.sim.trace import ExecutionTrace
+
+try:  # numpy accelerates batched accounting; the pure-Python path is exact too.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+#: Below this many values the numpy call overhead exceeds the loop cost.
+_NUMPY_MIN_BATCH = 32
+
+
+def sequential_sum(start: float, values: Sequence[float]) -> float:
+    """``start + v0 + v1 + ...`` with strict left-to-right IEEE-754 order.
+
+    This is *not* ``math.fsum`` or ``numpy.sum`` (both reorder additions):
+    batched trace accounting must land on the byte-identical total a
+    one-value-at-a-time loop produces, so the accumulation order is pinned.
+    ``numpy.cumsum`` performs the same left-to-right accumulation in C and
+    is used when available for large batches.
+    """
+    n = len(values)
+    if _np is not None and n >= _NUMPY_MIN_BATCH:
+        chain = _np.empty(n + 1, dtype=_np.float64)
+        chain[0] = start
+        chain[1:] = values
+        return float(_np.cumsum(chain)[-1])
+    total = start
+    for value in values:
+        total += value
+    return total
+
+
+def repeated_sum(start: float, value: float, count: int) -> float:
+    """``start + value`` applied ``count`` times, in sequential IEEE order.
+
+    Repeated addition of a constant does **not** equal ``start + value *
+    count`` in floating point; steady-state replay runs add one memoized
+    value per job, so the byte-identical batched form repeats the addition.
+    """
+    if count <= 0:
+        return start
+    if _np is not None and count >= _NUMPY_MIN_BATCH:
+        chain = _np.empty(count + 1, dtype=_np.float64)
+        chain[0] = start
+        chain[1:] = value
+        return float(_np.cumsum(chain)[-1])
+    total = start
+    for _ in range(count):
+        total += value
+    return total
 
 
 def speedup(baseline_seconds: float, optimized_seconds: float) -> float:
@@ -113,6 +162,38 @@ class StreamingAggregate:
             self.min = value
         if value > self.max:
             self.max = value
+
+    def add_repeated(self, value: float, count: int) -> None:
+        """Byte-identical to calling :meth:`add` ``count`` times with ``value``.
+
+        The batched form of steady-state replay accounting: the total is
+        accumulated in sequential IEEE order (see :func:`repeated_sum`), and
+        min/max are order-independent.
+        """
+        if count <= 0:
+            return
+        self.count += count
+        self.total = repeated_sum(self.total, value, count)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def add_sequence(self, values: Sequence[float]) -> None:
+        """Byte-identical to calling :meth:`add` for each value in order."""
+        n = len(values)
+        if not n:
+            return
+        self.count += n
+        self.total = sequential_sum(self.total, values)
+        lo = values.min() if _np is not None and isinstance(values, _np.ndarray) else min(values)
+        hi = values.max() if _np is not None and isinstance(values, _np.ndarray) else max(values)
+        lo = float(lo)
+        hi = float(hi)
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
 
     def merge(self, other: "StreamingAggregate") -> None:
         self.count += other.count

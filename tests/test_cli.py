@@ -129,3 +129,60 @@ def test_cli_loadtest_bad_spec_file_exits_like_validate(capsys):
     captured = capsys.readouterr()
     assert exit_code == 1
     assert "cannot read spec file" in captured.err
+
+
+def test_cli_loadtest_warm_cache_replays_on_second_run(capsys, tmp_path):
+    from repro.profiling.profiler import clear_default_profile_store_cache
+
+    cache_dir = str(tmp_path / "warm")
+    cold_args = [
+        "loadtest",
+        "--workloads",
+        "newsfeed",
+        "--rate",
+        "0.5",
+        "--horizon",
+        "20",
+        "--warm-cache",
+        cache_dir,
+    ]
+    assert main(cold_args) == 0
+    cold_out = capsys.readouterr().out
+    assert "warm cache" in cold_out
+    assert "warm trace replay: False" in cold_out
+
+    clear_default_profile_store_cache()
+    assert main(cold_args) == 0
+    warm_out = capsys.readouterr().out
+    assert "warm trace replay: True" in warm_out
+    assert "simulated_jobs: 0" in warm_out
+
+
+def test_cli_cache_info_and_clear(capsys, tmp_path):
+    cache_dir = str(tmp_path / "warm")
+    main(
+        [
+            "loadtest",
+            "--workloads",
+            "newsfeed",
+            "--rate",
+            "0.5",
+            "--horizon",
+            "20",
+            "--warm-cache",
+            cache_dir,
+        ]
+    )
+    capsys.readouterr()
+
+    assert main(["cache", "--dir", cache_dir, "info"]) == 0
+    info = capsys.readouterr().out
+    assert cache_dir in info
+    for kind in ("profiles", "plans", "trace"):
+        assert kind in info
+
+    assert main(["cache", "--dir", cache_dir, "clear"]) == 0
+    assert "removed 3 cache file(s)" in capsys.readouterr().out
+
+    assert main(["cache", "--dir", cache_dir, "info"]) == 0
+    assert "entries: 0" in capsys.readouterr().out

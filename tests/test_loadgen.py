@@ -267,3 +267,113 @@ def test_load_generator_requires_known_mode(registry):
     generator = ServiceLoadGenerator(AIWorkflowService(), registry)
     with pytest.raises(ValueError):
         generator.run([JobArrival(0.0, "newsfeed")], mode="wat")
+
+
+# --------------------------------------------------------------------- #
+# Vectorized steady-state accounting: byte-identity with the reference path
+# --------------------------------------------------------------------- #
+
+
+def _accounting_snapshot(service, report):
+    """Every observable the vectorized path must reproduce byte-for-byte."""
+    stats = service.stats
+    engine = service.runtime.engine
+    return {
+        "jobs": (report.jobs, report.simulated_jobs, report.replayed_jobs),
+        "groups": report.groups,
+        "makespan": report.makespan_s.summary(),
+        "energy": report.energy_wh.summary(),
+        "cost": report.cost.summary(),
+        "quality": report.quality.summary(),
+        "queue_delay": report.queue_delay_s.summary(),
+        "throughput": (
+            report.throughput.completed,
+            report.throughput.first_start,
+            report.throughput.last_finish,
+        ),
+        "job_summaries": tuple(report.job_summaries.items()),
+        "stats_totals": (
+            stats.jobs_completed,
+            stats.total_makespan_s,
+            stats.total_energy_wh,
+            stats.total_cost,
+            stats.per_job_evicted,
+        ),
+        "stats_aggregates": (
+            stats.makespan_s.summary(),
+            stats.energy_wh.summary(),
+            stats.cost.summary(),
+            stats.quality.summary(),
+        ),
+        "per_job": tuple(stats.per_job.items()),
+        "watermarks": tuple(engine.watermarks.items()),
+        "engine_now": engine.now,
+    }
+
+
+def _differential_reports(registry, numpy_enabled, monkeypatch, **options):
+    if not numpy_enabled:
+        import repro.telemetry.metrics as metrics
+
+        monkeypatch.setattr(metrics, "_np", None)
+    arrivals = poisson_arrivals(
+        rate_per_s=1.0,
+        horizon_s=120.0,
+        workloads=("newsfeed", "chain-of-thought"),
+        seed=5,
+    )
+    reference_service = AIWorkflowService()
+    reference = reference_service.submit_trace(
+        arrivals, registry=registry, vectorized=False, **options
+    )
+    vector_service = AIWorkflowService()
+    vectorized = vector_service.submit_trace(arrivals, registry=registry, **options)
+    return (reference_service, reference), (vector_service, vectorized)
+
+
+@pytest.mark.parametrize("numpy_enabled", [True, False], ids=["numpy", "pure-python"])
+def test_vectorized_accounting_is_byte_identical(registry, monkeypatch, numpy_enabled):
+    (ref_service, reference), (vec_service, vectorized) = _differential_reports(
+        registry, numpy_enabled, monkeypatch
+    )
+    # The per-arrival reference never batches; the vectorized path must.
+    assert reference.replay_runs == 0
+    assert vectorized.replay_runs > 0
+    assert vectorized.replayed_jobs > vectorized.simulated_jobs
+    assert _accounting_snapshot(vec_service, vectorized) == _accounting_snapshot(
+        ref_service, reference
+    )
+
+
+@pytest.mark.parametrize("numpy_enabled", [True, False], ids=["numpy", "pure-python"])
+def test_vectorized_eviction_arithmetic_is_byte_identical(
+    registry, monkeypatch, numpy_enabled
+):
+    # A tight per-job cap forces the bulk-eviction arithmetic (partial and
+    # full-batch overflow) to agree with evict-per-insert exactly.
+    (ref_service, reference), (vec_service, vectorized) = _differential_reports(
+        registry, numpy_enabled, monkeypatch, max_per_job_records=7
+    )
+    assert len(vec_service.stats.per_job) == 7
+    assert _accounting_snapshot(vec_service, vectorized) == _accounting_snapshot(
+        ref_service, reference
+    )
+
+
+def test_vectorized_accounting_with_duplicate_job_ids(registry):
+    # Colliding ids defeat the fresh-key fast path; the sequential fallback
+    # must still match the reference byte-for-byte.
+    arrivals = uniform_arrivals(12, 1.0, workloads=("newsfeed",))
+    job_ids = lambda index, workload: f"dup-{index % 3}"  # noqa: E731
+
+    ref_service = AIWorkflowService()
+    reference = ref_service.submit_trace(
+        arrivals, registry=registry, vectorized=False, job_ids=job_ids
+    )
+    vec_service = AIWorkflowService()
+    vectorized = vec_service.submit_trace(arrivals, registry=registry, job_ids=job_ids)
+
+    assert len(vec_service.stats.per_job) == 3
+    assert _accounting_snapshot(vec_service, vectorized) == _accounting_snapshot(
+        ref_service, reference
+    )
