@@ -1,0 +1,102 @@
+"""Sharded scale-out benchmarks: wall jobs/s of one logical service backed
+by N parallel worker engines.
+
+The pair of gated benchmarks serves the *same* 10k-job, 48-tenant trace
+through a 1-shard and a 4-shard process-backed
+:class:`~repro.sharding.ShardedService`; ``scripts/bench.py`` gates each
+min-time against the previous ``BENCH_<n>.json`` and — on a machine with at
+least 4 cores — additionally requires the 4-shard run to be >= 2.5x the
+1-shard wall jobs/s (near-linear scaling minus the skew of consistent-hash
+tenant placement and merge overhead).  Below 4 cores the scaling ratio is
+recorded but not enforced: four workers time-slicing one core measure
+scheduler fairness, not scale-out.
+
+The persistent workers are built (spawn + profiling sweep) in the untimed
+warmup round, so the timed rounds measure steady-state serving: partition,
+parallel dispatch, shard-local steady-state memoization, and exact report
+merging.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.loadgen import WorkloadRegistry
+from repro.sharding import ShardedService
+from repro.workflows.newsfeed import newsfeed_spec
+from repro.workloads.arrival import poisson_arrivals
+
+#: Distinct tenants in the trace.  Routing is per tenant, so the tenant
+#: count bounds achievable balance; 48 tenants on a 128-replica ring spread
+#: to a ~0.29 max shard fraction at 4 shards (measured, sha256-stable).
+TENANTS = 48
+
+#: Ring replicas for the benchmark services (see TENANTS).
+REPLICAS = 128
+
+ARRIVAL_RATE_PER_S = 20.0
+HORIZON_S = 500.0
+
+
+@pytest.fixture(scope="module")
+def tenant_trace():
+    """A ~10k-job Poisson trace across 48 registered tenant workloads."""
+    registry = WorkloadRegistry()
+    spec = newsfeed_spec()
+    for tenant in range(TENANTS):
+        registry.register_spec(spec, name=f"newsfeed-{tenant:02d}")
+    arrivals = poisson_arrivals(
+        rate_per_s=ARRIVAL_RATE_PER_S,
+        horizon_s=HORIZON_S,
+        workloads=tuple(registry.names()),
+        seed=17,
+    )
+    assert len(arrivals) >= 10000
+    return registry, arrivals
+
+
+def _serve_rounds(benchmark, shards, registry, arrivals):
+    service = ShardedService(shards=shards, backend="process", replicas=REPLICAS)
+    reports = []
+
+    def generation():
+        report = service.submit_trace(arrivals, registry=registry)
+        reports.append(report)
+        return report
+
+    try:
+        # warmup builds the persistent workers (spawn + profiling sweep);
+        # timed rounds hit warm engines with converged steady-state memos.
+        report = benchmark.pedantic(generation, rounds=3, warmup_rounds=1, iterations=1)
+    finally:
+        service.shutdown()
+    benchmark.extra_info["jobs"] = report.jobs
+    benchmark.extra_info["shards"] = shards
+    benchmark.extra_info["cpu_count"] = os.cpu_count() or 1
+    benchmark.extra_info["jobs_per_second"] = round(
+        max(r.wall_jobs_per_second for r in reports), 1
+    )
+    benchmark.extra_info["max_shard_fraction"] = round(
+        max(record["jobs"] for record in report.shards.values()) / report.jobs, 3
+    )
+    assert report.jobs == len(arrivals)
+    assert sum(record["jobs"] for record in report.shards.values()) == report.jobs
+    return report
+
+
+@pytest.mark.bench_gated
+def test_sharded_trace_1_shard_10k(benchmark, tenant_trace):
+    """Baseline: the whole trace through one worker engine (all dispatch and
+    merge overhead included, so the 4-shard ratio isolates parallelism)."""
+    registry, arrivals = tenant_trace
+    _serve_rounds(benchmark, 1, registry, arrivals)
+
+
+@pytest.mark.bench_gated
+def test_sharded_trace_4_shards_10k(benchmark, tenant_trace):
+    """Scale-out: the same trace partitioned across 4 parallel workers."""
+    registry, arrivals = tenant_trace
+    report = _serve_rounds(benchmark, 4, registry, arrivals)
+    assert len(report.shards) == 4  # every shard took a share of the tenants

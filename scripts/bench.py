@@ -23,6 +23,9 @@ Gated metrics (min seconds — the noise-robust statistic — lower is better):
 * ``test_trace_throughput_1k_jobs``         — warm-restart trace replay (1k)
 * ``test_trace_throughput_10k_jobs``        — warm-restart trace replay (10k)
 * ``test_service_cold_vs_warm_start``       — restart-to-first-trace latency
+* ``test_sharded_trace_1_shard_10k``        — sharded serving baseline
+* ``test_sharded_trace_4_shards_10k``       — 4-way parallel scale-out (plus
+  the >= 2.5x speedup gate on machines with >= 4 cores)
 """
 
 from __future__ import annotations
@@ -47,7 +50,15 @@ GATES = {
     "test_trace_throughput_1k_jobs": 1.20,
     "test_trace_throughput_10k_jobs": 1.20,
     "test_service_cold_vs_warm_start": 1.20,
+    "test_sharded_trace_1_shard_10k": 1.20,
+    "test_sharded_trace_4_shards_10k": 1.20,
 }
+
+#: The 4-shard run must beat the 1-shard run by at least this wall-time
+#: ratio on a machine with >= MIN_SCALING_CPUS cores (below that, four
+#: workers time-slice one core and the ratio measures nothing).
+SCALING_MIN_SPEEDUP = 2.5
+MIN_SCALING_CPUS = 4
 
 
 def existing_records() -> list:
@@ -65,6 +76,7 @@ def run_benchmarks(json_path: Path) -> None:
         "-m",
         "pytest",
         "benchmarks/test_microbenchmarks.py",
+        "benchmarks/test_sharding_scaleout.py",
         "-q",
         "--benchmark-only",
         f"--benchmark-json={json_path}",
@@ -115,6 +127,31 @@ def gate(current: dict, previous: dict, previous_name: str) -> list:
     return failures
 
 
+def check_scaling(benchmarks: dict) -> list:
+    """The sharded scale-out gate: 4 shards must beat 1 shard by
+    ``SCALING_MIN_SPEEDUP``x wall time — enforced only on machines with at
+    least ``MIN_SCALING_CPUS`` cores, recorded (with the cpu count) always.
+    """
+    one = benchmarks.get("test_sharded_trace_1_shard_10k")
+    four = benchmarks.get("test_sharded_trace_4_shards_10k")
+    if not one or not four:
+        return []
+    cpus = int((four.get("extra_info") or {}).get("cpu_count", 0))
+    speedup = one["min_s"] / four["min_s"] if four["min_s"] > 0 else 0.0
+    if cpus < MIN_SCALING_CPUS:
+        print(
+            f"  [skip] sharded scale-out: {speedup:.2f}x on {cpus} cpu(s); "
+            f"the {SCALING_MIN_SPEEDUP:.1f}x gate needs >= {MIN_SCALING_CPUS} cores"
+        )
+        return []
+    marker = "FAIL" if speedup < SCALING_MIN_SPEEDUP else "ok"
+    print(
+        f"  [{marker}] sharded scale-out: 4 shards = {speedup:.2f}x 1 shard "
+        f"on {cpus} cpus (required {SCALING_MIN_SPEEDUP:.1f}x)"
+    )
+    return [] if speedup >= SCALING_MIN_SPEEDUP else ["sharded_scaleout_speedup"]
+
+
 #: Cold generation: serve a small trace with a warm cache attached, persist
 #: profiles/plans/the trace recording, and prove the run was actually cold.
 _SMOKE_COLD = """
@@ -151,6 +188,49 @@ assert profiling_sweep_count() == 0, "warm restart ran a profiling sweep"
 assert report.warm_trace and report.simulated_jobs == 0, report.summary()
 print(f"warm: {report.jobs} jobs replayed, 0 sweeps")
 """
+
+
+#: Sharded smoke: one logical endpoint over two worker processes must serve
+#: a small multi-tenant trace completely and merge it exactly.
+_SMOKE_SHARDED = """
+from repro.loadgen import default_registry
+from repro.sharding import ShardedService
+from repro.workloads.arrival import uniform_arrivals
+
+registry = default_registry()
+arrivals = uniform_arrivals(
+    12, 1.0,
+    workloads=("newsfeed", "document-qa", "chain-of-thought", "video-understanding"),
+)
+with ShardedService(shards=2, backend="process") as service:
+    report = service.submit_trace(arrivals, registry=registry)
+assert report.jobs == len(arrivals), report.summary()
+assert sum(r["jobs"] for r in report.shards.values()) == report.jobs
+# video-understanding hashes to shard 0, the other three to shard 1 —
+# both worker processes must have served real work.
+assert len(report.shards) == 2, report.shards
+print(
+    f"sharded: {report.jobs} jobs over {len(report.shards)} shard(s), "
+    f"merged exactly"
+)
+"""
+
+
+def run_sharded_smoke() -> int:
+    """Two-worker sharded serving smoke (skipped, loudly, on one core:
+    spawning parallel workers on a single CPU proves nothing and doubles the
+    CI wall time)."""
+    import os
+
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        print(f"sharded smoke: skipped ({cpus} cpu available, need >= 2)")
+        return 0
+    print("sharded serving smoke (2 worker processes):")
+    result = subprocess.run([sys.executable, "-c", _SMOKE_SHARDED], cwd=REPO_ROOT)
+    if result.returncode != 0:
+        print("sharded smoke failed")
+    return result.returncode
 
 
 def run_restart_smoke() -> int:
@@ -195,7 +275,10 @@ def run_smoke() -> int:
     returncode = subprocess.run(command, cwd=REPO_ROOT).returncode
     if returncode != 0:
         return returncode
-    return run_restart_smoke()
+    returncode = run_restart_smoke()
+    if returncode != 0:
+        return returncode
+    return run_sharded_smoke()
 
 
 def main() -> int:
@@ -230,15 +313,17 @@ def main() -> int:
     output_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     print(f"recorded {len(benchmarks)} benchmarks -> {output_path.name}")
 
-    if args.no_gate or not records:
-        if not records:
-            print("no previous BENCH_*.json; nothing to gate against")
+    if args.no_gate:
         return 0
 
-    previous_path = records[-1][1]
-    previous = json.loads(previous_path.read_text()).get("benchmarks", {})
-    print(f"gating against {previous_path.name}:")
-    failures = gate(benchmarks, previous, previous_path.name)
+    failures = check_scaling(benchmarks)
+    if not records:
+        print("no previous BENCH_*.json; nothing to gate against")
+    else:
+        previous_path = records[-1][1]
+        previous = json.loads(previous_path.read_text()).get("benchmarks", {})
+        print(f"gating against {previous_path.name}:")
+        failures += gate(benchmarks, previous, previous_path.name)
     if failures:
         print(f"performance regression in: {', '.join(failures)}")
         return 1

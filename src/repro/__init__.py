@@ -65,6 +65,7 @@ from repro.policies import (
     resolve_bundle,
 )
 from repro.service import AIWorkflowService, ServiceStats
+from repro.sharding import ShardRouter, ShardedService
 from repro.warmstate import WarmStateCache
 from repro.workloads.arrival import (
     JobArrival,
@@ -113,6 +114,8 @@ __all__ = [
     "OmAgentBaseline",
     "AIWorkflowService",
     "ServiceStats",
+    "ShardedService",
+    "ShardRouter",
     "WarmStateCache",
     "ServiceLoadGenerator",
     "TraceReport",

@@ -248,11 +248,21 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     if isinstance(workloads, int):
         return workloads
     arrivals = _build_arrivals(args, workloads)
+    dynamics = _build_dynamics(args)
+    if args.shards > 1 and dynamics is not None and args.shard_backend == "process":
+        print(
+            "disruption schedules bind to shard-local engines; combine "
+            "--shards with --shard-backend inline for dynamics",
+            file=sys.stderr,
+        )
+        return 2
     with MurakkabClient(
-        dynamics=_build_dynamics(args),
+        dynamics=dynamics,
         policy=args.policy,
         registry=registry,
         warm_cache=args.warm_cache,
+        shards=args.shards,
+        shard_backend=args.shard_backend,
     ) as client:
         handle = client.submit_trace(arrivals, mode=args.mode)
         service = client.service
@@ -260,10 +270,20 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             print(f"{'policy':>22}: {service.policy.describe()}")
         for key, value in handle.summary().items():
             print(f"{key:>22}: {value}")
+        for shard, provenance in sorted(handle.report.shards.items()):
+            print(
+                f"{f'shard {shard}':>22}: jobs={provenance['jobs']} "
+                f"simulated={provenance['simulated_jobs']} "
+                f"replayed={provenance['replayed_jobs']} "
+                f"failed={provenance['failed_jobs']}"
+            )
         for workload, counters in sorted(handle.group_counters().items()):
             print(f"{workload:>22}: {counters}")
         if service.warm_cache is not None:
-            counters = service.warm_cache.counters()
+            if args.shards > 1:
+                counters = service.warm_cache_counters()
+            else:
+                counters = service.warm_cache.counters()
             print(
                 f"{'warm cache':>22}: hits={counters['hits']} "
                 f"misses={counters['misses']} invalid={counters['invalid']} "
@@ -272,8 +292,14 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             print(f"{'warm trace replay':>22}: {handle.report.warm_trace}")
         if handle.disruptions():
             print(f"{'disruption log':>22}: {handle.disruptions()}")
-            for command in service.dynamics.log.commands:
-                print(f"{'scaling command':>22}: {command.action.value} {command.reason}")
+            shard_dynamics = service.dynamics
+            if not isinstance(shard_dynamics, dict):
+                shard_dynamics = {0: shard_dynamics}
+            for _, dyn in sorted(shard_dynamics.items()):
+                for command in dyn.log.commands:
+                    print(
+                        f"{'scaling command':>22}: {command.action.value} {command.reason}"
+                    )
     return 0
 
 
@@ -291,6 +317,17 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"{'total bytes':>12}: {cache.total_size_bytes()}")
     for entry in entries:
         print(f"{entry.kind:>12}: {entry.digest}  ({entry.size_bytes} bytes)")
+    shards = cache.shard_summary()
+    if shards:
+        for shard in shards:
+            print(
+                f"{shard['name']:>12}: {shard['entries']} entries  "
+                f"({shard['size_bytes']} bytes)"
+            )
+        print(
+            f"{'with shards':>12}: "
+            f"{cache.total_size_bytes(include_shards=True)} bytes total"
+        )
     return 0
 
 
@@ -444,6 +481,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist warm service state (profiles, plans, trace recordings) "
         "in DIR: a rerun with the same trace skips the profiling sweep and "
         "replays the recording with zero probe simulations",
+    )
+    loadtest.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition admission across N worker engines behind one logical "
+        "service (consistent-hashed by tenant; reports are merged exactly)",
+    )
+    loadtest.add_argument(
+        "--shard-backend",
+        choices=("process", "inline"),
+        default="process",
+        help="process = one worker process per shard (parallel, default); "
+        "inline = all shards in-process (sequential, for debugging)",
     )
     loadtest.set_defaults(func=_cmd_loadtest)
 

@@ -358,11 +358,40 @@ class MurakkabClient:
         registry: Optional[WorkloadRegistry] = None,
         keep_warm: bool = True,
         warm_cache=None,
+        shards: int = 1,
+        shard_backend: str = "process",
     ):
         """``warm_cache`` (a :class:`~repro.warmstate.WarmStateCache` or a
         directory path) persists warm service state across processes: a
         restarted client skips the profiling sweep and replays recorded
-        traces — see :mod:`repro.warmstate`."""
+        traces — see :mod:`repro.warmstate`.
+
+        ``shards > 1`` scales the endpoint out: the client fronts a
+        :class:`~repro.sharding.ShardedService` partitioning admission
+        across that many worker engines (``shard_backend='process'`` runs
+        them as parallel worker processes; ``'inline'`` hosts them
+        in-process).  The facade is unchanged — handles, sessions, and
+        merged stats work identically — subject to the sharded backend's
+        restrictions (see :class:`~repro.sharding.ShardedService`)."""
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if shards > 1:
+            if service is not None or runtime is not None:
+                raise ValueError(
+                    "shards > 1 builds its own sharded service; pass either "
+                    "a service/runtime or a shard count, not both"
+                )
+            from repro.sharding import ShardedService
+
+            service = ShardedService(
+                shards=shards,
+                backend=shard_backend,
+                policy=policy,
+                dynamics=dynamics,
+                warm_cache=warm_cache,
+                keep_warm=keep_warm,
+                registry=registry,
+            )
         self.service = service or AIWorkflowService(
             runtime=runtime,
             keep_warm=keep_warm,

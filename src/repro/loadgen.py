@@ -273,6 +273,10 @@ class TraceReport:
     #: Disruption counters copied from the dynamics log after a run under a
     #: preemption/failure schedule; empty when no dynamics were attached.
     disruptions: Dict[str, int] = field(default_factory=dict)
+    #: Per-shard provenance counters, filled by :meth:`merge` when reports
+    #: from a :class:`~repro.sharding.ShardedService` are folded into one
+    #: global view; empty for a report served by a single engine.
+    shards: Dict[int, Dict[str, object]] = field(default_factory=dict)
 
     @property
     def batch_start(self) -> float:
@@ -311,6 +315,93 @@ class TraceReport:
         self.job_summaries[result.job_id] = result.compact_summary()
         evict_oldest(self.job_summaries, self.max_job_summaries)
 
+    def provenance(self) -> Dict[str, object]:
+        """The compact per-shard accounting record :meth:`merge` stores."""
+        return {
+            "jobs": self.jobs,
+            "simulated_jobs": self.simulated_jobs,
+            "replayed_jobs": self.replayed_jobs,
+            "failed_jobs": self.failed_jobs,
+            "wall_seconds": self.wall_seconds,
+            "warm_trace": self.warm_trace,
+        }
+
+    def merge(self, other: "TraceReport", shard: Optional[int] = None) -> "TraceReport":
+        """Fold ``other`` into this report, producing one exact global view.
+
+        Counts add, streaming aggregates merge (totals add, extrema take
+        min/max), the throughput span covers both runs, and per-group /
+        disruption counters sum per key.  Counter merging is associative and
+        order-insensitive; float totals are associative only up to IEEE-754
+        rounding (addition is commutative but not associative), which is the
+        usual contract for parallel reduction.  ``wall_seconds`` takes the
+        max — merged runs are presumed concurrent; a sharded service
+        overwrites it with the measured parent wall clock anyway.
+
+        ``shard`` records ``other``'s provenance under that shard id in
+        :attr:`shards`; provenance already carried by either side is kept.
+        Returns ``self`` so merges chain.
+        """
+        if other.mode != self.mode:
+            raise ValueError(
+                f"cannot merge a {other.mode!r} report into a {self.mode!r} report"
+            )
+        self.jobs += other.jobs
+        self.simulated_jobs += other.simulated_jobs
+        self.replayed_jobs += other.replayed_jobs
+        self.replay_runs += other.replay_runs
+        self.warm_trace = self.warm_trace and other.warm_trace
+        self.makespan_s.merge(other.makespan_s)
+        self.energy_wh.merge(other.energy_wh)
+        self.cost.merge(other.cost)
+        self.quality.merge(other.quality)
+        self.queue_delay_s.merge(other.queue_delay_s)
+        self.throughput.merge(other.throughput)
+        for workload, counters in other.groups.items():
+            mine = self.groups.setdefault(workload, {})
+            for key, value in counters.items():
+                mine[key] = mine.get(key, 0) + value
+        self.wall_seconds = max(self.wall_seconds, other.wall_seconds)
+        for job_id, summary in other.job_summaries.items():
+            self.job_summaries[job_id] = dict(summary)
+        evict_oldest(self.job_summaries, self.max_job_summaries)
+        self.failed_jobs += other.failed_jobs
+        for key, value in other.disruptions.items():
+            self.disruptions[key] = self.disruptions.get(key, 0) + value
+        for shard_id, record in other.shards.items():
+            self.shards[shard_id] = dict(record)
+        if shard is not None:
+            self.shards[shard] = other.provenance()
+        return self
+
+    @classmethod
+    def merged(
+        cls,
+        reports: Sequence["TraceReport"],
+        shard_ids: Optional[Sequence[int]] = None,
+    ) -> "TraceReport":
+        """One global report folding every report in ``reports``.
+
+        The base is a deep copy of the first report, so merging a single
+        report is the identity (field-for-field equal to the original —
+        the 1-shard differential guarantee) apart from :attr:`shards`
+        provenance when ``shard_ids`` is given.
+        """
+        import copy as _copy
+
+        if not reports:
+            raise ValueError("at least one report is required")
+        if shard_ids is not None and len(shard_ids) != len(reports):
+            raise ValueError("shard_ids must parallel reports")
+        base = _copy.deepcopy(reports[0])
+        if shard_ids is not None:
+            base.shards[shard_ids[0]] = reports[0].provenance()
+        for position, report in enumerate(reports[1:], start=1):
+            base.merge(
+                report, shard=shard_ids[position] if shard_ids is not None else None
+            )
+        return base
+
     def summary(self) -> Dict[str, object]:
         data: Dict[str, object] = {
             "mode": self.mode,
@@ -331,6 +422,9 @@ class TraceReport:
         if self.disruptions:
             data["failed_jobs"] = self.failed_jobs
             data["disruptions"] = dict(self.disruptions)
+        # Likewise only shard-merged reports carry shard accounting.
+        if self.shards:
+            data["shards"] = len(self.shards)
         return data
 
 

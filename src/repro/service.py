@@ -55,12 +55,80 @@ class ServiceStats:
     energy_wh: StreamingAggregate = field(default_factory=StreamingAggregate)
     cost: StreamingAggregate = field(default_factory=StreamingAggregate)
     quality: StreamingAggregate = field(default_factory=StreamingAggregate)
+    #: Per-shard provenance counters, filled by :meth:`merge` when shard
+    #: stats are folded into one global view; empty on a plain service.
+    shards: Dict[int, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def mean_makespan_s(self) -> float:
         if not self.jobs_completed:
             return 0.0
         return self.total_makespan_s / self.jobs_completed
+
+    def provenance(self) -> Dict[str, float]:
+        """The compact per-shard accounting record :meth:`merge` stores."""
+        return {
+            "jobs_completed": self.jobs_completed,
+            "total_energy_wh": self.total_energy_wh,
+            "total_cost": self.total_cost,
+            "total_makespan_s": self.total_makespan_s,
+        }
+
+    def merge(self, other: "ServiceStats", shard: Optional[int] = None) -> "ServiceStats":
+        """Fold another service's accounting into this one.
+
+        Counts and totals add, streaming aggregates merge exactly, and
+        per-job detail is inserted in ``other``'s order (evicting oldest
+        beyond this record's cap).  Counter merging is associative and
+        order-insensitive; float totals commute exactly but re-associate
+        only up to IEEE-754 rounding, the standard parallel-reduction
+        contract.  ``shard`` records ``other``'s provenance in
+        :attr:`shards`.  Returns ``self`` so merges chain.
+        """
+        self.jobs_completed += other.jobs_completed
+        self.total_energy_wh += other.total_energy_wh
+        self.total_cost += other.total_cost
+        self.total_makespan_s += other.total_makespan_s
+        self.makespan_s.merge(other.makespan_s)
+        self.energy_wh.merge(other.energy_wh)
+        self.cost.merge(other.cost)
+        self.quality.merge(other.quality)
+        for job_id, record in other.per_job.items():
+            self.per_job[job_id] = dict(record)
+        self.per_job_evicted += other.per_job_evicted
+        self._evict()
+        for shard_id, record in other.shards.items():
+            self.shards[shard_id] = dict(record)
+        if shard is not None:
+            self.shards[shard] = other.provenance()
+        return self
+
+    @classmethod
+    def merged(
+        cls,
+        stats: Sequence["ServiceStats"],
+        shard_ids: Optional[Sequence[int]] = None,
+    ) -> "ServiceStats":
+        """One global record folding every record in ``stats``.
+
+        The base is a deep copy of the first record, so merging a single
+        record is the identity apart from :attr:`shards` provenance when
+        ``shard_ids`` is given — the 1-shard differential guarantee.
+        """
+        import copy as _copy
+
+        if not stats:
+            raise ValueError("at least one ServiceStats is required")
+        if shard_ids is not None and len(shard_ids) != len(stats):
+            raise ValueError("shard_ids must parallel stats")
+        base = _copy.deepcopy(stats[0])
+        if shard_ids is not None:
+            base.shards[shard_ids[0]] = stats[0].provenance()
+        for position, other in enumerate(stats[1:], start=1):
+            base.merge(
+                other, shard=shard_ids[position] if shard_ids is not None else None
+            )
+        return base
 
     def limit_per_job_records(self, cap: Optional[int]) -> None:
         """Bound (or unbound) retained per-job detail from now on."""

@@ -1,0 +1,712 @@
+"""Sharded service scale-out: parallel worker engines behind one facade.
+
+Everything before this module funnels through one shared
+:class:`~repro.sim.engine.SimulationEngine` inside one
+:class:`~repro.service.AIWorkflowService` — the ceiling on "millions of
+users" is that single event loop.  :class:`ShardedService` presents the same
+facade (``submit``, ``submit_spec``, ``submit_trace``, policy / dynamics /
+warm-cache passthrough) but partitions admission across N worker engines:
+
+* **Routing** is deterministic consistent hashing (:class:`ShardRouter`,
+  sha256-based — never Python's randomized ``hash()``) on the job's
+  ``spec_digest`` / description, and on the workload (tenant) name for
+  traces.  All arrivals of one workload land on one shard, so grouped-trace
+  steady-state memoization and persistent warm-state recordings stay
+  shard-local and byte-stable regardless of shard count, and adding a shard
+  only remaps the keys the new shard takes over.
+
+* **Backends**: ``backend="process"`` (default) runs each shard as a
+  long-lived ``multiprocessing`` worker process (spawn-safe; see
+  :mod:`repro.shardworker`) hosting its own engine / planner / profile
+  store built from the same library + policy-bundle fingerprint — the first
+  path on which trace-serving throughput scales with cores.
+  ``backend="inline"`` hosts every shard service in-process (sequential),
+  for tests, debugging, and platforms without usable multiprocessing.
+
+* **Merging**: the parent ships workload specs + arrival columns to the
+  shards and folds the returned :class:`~repro.loadgen.TraceReport`\\ s and
+  :class:`~repro.service.ServiceStats` into one exact global view via their
+  ``merge()`` layers, with per-shard provenance counters.  A 1-shard
+  sharded service is field-for-field identical to a plain
+  ``AIWorkflowService`` on the same trace (asserted differentially in the
+  test suite).
+
+* **Telemetry**: :meth:`ShardedService.add_merge_listener` delivers every
+  merged report (plus the per-shard raw reports) to cross-shard control
+  loops — the global view cluster dynamics / autoscaling policies read;
+  :meth:`ShardedService.global_view` exposes the same merged state on
+  demand.
+
+The seam follows magnus-core's ``BaseExecutor`` split: the same declarative
+graph is either executed in-process or rendered as serializable job specs
+dispatched to external workers — the :class:`~repro.spec.ir.WorkflowSpec`
+IR is the serializable unit of dispatch, and per-shard warm-cache
+subdirectories (``shard-NN``) keep restarts cheap per worker.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import time as _wall_time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.job import Job, JobResult
+from repro.loadgen import TraceReport, WorkloadRegistry, default_registry
+from repro.policies.bundles import PolicyBundle, PolicyLike, resolve_bundle
+from repro.service import AIWorkflowService, ServiceStats
+from repro.warmstate import shard_dir_name
+from repro.workloads.arrival import JobArrival
+
+
+# --------------------------------------------------------------------- #
+# Deterministic consistent-hash routing
+# --------------------------------------------------------------------- #
+
+
+def stable_key_hash(key: str) -> int:
+    """A 64-bit position on the hash ring for ``key``.
+
+    sha256-based so the mapping is identical across runs, processes, and
+    machines — Python's ``hash()`` is salted per process and must never
+    decide shard placement.
+    """
+    return int.from_bytes(
+        hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ShardRouter:
+    """Deterministic consistent hashing of string keys onto shard ids.
+
+    Each shard contributes ``replicas`` virtual points to a ring; a key is
+    owned by the first point clockwise of its own hash.  Growing the ring
+    from N to N+1 shards therefore only moves the keys the new shard's
+    points capture — every other key keeps its shard, which is what keeps
+    shard-local warm caches valid across scale-out.
+    """
+
+    def __init__(self, shards: int, replicas: int = 64) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.shards = shards
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for replica in range(replicas):
+                points.append(
+                    (stable_key_hash(f"shard:{shard}:replica:{replica}"), shard)
+                )
+        points.sort()
+        self._ring = points
+        self._positions = [position for position, _ in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key`` (stable across processes and runs)."""
+        if self.shards == 1:
+            return 0
+        index = bisect.bisect_right(self._positions, stable_key_hash(key))
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
+
+    def shard_for_job(self, job: Job) -> int:
+        """Route a single job: by spec digest when compiled from a spec,
+        else by its natural-language description."""
+        return self.shard_for(job.spec_digest or job.description)
+
+    def partition_arrivals(
+        self, arrivals: Sequence[JobArrival]
+    ) -> Dict[int, Tuple[List[int], List[JobArrival]]]:
+        """Split a trace by tenant (workload name), preserving order.
+
+        Returns ``{shard: (global_indices, sub_arrivals)}``; each shard's
+        sub-trace keeps the arrivals in their original relative order with
+        their original trace indices, so merged job ids match an unsharded
+        serving of the same trace.
+        """
+        owner: Dict[str, int] = {}
+        assignment: Dict[int, Tuple[List[int], List[JobArrival]]] = {}
+        for index, arrival in enumerate(arrivals):
+            shard = owner.get(arrival.workload)
+            if shard is None:
+                shard = self.shard_for(arrival.workload)
+                owner[arrival.workload] = shard
+            indices, subset = assignment.setdefault(shard, ([], []))
+            indices.append(index)
+            subset.append(arrival)
+        return assignment
+
+
+# --------------------------------------------------------------------- #
+# The sharded facade
+# --------------------------------------------------------------------- #
+
+
+class ShardedService:
+    """N worker engines behind one logical AIWaaS endpoint.
+
+    Presents the :class:`~repro.service.AIWorkflowService` facade; see the
+    module docstring for the partitioning / backend / merging model.
+
+    ``backend="process"`` restrictions (everything crosses a process
+    boundary): policies must be registered bundle *names*, cluster dynamics
+    are not supported (a disruption schedule binds to one engine — use
+    ``backend="inline"``), trace workloads must be spec-registered, and
+    returned :class:`~repro.core.job.JobResult`\\ s carry accounting and
+    output but not the full plan/trace detail.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        backend: str = "process",
+        policy: PolicyLike = None,
+        dynamics=None,
+        warm_cache=None,
+        keep_warm: bool = True,
+        registry: Optional[WorkloadRegistry] = None,
+        replicas: int = 64,
+    ) -> None:
+        if backend not in ("inline", "process"):
+            raise ValueError(
+                f"unknown backend {backend!r}; expected 'inline' or 'process'"
+            )
+        self.router = ShardRouter(shards, replicas=replicas)
+        self.backend = backend
+        #: Resolved once so a typo'd bundle name fails at construction.
+        self._installed_bundle: Optional[PolicyBundle] = (
+            resolve_bundle(policy) if policy is not None else None
+        )
+        self._policy: PolicyLike = policy
+        if backend == "process" and policy is not None and not isinstance(policy, str):
+            raise TypeError(
+                "backend='process' ships policies by registered bundle name; "
+                "pass the name (e.g. 'energy_first') or use backend='inline'"
+            )
+        self._keep_warm = keep_warm
+        self._warm_root: Optional[Path] = None
+        if warm_cache is not None:
+            from repro.warmstate import WarmStateCache
+
+            # Careful: plain Path objects also have a ``.root`` attribute
+            # (the filesystem anchor), so only unwrap actual caches.
+            if isinstance(warm_cache, WarmStateCache):
+                warm_cache = warm_cache.root
+            self._warm_root = Path(warm_cache)
+        self._registry = registry
+        self._dynamics_config = None
+        #: Inline backend: shard id -> long-lived in-process service.
+        self._inline: Dict[int, AIWorkflowService] = {}
+        #: Process backend: shard id -> single-worker executor (affinity:
+        #: every call for a shard lands in the same worker process, which
+        #: keeps that shard's service warm for the life of the pool).
+        self._executors: Dict[int, object] = {}
+        #: Latest per-shard accounting snapshots returned by workers.
+        self._shard_stats: Dict[int, ServiceStats] = {}
+        self._cache_counters: Dict[int, Dict[str, int]] = {}
+        self._last_reports: Dict[int, TraceReport] = {}
+        self._merge_listeners: List[Callable] = []
+        self._closed = False
+        if dynamics is not None:
+            self.attach_dynamics(dynamics)
+
+    # ------------------------------------------------------------------ #
+    # Shard plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def shards(self) -> int:
+        return self.router.shards
+
+    @property
+    def registry(self) -> WorkloadRegistry:
+        """The parent-side workload registry (shipped workloads by default,
+        built on first use; shared with :class:`~repro.client.MurakkabClient`)."""
+        if self._registry is None:
+            self._registry = default_registry()
+        return self._registry
+
+    def shard_warm_dir(self, shard: int) -> Optional[str]:
+        """The shard's warm-cache subdirectory (``<root>/shard-NN``)."""
+        if self._warm_root is None:
+            return None
+        return str(self._warm_root / shard_dir_name(shard))
+
+    @property
+    def warm_cache(self):
+        """A :class:`~repro.warmstate.WarmStateCache` over the cache *root*
+        (for inspection; shards load/store in their own subdirectories), or
+        ``None`` when no cache is attached."""
+        if self._warm_root is None:
+            return None
+        from repro.warmstate import WarmStateCache
+
+        return WarmStateCache(self._warm_root)
+
+    def _shard_config(self) -> Dict[str, object]:
+        """The serializable per-shard service recipe (process backend)."""
+        return {
+            "keep_warm": self._keep_warm,
+            "policy": self._policy if isinstance(self._policy, str) else None,
+        }
+
+    def _inline_shard(self, shard: int) -> AIWorkflowService:
+        service = self._inline.get(shard)
+        if service is None:
+            service = AIWorkflowService(
+                keep_warm=self._keep_warm,
+                policy=self._installed_bundle,
+                warm_cache=self.shard_warm_dir(shard),
+            )
+            if self._dynamics_config is not None:
+                service.attach_dynamics(self._copy_dynamics_config())
+            self._inline[shard] = service
+        return service
+
+    def _executor(self, shard: int):
+        executor = self._executors.get(shard)
+        if executor is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            executor = ProcessPoolExecutor(
+                max_workers=1, mp_context=multiprocessing.get_context("spawn")
+            )
+            self._executors[shard] = executor
+        return executor
+
+    def _copy_dynamics_config(self):
+        """Each shard gets its own schedule instance: the seeded models are
+        deterministic, so every shard sees the identical disruption script
+        without sharing mutable state across engines."""
+        import copy
+
+        return copy.deepcopy(self._dynamics_config)
+
+    def _absorb(self, outcome: Dict[str, object]) -> None:
+        """Fold a worker return (stats snapshot + cache counters) in."""
+        shard = outcome["shard"]
+        self._shard_stats[shard] = outcome["stats"]
+        cache = outcome.get("cache")
+        if cache:
+            self._cache_counters[shard] = cache
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ShardedService is shut down")
+
+    # ------------------------------------------------------------------ #
+    # Policy / dynamics passthrough
+    # ------------------------------------------------------------------ #
+    @property
+    def policy(self) -> Optional[PolicyBundle]:
+        """The installed policy bundle (``None`` = stock behaviour), as on
+        :class:`~repro.service.AIWorkflowService`."""
+        return self._installed_bundle
+
+    def set_policy(self, policy: PolicyLike) -> PolicyBundle:
+        """Switch every shard's control-plane bundle.
+
+        Inline shards switch immediately; process shards receive the bundle
+        name with their next dispatch (shard-local caches are fingerprint-
+        namespaced either way, so no stale decision is ever replayed).
+        """
+        self._check_open()
+        if self.backend == "process" and not isinstance(policy, str):
+            raise TypeError(
+                "backend='process' ships policies by registered bundle name; "
+                "pass the name (e.g. 'energy_first') or use backend='inline'"
+            )
+        bundle = resolve_bundle(policy)
+        self._policy = policy
+        self._installed_bundle = bundle
+        for service in self._inline.values():
+            service.set_policy(bundle)
+        return bundle
+
+    @property
+    def dynamics(self):
+        """Per-shard :class:`~repro.cluster.dynamics.ClusterDynamics`
+        (inline backend), keyed by shard id; empty without a schedule."""
+        return {
+            shard: service.dynamics
+            for shard, service in self._inline.items()
+            if service.dynamics is not None
+        }
+
+    def attach_dynamics(self, dynamics):
+        """Run every shard's cluster under a disruption schedule.
+
+        Accepts a :class:`~repro.cluster.dynamics.DynamicsConfig` only: a
+        constructed ``ClusterDynamics`` binds to one engine and cannot be
+        shared across shards.  Each shard (current and future) attaches its
+        own deep copy, so the seeded schedules stay deterministic per shard.
+        Inline backend only.
+        """
+        self._check_open()
+        if self.backend == "process":
+            raise ValueError(
+                "cluster dynamics bind to shard-local engines; use "
+                "backend='inline' for disruption schedules on a sharded service"
+            )
+        from repro.cluster.dynamics import ClusterDynamics, DynamicsConfig
+
+        if isinstance(dynamics, ClusterDynamics):
+            raise TypeError(
+                "pass a DynamicsConfig: a ClusterDynamics instance binds to "
+                "one engine and cannot be shared across shards"
+            )
+        if not isinstance(dynamics, DynamicsConfig):
+            raise TypeError(f"cannot interpret dynamics: {dynamics!r}")
+        self._dynamics_config = dynamics
+        for service in self._inline.values():
+            service.attach_dynamics(self._copy_dynamics_config())
+        return self.dynamics
+
+    # ------------------------------------------------------------------ #
+    # Job submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        description: str,
+        inputs: Sequence[object] = (),
+        tasks: Sequence[str] = (),
+        constraints=None,
+        quality_target: float = 0.0,
+        job_id: str = "",
+    ) -> JobResult:
+        """Submit a declarative job described entirely by its intent."""
+        job = Job(
+            description=description,
+            inputs=inputs,
+            tasks=tasks,
+            constraints=constraints,
+            quality_target=quality_target,
+            job_id=job_id,
+        )
+        return self.submit_job(job)
+
+    def submit_job(self, job: Job) -> JobResult:
+        """Submit a pre-built :class:`Job` to the shard owning its key."""
+        self._check_open()
+        shard = self.router.shard_for_job(job)
+        if self.backend == "inline":
+            return self._inline_shard(shard).submit_job(job)
+        from repro import shardworker
+
+        payload = {
+            "shard": shard,
+            "config": self._shard_config(),
+            "warm_cache": self.shard_warm_dir(shard),
+            "job": job,
+        }
+        try:
+            future = self._executor(shard).submit(shardworker.serve_job, payload)
+        except TypeError as error:  # unpicklable job payload
+            raise TypeError(
+                "this job cannot cross a process boundary (unpicklable "
+                "inputs/constraints); use backend='inline' for it"
+            ) from error
+        outcome = future.result()
+        self._absorb(outcome)
+        return outcome["result"]
+
+    def submit_spec(
+        self,
+        spec,
+        inputs: Optional[Sequence[object]] = None,
+        job_id: str = "",
+    ) -> JobResult:
+        """Compile a declarative :class:`~repro.spec.ir.WorkflowSpec` and
+        submit it (compilation — validation, decomposition — happens in the
+        parent; the shard plans and executes)."""
+        from repro.spec.compiler import compile_spec
+
+        return self.submit_job(compile_spec(spec, inputs=inputs, job_id=job_id))
+
+    # ------------------------------------------------------------------ #
+    # Trace serving (the scale-out path)
+    # ------------------------------------------------------------------ #
+    def submit_trace(
+        self,
+        arrivals: Sequence[JobArrival],
+        registry: Optional[WorkloadRegistry] = None,
+        mode: str = "grouped",
+        max_per_job_records: Optional[int] = 256,
+        job_ids: Optional[Callable[[int, str], str]] = None,
+        dynamics=None,
+        policy: PolicyLike = None,
+        vectorized: bool = True,
+    ) -> TraceReport:
+        """Serve a whole arrival trace across the shards and merge.
+
+        The trace is partitioned by tenant (workload name) via the
+        consistent-hash router; each shard serves its sub-trace on its own
+        engine — in parallel worker processes on the process backend — and
+        the returned reports are folded into one exact global
+        :class:`~repro.loadgen.TraceReport` (per-shard provenance in
+        :attr:`~repro.loadgen.TraceReport.shards`;
+        ``wall_seconds`` is the parent's measured wall clock around the
+        whole fan-out).  Options mirror
+        :meth:`repro.service.AIWorkflowService.submit_trace`; ``job_ids``
+        callables and ``dynamics`` schedules do not cross process
+        boundaries (inline backend only), and shard job ids are derived
+        from each arrival's *global* trace index, so a 1-shard serving is
+        field-for-field identical to an unsharded one.
+        """
+        self._check_open()
+        if not arrivals:
+            raise ValueError("at least one arrival is required")
+        if mode not in ("grouped", "multiplex"):
+            raise ValueError(f"unknown mode {mode!r}; expected 'grouped' or 'multiplex'")
+        if policy is not None:
+            self.set_policy(policy)
+        if dynamics is not None:
+            self.attach_dynamics(dynamics)
+        registry = registry or self.registry
+        started = _wall_time.perf_counter()
+        assignment = self.router.partition_arrivals(arrivals)
+        options = {
+            "mode": mode,
+            "max_per_job_records": max_per_job_records,
+            "vectorized": vectorized,
+        }
+        if self.backend == "inline":
+            outcomes = self._run_inline(assignment, registry, job_ids, options)
+        else:
+            if job_ids is not None:
+                raise ValueError(
+                    "job_ids callables do not cross process boundaries; "
+                    "use backend='inline' for custom job naming"
+                )
+            outcomes = self._run_process(assignment, registry, options)
+        shard_ids = [shard for shard, _ in outcomes]
+        merged = TraceReport.merged(
+            [report for _, report in outcomes], shard_ids=shard_ids
+        )
+        merged.wall_seconds = _wall_time.perf_counter() - started
+        self._last_reports = dict(outcomes)
+        for listener in list(self._merge_listeners):
+            listener(merged, dict(outcomes))
+        return merged
+
+    def _run_inline(
+        self, assignment, registry, job_ids, options
+    ) -> List[Tuple[int, TraceReport]]:
+        outcomes: List[Tuple[int, TraceReport]] = []
+        naming = job_ids or (lambda index, workload: f"trace-{index:05d}-{workload}")
+        for shard in sorted(assignment):
+            indices, subset = assignment[shard]
+            service = self._inline_shard(shard)
+            report = service.submit_trace(
+                subset,
+                registry=registry,
+                job_ids=lambda local, workload, _indices=indices: naming(
+                    _indices[local], workload
+                ),
+                **options,
+            )
+            outcomes.append((shard, report))
+        return outcomes
+
+    def _run_process(
+        self, assignment, registry, options
+    ) -> List[Tuple[int, TraceReport]]:
+        from repro import shardworker
+
+        futures: Dict[int, object] = {}
+        for shard in sorted(assignment):
+            indices, subset = assignment[shard]
+            payload = {
+                "shard": shard,
+                "config": self._shard_config(),
+                "warm_cache": self.shard_warm_dir(shard),
+                "specs": self._spec_payload(registry, subset),
+                "times": [arrival.arrival_time for arrival in subset],
+                "workloads": [arrival.workload for arrival in subset],
+                "indices": indices,
+                "options": options,
+            }
+            futures[shard] = self._executor(shard).submit(
+                shardworker.serve_trace, payload
+            )
+        outcomes: List[Tuple[int, TraceReport]] = []
+        for shard in sorted(futures):
+            outcome = futures[shard].result()
+            self._absorb(outcome)
+            outcomes.append((shard, outcome["report"]))
+        return outcomes
+
+    @staticmethod
+    def _spec_payload(
+        registry: WorkloadRegistry, subset: Sequence[JobArrival]
+    ) -> Dict[str, str]:
+        """Serialized specs for every workload in a shard's sub-trace.
+
+        The spec IR is the unit of dispatch: workers rebuild the workload
+        (validation, input materialization — deterministic per spec) from
+        JSON.  Workloads registered from bare factories have no serialized
+        form and cannot cross a process boundary.
+        """
+        from repro.loadgen import UnknownWorkloadError
+
+        payload: Dict[str, str] = {}
+        for name in sorted({arrival.workload for arrival in subset}):
+            if name not in registry:
+                raise UnknownWorkloadError(name, registry.names())
+            spec = registry.spec(name)
+            if spec is None:
+                raise ValueError(
+                    f"workload {name!r} is registered without a spec; "
+                    "backend='process' ships workloads as spec JSON — "
+                    "register it with register_spec or use backend='inline'"
+                )
+            payload[name] = spec.to_json()
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Merged accounting and telemetry
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> ServiceStats:
+        """One exact global :class:`~repro.service.ServiceStats` merged from
+        every shard (with per-shard provenance), rebuilt on access."""
+        shard_ids: List[int] = []
+        snapshots: List[ServiceStats] = []
+        live = self._inline if self.backend == "inline" else self._shard_stats
+        for shard in sorted(live):
+            source = live[shard]
+            snapshots.append(source.stats if self.backend == "inline" else source)
+            shard_ids.append(shard)
+        if not snapshots:
+            return ServiceStats()
+        return ServiceStats.merged(snapshots, shard_ids=shard_ids)
+
+    def warm_cache_counters(self) -> Dict[str, int]:
+        """Hit/miss/invalid/store counters summed across every shard cache."""
+        totals = {"hits": 0, "misses": 0, "invalid": 0, "stores": 0}
+        if self.backend == "inline":
+            sources = [
+                service.warm_cache.counters()
+                for service in self._inline.values()
+                if service.warm_cache is not None
+            ]
+        else:
+            sources = list(self._cache_counters.values())
+        for counters in sources:
+            for key in totals:
+                totals[key] += counters.get(key, 0)
+        return totals
+
+    def add_merge_listener(self, callback: Callable) -> None:
+        """Subscribe a cross-shard control loop to the merged global view.
+
+        ``callback(merged_report, shard_reports)`` fires after every
+        ``submit_trace`` merge with the global
+        :class:`~repro.loadgen.TraceReport` and the raw per-shard reports —
+        the hook cluster dynamics / autoscaling read instead of any single
+        shard's telemetry.
+        """
+        self._merge_listeners.append(callback)
+
+    def remove_merge_listener(self, callback: Callable) -> None:
+        self._merge_listeners.remove(callback)
+
+    def global_view(self) -> Dict[str, object]:
+        """The merged cross-shard state on demand (stats, last per-shard
+        trace provenance, aggregated warm-cache counters)."""
+        stats = self.stats
+        return {
+            "shards": self.shards,
+            "backend": self.backend,
+            "jobs_completed": stats.jobs_completed,
+            "stats": stats,
+            "trace_provenance": {
+                shard: report.provenance()
+                for shard, report in sorted(self._last_reports.items())
+            },
+            "warm_cache": self.warm_cache_counters(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+    def available_agents(self) -> List[str]:
+        if self._inline:
+            return next(iter(self._inline.values())).available_agents()
+        from repro.agents.library import default_library
+
+        return default_library().names()
+
+    def warm_agents(self) -> List[str]:
+        """Serving instances kept warm across all inline shards (process
+        shards keep their pools worker-local)."""
+        names: List[str] = []
+        for shard in sorted(self._inline):
+            names.extend(self._inline[shard].warm_agents())
+        return names
+
+    def register_agent(self, implementation) -> None:
+        """Make a new model/tool available on every shard (inline only:
+        process workers own their libraries for their lifetime)."""
+        if self.backend == "process":
+            raise ValueError(
+                "library evolution is shard-local on backend='process'; "
+                "use backend='inline' or restart the sharded service"
+            )
+        for shard in range(self.shards):
+            self._inline_shard(shard).register_agent(implementation)
+
+    def retire_agent(self, name: str) -> None:
+        """Remove a deprecated model/tool from every shard (inline only)."""
+        if self.backend == "process":
+            raise ValueError(
+                "library evolution is shard-local on backend='process'; "
+                "use backend='inline' or restart the sharded service"
+            )
+        for shard in range(self.shards):
+            self._inline_shard(shard).retire_agent(name)
+
+    def save_warm_state(self) -> None:
+        """Persist every shard's planner decisions to its warm cache."""
+        if self.backend == "inline":
+            for service in self._inline.values():
+                service.save_warm_state()
+            return
+        self._dispatch_shutdown(save_only=True)
+
+    def shutdown(self) -> None:
+        """Tear down every shard (warm state saved) and release workers."""
+        if self._closed:
+            return
+        if self.backend == "inline":
+            for service in self._inline.values():
+                service.shutdown()
+        else:
+            self._dispatch_shutdown(save_only=False)
+            for executor in self._executors.values():
+                executor.shutdown(wait=True)
+            self._executors.clear()
+        self._closed = True
+
+    def _dispatch_shutdown(self, save_only: bool) -> None:
+        from repro import shardworker
+
+        futures = {
+            shard: executor.submit(shardworker.shutdown_service, save_only)
+            for shard, executor in self._executors.items()
+        }
+        for shard in sorted(futures):
+            outcome = futures[shard].result()
+            cache = outcome.get("cache")
+            if cache:
+                self._cache_counters[shard] = cache
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

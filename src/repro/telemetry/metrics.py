@@ -234,6 +234,19 @@ class ThroughputMeter:
         if finished_at > self.last_finish:
             self.last_finish = finished_at
 
+    def merge(self, other: "ThroughputMeter") -> None:
+        """Fold another meter in: the merged span covers both runs.
+
+        Counts add and the span extrema take the min/max, so merging is
+        associative and order-insensitive — the property shard-merged trace
+        reports rely on.
+        """
+        self.completed += other.completed
+        if other.first_start < self.first_start:
+            self.first_start = other.first_start
+        if other.last_finish > self.last_finish:
+            self.last_finish = other.last_finish
+
     @property
     def span_s(self) -> float:
         if not self.completed:

@@ -46,6 +46,18 @@ _MAGIC = b"RPROWARM"
 #: Default on-disk location (CLI default; services take an explicit path).
 DEFAULT_CACHE_DIR = ".repro-warm-cache"
 
+#: Shard-local sub-caches of a sharded service live in ``shard-NN``
+#: subdirectories of the service's cache root, so every worker engine keeps
+#: its own byte-stable recordings regardless of shard count.
+SHARD_DIR_PREFIX = "shard-"
+
+
+def shard_dir_name(shard_id: int) -> str:
+    """The cache subdirectory name of one shard (``shard-00``, ...)."""
+    if shard_id < 0:
+        raise ValueError("shard_id must be non-negative")
+    return f"{SHARD_DIR_PREFIX}{shard_id:02d}"
+
 
 def fingerprint_digest(value: object) -> str:
     """A stable short digest of any repr-deterministic fingerprint object."""
@@ -272,11 +284,43 @@ class WarmStateCache:
             )
         return found
 
-    def total_size_bytes(self) -> int:
-        return sum(entry.size_bytes for entry in self.entries())
+    def total_size_bytes(self, include_shards: bool = False) -> int:
+        total = sum(entry.size_bytes for entry in self.entries())
+        if include_shards:
+            total += sum(
+                cache.total_size_bytes() for cache in self.shard_caches().values()
+            )
+        return total
 
-    def clear(self) -> int:
-        """Delete every cache file; returns how many were removed."""
+    def shard_caches(self) -> Dict[str, "WarmStateCache"]:
+        """Shard-local sub-caches under this root, keyed by directory name.
+
+        A :class:`~repro.sharding.ShardedService` gives every worker engine
+        its own ``shard-NN`` subdirectory; this is how ``repro cache info``
+        inspects them without knowing the shard count.
+        """
+        found: Dict[str, WarmStateCache] = {}
+        if not self.root.is_dir():
+            return found
+        for path in sorted(self.root.iterdir()):
+            if path.is_dir() and path.name.startswith(SHARD_DIR_PREFIX):
+                found[path.name] = WarmStateCache(path)
+        return found
+
+    def shard_summary(self) -> List[Dict[str, object]]:
+        """Entry count and size per shard subdirectory (``repro cache info``)."""
+        return [
+            {
+                "name": name,
+                "entries": len(cache.entries()),
+                "size_bytes": cache.total_size_bytes(),
+            }
+            for name, cache in self.shard_caches().items()
+        ]
+
+    def clear(self, include_shards: bool = True) -> int:
+        """Delete every cache file (shard sub-caches included by default);
+        returns how many files were removed."""
         removed = 0
         for entry in self.entries():
             try:
@@ -284,6 +328,13 @@ class WarmStateCache:
                 removed += 1
             except OSError:  # pragma: no cover - fs race
                 pass
+        if include_shards:
+            for cache in self.shard_caches().values():
+                removed += cache.clear()
+                try:
+                    cache.root.rmdir()
+                except OSError:  # non-cache files present: leave the dir
+                    pass
         return removed
 
     def counters(self) -> Dict[str, int]:
