@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench bench-record bench-smoke examples-smoke lint ci
+.PHONY: test bench bench-record bench-smoke examples-smoke overload-smoke lint ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,5 +35,11 @@ bench-record:
 bench-smoke:
 	$(PYTHON) scripts/bench.py --smoke
 
+## The overload gauntlet: 3x offered load with admission control on must
+## shed (reject AND degrade) without a single deadline violation among
+## admitted jobs, and the captured trace must replay byte-identically.
+overload-smoke:
+	$(PYTHON) scripts/overload_gauntlet.py
+
 ## The exact entrypoint .github/workflows/ci.yml calls — reproducible locally.
-ci: lint test examples-smoke bench-smoke
+ci: lint test examples-smoke bench-smoke overload-smoke

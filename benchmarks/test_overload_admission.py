@@ -1,0 +1,122 @@
+"""Overload-serving benchmarks: admission-controlled shedding throughput.
+
+The admission ladder (:mod:`repro.admission`) sits on the per-arrival hot
+path of ``submit_trace``: under overload every arrival pays for two token
+buckets, a deadline-feasibility check, and per-class accounting before the
+steady-state memo is even consulted.  The gated benchmark serves a 3x-
+capacity trace with the ladder installed, so a regression in the decision
+path (or in the degraded-variant recompile memo) shows up directly in
+trace wall time.
+
+The capture benchmark rides along non-gated: it measures the incremental
+cost of recording a full QoE capture (collector callback per arrival plus
+canonical-JSON serialization), which should stay a small fraction of the
+serving cost itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.admission import AdmissionConfig
+from repro.capture import capture_trace, replay_capture, replays_identically
+from repro.loadgen import WorkloadRegistry
+from repro.service import AIWorkflowService
+from repro.workflows.newsfeed import newsfeed_spec
+from repro.workloads.arrival import JobArrival
+
+#: Per-job steady makespan of the newsfeed workload is ~3.5 simulated
+#: seconds; the arrival interval offers ~3x that capacity.
+ARRIVALS = 1200
+INTERVAL_S = 1.1
+
+#: Calibrated ladder: capacity-rate budget, latency-first degraded plans,
+#: conservative cost priors (see scripts/overload_gauntlet.py for how these
+#: are derived from a capacity probe).
+ADMISSION = AdmissionConfig(
+    rate_per_s=0.29,
+    burst=2.0,
+    max_defer_s=7.0,
+    degrade=True,
+    degraded_quality=0.0,
+    degraded_constraint="min_latency",
+    default_deadline_s=14.0,
+    estimate_prior_s=3.5,
+    degraded_prior_s=1.3,
+)
+
+
+def _overload_registry() -> WorkloadRegistry:
+    base = newsfeed_spec()
+    registry = WorkloadRegistry()
+    registry.register_spec(base.with_overrides(priority="high"), name="feed-high")
+    registry.register_spec(base, name="feed-normal")
+    registry.register_spec(base.with_overrides(priority="low"), name="feed-low")
+    return registry
+
+
+def _overload_arrivals():
+    tenants = ("feed-high", "feed-normal", "feed-low")
+    return [
+        JobArrival(arrival_time=index * INTERVAL_S, workload=tenants[index % 3])
+        for index in range(ARRIVALS)
+    ]
+
+
+@pytest.mark.bench_gated
+def test_overload_admission_1k(benchmark):
+    """1.2k arrivals at ~3x capacity through the full admission ladder."""
+    service = AIWorkflowService()
+    registry = _overload_registry()
+    arrivals = _overload_arrivals()
+    reports = []
+
+    def serve():
+        report = service.submit_trace(
+            arrivals, registry=registry, admission=ADMISSION
+        )
+        reports.append(report)
+        return report
+
+    try:
+        report = benchmark.pedantic(serve, rounds=3, warmup_rounds=1, iterations=1)
+    finally:
+        service.shutdown()
+    benchmark.extra_info["offered"] = len(arrivals)
+    benchmark.extra_info["admitted"] = report.jobs
+    benchmark.extra_info["rejected"] = report.rejected_jobs
+    benchmark.extra_info["degraded"] = report.degraded_jobs
+    benchmark.extra_info["slo_violations"] = report.slo_violations
+    # The overload contract, asserted on every timed round's result: the
+    # ladder sheds (both kinds) and never admits into a blown deadline.
+    assert report.rejected_jobs > 0
+    assert report.degraded_jobs > 0
+    assert report.slo_violations == 0
+    assert report.jobs + report.rejected_jobs == len(arrivals)
+    # Decisions are deterministic: every round sheds identically.
+    assert len({(r.jobs, r.rejected_jobs, r.degraded_jobs) for r in reports}) == 1
+
+
+def test_overload_capture_roundtrip(benchmark):
+    """Capture cost: serve + record + checksum a 300-arrival overload trace."""
+    registry = _overload_registry()
+    arrivals = _overload_arrivals()[:300]
+
+    def capture_once():
+        service = AIWorkflowService()
+        try:
+            capture, report = capture_trace(
+                service, arrivals, registry=registry, admission=ADMISSION
+            )
+        finally:
+            service.shutdown()
+        return capture, report
+
+    capture, report = benchmark.pedantic(
+        capture_once, rounds=2, warmup_rounds=1, iterations=1
+    )
+    benchmark.extra_info["entries"] = len(capture.entries)
+    benchmark.extra_info["capture_bytes"] = len(capture.to_json())
+    assert len(capture.entries) == len(arrivals)
+    replayed, _ = replay_capture(capture)
+    assert replays_identically(capture, replayed)

@@ -26,6 +26,8 @@ Gated metrics (min seconds — the noise-robust statistic — lower is better):
 * ``test_sharded_trace_1_shard_10k``        — sharded serving baseline
 * ``test_sharded_trace_4_shards_10k``       — 4-way parallel scale-out (plus
   the >= 2.5x speedup gate on machines with >= 4 cores)
+* ``test_overload_admission_1k``            — admission-ladder shedding at
+  3x offered load (rate buckets + deadline feasibility per arrival)
 """
 
 from __future__ import annotations
@@ -52,6 +54,7 @@ GATES = {
     "test_service_cold_vs_warm_start": 1.20,
     "test_sharded_trace_1_shard_10k": 1.20,
     "test_sharded_trace_4_shards_10k": 1.20,
+    "test_overload_admission_1k": 1.20,
 }
 
 #: The 4-shard run must beat the 1-shard run by at least this wall-time
@@ -77,6 +80,7 @@ def run_benchmarks(json_path: Path) -> None:
         "pytest",
         "benchmarks/test_microbenchmarks.py",
         "benchmarks/test_sharding_scaleout.py",
+        "benchmarks/test_overload_admission.py",
         "-q",
         "--benchmark-only",
         f"--benchmark-json={json_path}",
@@ -269,6 +273,7 @@ def run_smoke() -> int:
         "pytest",
         "benchmarks/test_microbenchmarks.py",
         "benchmarks/test_policy_sweep.py",
+        "benchmarks/test_overload_admission.py",
         "-q",
         "--benchmark-disable",
     ]

@@ -33,6 +33,20 @@ from repro.core.constraints import (
     MIN_POWER,
 )
 from repro.core.job import Job, JobResult
+from repro.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionRejected,
+)
+from repro.capture import (
+    CaptureError,
+    QoEEntry,
+    TraceCapture,
+    capture_trace,
+    replay_capture,
+    replays_identically,
+)
 from repro.core.runtime import MurakkabRuntime
 from repro.core.multitenant import MultiTenantRuntime, TenantSubmission
 from repro.core.planner import PlannerOverride
@@ -114,6 +128,16 @@ __all__ = [
     "OmAgentBaseline",
     "AIWorkflowService",
     "ServiceStats",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionRejected",
+    "TraceCapture",
+    "QoEEntry",
+    "CaptureError",
+    "capture_trace",
+    "replay_capture",
+    "replays_identically",
     "ShardedService",
     "ShardRouter",
     "WarmStateCache",

@@ -237,10 +237,46 @@ def _build_arrivals(args: argparse.Namespace, workloads: tuple):
     )
 
 
+def _build_admission(args: argparse.Namespace):
+    """Translate the admission flags into an AdmissionConfig (or None)."""
+    if args.admit_rate is None:
+        return None
+    from repro.admission import AdmissionConfig
+
+    return AdmissionConfig(
+        rate_per_s=args.admit_rate,
+        burst=args.admit_burst,
+        tenant_rate_per_s=args.admit_tenant_rate,
+        tenant_burst=args.admit_tenant_burst,
+        max_defer_s=args.max_defer,
+        degrade=not args.no_degrade,
+        degraded_quality=args.degraded_quality,
+        degraded_constraint=args.degraded_constraint,
+        default_deadline_s=args.default_deadline,
+    )
+
+
+def _print_class_breakdown(report) -> None:
+    """Per-priority-class QoE lines for an admission-controlled report."""
+    for priority in sorted(report.priority_classes):
+        counters = report.priority_classes[priority]
+        latency = report.priority_latency.get(priority)
+        mean = round(latency.mean, 3) if latency is not None and latency.count else 0.0
+        print(
+            f"{f'class {priority}':>22}: jobs={counters['jobs']} "
+            f"degraded={counters['degraded']} deferred={counters['deferred']} "
+            f"rejected={counters['rejected']} "
+            f"slo_violations={counters['slo_violations']} "
+            f"mean_latency_s={mean}"
+        )
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     from repro import MurakkabClient
     from repro.loadgen import default_registry
 
+    if args.replay:
+        return _replay_common(args.replay, out=None, csv_out=None)
     # Validate workloads/specs before paying for service construction
     # (cluster, library profiling): a typo exits without building anything.
     registry = default_registry()
@@ -249,10 +285,18 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         return workloads
     arrivals = _build_arrivals(args, workloads)
     dynamics = _build_dynamics(args)
+    admission = _build_admission(args)
     if args.shards > 1 and dynamics is not None and args.shard_backend == "process":
         print(
             "disruption schedules bind to shard-local engines; combine "
             "--shards with --shard-backend inline for dynamics",
+            file=sys.stderr,
+        )
+        return 2
+    if args.capture and (args.shards > 1 or dynamics is not None or args.mode != "grouped"):
+        print(
+            "--capture records a single-engine grouped trace; drop --shards, "
+            "disruption flags, and --mode multiplex",
             file=sys.stderr,
         )
         return 2
@@ -264,12 +308,35 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         shards=args.shards,
         shard_backend=args.shard_backend,
     ) as client:
-        handle = client.submit_trace(arrivals, mode=args.mode)
+        if args.capture:
+            from repro.client import TraceHandle
+            from repro.capture import capture_trace
+
+            capture, report = capture_trace(
+                client.service, arrivals, registry=registry, admission=admission
+            )
+            capture.save(args.capture)
+            print(f"{'capture':>22}: {args.capture} ({capture.checksum()[:12]}...)")
+            handle = TraceHandle(report)
+        else:
+            options = {"mode": args.mode}
+            if admission is not None:
+                options["admission"] = admission
+            handle = client.submit_trace(arrivals, **options)
         service = client.service
         if service.policy is not None:
             print(f"{'policy':>22}: {service.policy.describe()}")
         for key, value in handle.summary().items():
             print(f"{key:>22}: {value}")
+        if handle.report.admission_controlled:
+            _print_class_breakdown(handle.report)
+        if args.report_json:
+            import json
+
+            with open(args.report_json, "w", encoding="utf-8") as fh:
+                json.dump(handle.report.canonical_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"{'report json':>22}: {args.report_json}")
         for shard, provenance in sorted(handle.report.shards.items()):
             print(
                 f"{f'shard {shard}':>22}: jobs={provenance['jobs']} "
@@ -301,6 +368,46 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                         f"{'scaling command':>22}: {command.action.value} {command.reason}"
                     )
     return 0
+
+
+def _replay_common(path: str, out: Optional[str], csv_out: Optional[str]) -> int:
+    """Load a capture, re-serve its trace, and verify byte-identity."""
+    from repro.capture import (
+        CaptureError,
+        TraceCapture,
+        diff_captures,
+        replay_capture,
+        replays_identically,
+    )
+
+    try:
+        capture = TraceCapture.load(path)
+    except (OSError, CaptureError) as error:
+        print(f"cannot load capture: {error}", file=sys.stderr)
+        return 2
+    replayed, report = replay_capture(capture)
+    for key, value in report.summary().items():
+        print(f"{key:>22}: {value}")
+    if report.admission_controlled:
+        _print_class_breakdown(report)
+    if out:
+        replayed.save(out)
+        print(f"{'replayed capture':>22}: {out}")
+    if csv_out:
+        replayed.to_csv(csv_out)
+        print(f"{'qoe csv':>22}: {csv_out}")
+    if replays_identically(capture, replayed):
+        print(f"{'replay':>22}: identical ({capture.checksum()[:12]}...)")
+        return 0
+    print(
+        f"{'replay':>22}: DIVERGED in {diff_captures(capture, replayed)}",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    return _replay_common(args.capture_file, out=args.out, csv_out=args.csv)
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -496,7 +603,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="process = one worker process per shard (parallel, default); "
         "inline = all shards in-process (sequential, for debugging)",
     )
+    _add_admission_flags(loadtest)
+    loadtest.add_argument(
+        "--capture",
+        metavar="PATH",
+        default=None,
+        help="record the served trace (arrivals, specs, admission config, "
+        "per-job QoE, report) to a checksummed capture file for bit-exact "
+        "replay (single engine, grouped mode)",
+    )
+    loadtest.add_argument(
+        "--replay",
+        metavar="PATH",
+        default=None,
+        help="replay a capture file instead of generating a trace; exits "
+        "nonzero if the replayed report diverges from the recorded one",
+    )
+    loadtest.add_argument(
+        "--report-json",
+        metavar="PATH",
+        default=None,
+        help="also write the report's canonical dict as JSON",
+    )
     loadtest.set_defaults(func=_cmd_loadtest)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="re-serve a captured trace bit-exactly and verify QoE (ours)",
+    )
+    replay.add_argument("capture_file", help="capture file written by loadtest --capture")
+    replay.add_argument(
+        "--out", default=None, help="write the replayed capture to this path"
+    )
+    replay.add_argument(
+        "--csv", default=None, help="export the replayed per-job QoE entries as CSV"
+    )
+    replay.set_defaults(func=_cmd_replay)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or clear a persistent warm-state cache (ours)"
@@ -527,6 +669,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.set_defaults(func=_cmd_compare_policies)
     return parser
+
+
+def _add_admission_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "admission control",
+        "overload admission: --admit-rate enables the ladder "
+        "(degrade, then defer, then reject)",
+    )
+    group.add_argument(
+        "--admit-rate",
+        type=float,
+        default=None,
+        metavar="JOBS_PER_S",
+        help="global admitted-job rate budget; omit to disable admission",
+    )
+    group.add_argument(
+        "--admit-burst", type=float, default=4.0, help="global burst allowance (jobs)"
+    )
+    group.add_argument(
+        "--admit-tenant-rate",
+        type=float,
+        default=None,
+        help="per-tenant rate budget (default: the global rate)",
+    )
+    group.add_argument(
+        "--admit-tenant-burst",
+        type=float,
+        default=None,
+        help="per-tenant burst allowance (default: the global burst)",
+    )
+    group.add_argument(
+        "--max-defer",
+        type=float,
+        default=0.0,
+        help="longest a job may wait for tokens before rejection (s)",
+    )
+    group.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="disable quality shedding (skip straight to defer/reject)",
+    )
+    group.add_argument(
+        "--degraded-quality",
+        type=float,
+        default=0.0,
+        help="quality target degraded jobs are re-planned at",
+    )
+    group.add_argument(
+        "--degraded-constraint",
+        default=None,
+        choices=("min_latency", "min_cost", "min_energy", "min_power"),
+        help="planning objective for degraded jobs (default: the spec's own)",
+    )
+    group.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        help="deadline SLO (s) for workloads whose spec declares none",
+    )
 
 
 def _add_policy_flag(parser: argparse.ArgumentParser) -> None:

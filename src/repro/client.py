@@ -360,6 +360,7 @@ class MurakkabClient:
         warm_cache=None,
         shards: int = 1,
         shard_backend: str = "process",
+        admission=None,
     ):
         """``warm_cache`` (a :class:`~repro.warmstate.WarmStateCache` or a
         directory path) persists warm service state across processes: a
@@ -372,7 +373,13 @@ class MurakkabClient:
         them as parallel worker processes; ``'inline'`` hosts them
         in-process).  The facade is unchanged — handles, sessions, and
         merged stats work identically — subject to the sharded backend's
-        restrictions (see :class:`~repro.sharding.ShardedService`)."""
+        restrictions (see :class:`~repro.sharding.ShardedService`).
+
+        ``admission`` (an :class:`~repro.admission.AdmissionConfig` or its
+        dict form) installs overload admission control on the service:
+        interactive submissions past the rate/deadline ladder raise
+        :class:`~repro.admission.AdmissionRejected`, and trace runs shed
+        degrade-first (see :mod:`repro.admission`)."""
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if shards > 1:
@@ -391,6 +398,7 @@ class MurakkabClient:
                 warm_cache=warm_cache,
                 keep_warm=keep_warm,
                 registry=registry,
+                admission=admission,
             )
         self.service = service or AIWorkflowService(
             runtime=runtime,
@@ -398,7 +406,12 @@ class MurakkabClient:
             dynamics=dynamics,
             policy=policy,
             warm_cache=warm_cache,
+            admission=admission,
         )
+        if service is not None and admission is not None and shards == 1:
+            # An explicitly passed service gets the config installed rather
+            # than silently dropped.
+            self.service.set_admission(admission)
         #: Built lazily: a client submitting only explicit specs/jobs never
         #: pays for registering (validating, materializing) the four
         #: shipped workloads.

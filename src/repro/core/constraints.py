@@ -41,6 +41,16 @@ _OBJECTIVES = {
     Constraint.MAX_QUALITY: "quality",
 }
 
+#: Admission priority classes a job can declare, best-first.  Priority is
+#: orthogonal to the optimisation objectives above: it decides who is shed
+#: first under overload (see :mod:`repro.admission`), not how an admitted
+#: job is planned.
+PRIORITY_CLASSES: Tuple[str, ...] = ("high", "normal", "low")
+
+#: The priority a job gets when its spec declares none.
+DEFAULT_PRIORITY = "normal"
+
+
 #: Listing-2-style module-level aliases (``constraints=MIN_COST``).
 MIN_COST = Constraint.MIN_COST
 MIN_LATENCY = Constraint.MIN_LATENCY

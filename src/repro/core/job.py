@@ -7,7 +7,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.agents.base import AgentResult
-from repro.core.constraints import Constraint, ConstraintSet
+from repro.core.constraints import (
+    Constraint,
+    ConstraintSet,
+    DEFAULT_PRIORITY,
+    PRIORITY_CLASSES,
+)
 from repro.sim.energy import EnergyBreakdown
 from repro.sim.trace import ExecutionTrace
 
@@ -40,12 +45,24 @@ class Job:
     #: was compiled from (empty for hand-built jobs).  Joins the planner's
     #: decision-cache key, so cached choices are namespaced per spec.
     spec_digest: str = ""
+    #: Admission priority class (``high``/``normal``/``low``): who is shed
+    #: first under overload.  Does not change how an admitted job is planned.
+    priority: str = DEFAULT_PRIORITY
+    #: End-to-end deadline SLO in seconds from arrival (``None`` = best
+    #: effort); admission control sheds jobs whose deadline cannot be met.
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.description:
             raise ValueError("a job needs a natural-language description")
         if not 0.0 <= self.quality_target <= 1.0:
             raise ValueError(f"quality_target must be in [0, 1]: {self.quality_target}")
+        if self.priority not in PRIORITY_CLASSES:
+            raise ValueError(
+                f"unknown priority {self.priority!r}; classes: {PRIORITY_CLASSES}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive: {self.deadline_s}")
         if not self.job_id:
             self.job_id = f"job-{next(_job_counter)}"
 

@@ -39,10 +39,13 @@ state, not O(jobs).
 
 from __future__ import annotations
 
+import math
 import time as _wall_time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.admission import AdmissionController, admission_of
+from repro.core.constraints import DEFAULT_PRIORITY
 from repro.core.execution import ExecutionError
 from repro.core.job import Job, JobResult
 from repro.core.planner import PlanningError
@@ -56,6 +59,11 @@ from repro.telemetry.metrics import (
 )
 from repro.warmstate import ReplayRecord, TraceRecording, trace_context_key
 from repro.workloads.arrival import JobArrival
+
+#: Group-key suffix for the degraded-quality variant of a workload: degraded
+#: jobs plan differently, so they converge to their own steady state and
+#: never pollute the full-quality group's memo.
+DEGRADED_SUFFIX = "@degraded"
 
 # --------------------------------------------------------------------- #
 # Workload registry
@@ -234,6 +242,9 @@ class GroupState:
     #: Index of the steady record in the trace recording being captured
     #: (``None`` when no recording is active for this steady state).
     steady_record: Optional[int] = None
+    #: Most recent observed makespan of this group (set by every probe) —
+    #: the admission controller's deadline-feasibility estimate.
+    estimate: Optional[float] = None
 
     def counters(self) -> Dict[str, int]:
         return {"simulated": self.simulated, "replayed": self.replayed}
@@ -277,6 +288,27 @@ class TraceReport:
     #: from a :class:`~repro.sharding.ShardedService` are folded into one
     #: global view; empty for a report served by a single engine.
     shards: Dict[int, Dict[str, object]] = field(default_factory=dict)
+    #: True when the trace was served under an admission controller; the
+    #: shed counters below are only meaningful (and only summarised) then.
+    admission_controlled: bool = False
+    #: Jobs admitted at a reduced quality target (degrade-before-drop).
+    degraded_jobs: int = 0
+    #: Jobs admitted after waiting for rate-limit tokens.
+    deferred_jobs: int = 0
+    #: Arrivals shed outright; never served, excluded from :attr:`jobs`.
+    rejected_jobs: int = 0
+    #: Admitted jobs that finished past their deadline SLO (optimistic
+    #: admits made before the workload's makespan had been observed).
+    slo_violations: int = 0
+    #: Per-priority-class counters (jobs/degraded/deferred/rejected/
+    #: slo_violations), keyed by class name.
+    priority_classes: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Per-priority-class end-to-end latency (finish - arrival) aggregates.
+    priority_latency: Dict[str, StreamingAggregate] = field(default_factory=dict)
+    #: End-to-end latency samples (finish - arrival) for percentile
+    #: reporting, capped at :attr:`max_latency_samples` (first N kept).
+    latency_s: List[float] = field(default_factory=list)
+    max_latency_samples: Optional[int] = 100_000
 
     @property
     def batch_start(self) -> float:
@@ -312,12 +344,51 @@ class TraceReport:
         self.quality.add(result.quality)
         self.queue_delay_s.add(max(0.0, result.started_at - arrival_time))
         self.throughput.record(result.started_at, result.finished_at)
+        self.add_latency(result.finished_at - arrival_time)
         self.job_summaries[result.job_id] = result.compact_summary()
         evict_oldest(self.job_summaries, self.max_job_summaries)
 
+    def add_latency(self, latency: float) -> None:
+        if (
+            self.max_latency_samples is None
+            or len(self.latency_s) < self.max_latency_samples
+        ):
+            self.latency_s.append(latency)
+
+    def latency_percentiles(
+        self, percentiles: Sequence[float] = (0.5, 0.95, 0.99)
+    ) -> Dict[str, float]:
+        """Nearest-rank latency percentiles over the retained samples."""
+        ordered = sorted(self.latency_s)
+        out: Dict[str, float] = {}
+        for p in percentiles:
+            key = f"p{format(p * 100, 'g')}"
+            if not ordered:
+                out[key] = 0.0
+            else:
+                rank = max(0, math.ceil(p * len(ordered)) - 1)
+                out[key] = ordered[min(rank, len(ordered) - 1)]
+        return out
+
+    def class_counters(self, priority: str) -> Dict[str, int]:
+        """The (created-on-demand) counter record for one priority class."""
+        return self.priority_classes.setdefault(
+            priority,
+            {
+                "jobs": 0,
+                "degraded": 0,
+                "deferred": 0,
+                "rejected": 0,
+                "slo_violations": 0,
+            },
+        )
+
+    def class_latency(self, priority: str) -> StreamingAggregate:
+        return self.priority_latency.setdefault(priority, StreamingAggregate())
+
     def provenance(self) -> Dict[str, object]:
         """The compact per-shard accounting record :meth:`merge` stores."""
-        return {
+        data: Dict[str, object] = {
             "jobs": self.jobs,
             "simulated_jobs": self.simulated_jobs,
             "replayed_jobs": self.replayed_jobs,
@@ -325,6 +396,14 @@ class TraceReport:
             "wall_seconds": self.wall_seconds,
             "warm_trace": self.warm_trace,
         }
+        # Admission-free runs keep the exact provenance shape they always
+        # had; only admission-controlled shards carry shed counters.
+        if self.admission_controlled:
+            data["degraded_jobs"] = self.degraded_jobs
+            data["deferred_jobs"] = self.deferred_jobs
+            data["rejected_jobs"] = self.rejected_jobs
+            data["slo_violations"] = self.slo_violations
+        return data
 
     def merge(self, other: "TraceReport", shard: Optional[int] = None) -> "TraceReport":
         """Fold ``other`` into this report, producing one exact global view.
@@ -368,6 +447,19 @@ class TraceReport:
         self.failed_jobs += other.failed_jobs
         for key, value in other.disruptions.items():
             self.disruptions[key] = self.disruptions.get(key, 0) + value
+        self.admission_controlled = self.admission_controlled or other.admission_controlled
+        self.degraded_jobs += other.degraded_jobs
+        self.deferred_jobs += other.deferred_jobs
+        self.rejected_jobs += other.rejected_jobs
+        self.slo_violations += other.slo_violations
+        for priority, counters in other.priority_classes.items():
+            mine = self.class_counters(priority)
+            for key, value in counters.items():
+                mine[key] = mine.get(key, 0) + value
+        for priority, aggregate in other.priority_latency.items():
+            self.class_latency(priority).merge(aggregate)
+        for latency in other.latency_s:
+            self.add_latency(latency)
         for shard_id, record in other.shards.items():
             self.shards[shard_id] = dict(record)
         if shard is not None:
@@ -417,6 +509,8 @@ class TraceReport:
             "total_energy_wh": round(self.energy_wh.total, 2),
             "total_cost": round(self.cost.total, 4),
         }
+        for key, value in self.latency_percentiles().items():
+            data[f"{key}_latency_s"] = round(value, 2)
         # Only dynamics runs carry disruption accounting; a disruption-free
         # trace keeps the exact summary shape it always had.
         if self.disruptions:
@@ -425,7 +519,73 @@ class TraceReport:
         # Likewise only shard-merged reports carry shard accounting.
         if self.shards:
             data["shards"] = len(self.shards)
+        # And only admission-controlled runs carry shed accounting.
+        if self.admission_controlled:
+            data["degraded_jobs"] = self.degraded_jobs
+            data["deferred_jobs"] = self.deferred_jobs
+            data["rejected_jobs"] = self.rejected_jobs
+            data["slo_violations"] = self.slo_violations
+            data["priority_classes"] = {
+                priority: dict(counters)
+                for priority, counters in sorted(self.priority_classes.items())
+            }
         return data
+
+    def canonical_dict(self) -> Dict[str, object]:
+        """Every deterministic field of the report, JSON-serializable.
+
+        The byte-for-byte comparison surface for capture/replay: two
+        servings of the same offered load under the same bundle must agree
+        on this dict exactly.  Wall-clock measurements (``wall_seconds``,
+        including inside per-shard provenance) are excluded — they are the
+        only nondeterministic fields a replay legitimately changes.
+        """
+        return {
+            "mode": self.mode,
+            "jobs": self.jobs,
+            "simulated_jobs": self.simulated_jobs,
+            "replayed_jobs": self.replayed_jobs,
+            "replay_runs": self.replay_runs,
+            "warm_trace": self.warm_trace,
+            "makespan_s": self.makespan_s.summary(),
+            "energy_wh": self.energy_wh.summary(),
+            "cost": self.cost.summary(),
+            "quality": self.quality.summary(),
+            "queue_delay_s": self.queue_delay_s.summary(),
+            "throughput": {
+                "completed": self.throughput.completed,
+                "first_start": self.batch_start,
+                "last_finish": self.batch_end,
+            },
+            "groups": {name: dict(counters) for name, counters in sorted(self.groups.items())},
+            "job_summaries": {
+                job_id: dict(summary) for job_id, summary in self.job_summaries.items()
+            },
+            "failed_jobs": self.failed_jobs,
+            "disruptions": dict(sorted(self.disruptions.items())),
+            "shards": {
+                str(shard_id): {
+                    key: value
+                    for key, value in record.items()
+                    if key != "wall_seconds"
+                }
+                for shard_id, record in sorted(self.shards.items())
+            },
+            "admission_controlled": self.admission_controlled,
+            "degraded_jobs": self.degraded_jobs,
+            "deferred_jobs": self.deferred_jobs,
+            "rejected_jobs": self.rejected_jobs,
+            "slo_violations": self.slo_violations,
+            "priority_classes": {
+                priority: dict(counters)
+                for priority, counters in sorted(self.priority_classes.items())
+            },
+            "priority_latency": {
+                priority: aggregate.summary()
+                for priority, aggregate in sorted(self.priority_latency.items())
+            },
+            "latency_s": list(self.latency_s),
+        }
 
 
 # --------------------------------------------------------------------- #
@@ -462,6 +622,8 @@ class ServiceLoadGenerator:
         dynamics=None,
         policy=None,
         vectorized: bool = True,
+        admission=None,
+        collector: Optional[Callable[[Dict[str, object]], None]] = None,
     ) -> TraceReport:
         """Serve ``arrivals`` and return the streaming :class:`TraceReport`.
 
@@ -493,12 +655,36 @@ class ServiceLoadGenerator:
         byte-identical to the reference path (asserted differentially in the
         test suite), it is just O(runs) instead of O(jobs) in Python-level
         work.
+
+        ``admission`` serves the trace behind an admission controller (an
+        :class:`~repro.admission.AdmissionConfig` or its dict form; the
+        service's installed config is used when ``None``).  Arrivals then
+        pass the rate-limit / deadline-feasibility ladder before touching
+        the engine: shed jobs are counted in
+        :attr:`TraceReport.degraded_jobs` / ``deferred_jobs`` /
+        ``rejected_jobs``, per-class breakdowns land in
+        :attr:`TraceReport.priority_classes`, and a fresh controller is
+        built per run so identical traces decide identically (the
+        capture/replay property).  Grouped mode only.
+
+        ``collector`` receives one plain-dict QoE record per arrival
+        (including rejected ones) with trace-relative timings — the feed
+        :mod:`repro.capture` turns into a checksummed capture file.
+        Grouped mode only; does not cross process boundaries.
         """
         if mode not in ("grouped", "multiplex"):
             raise ValueError(f"unknown mode {mode!r}; expected 'grouped' or 'multiplex'")
         if not arrivals:
             raise ValueError("at least one arrival is required")
         registry = registry or self.registry
+        if admission is None:
+            admission = getattr(self.service, "admission", None)
+        admission = admission_of(admission)
+        if admission is not None and mode != "grouped":
+            raise ValueError("admission control requires mode='grouped'")
+        if collector is not None and mode != "grouped":
+            raise ValueError("QoE collection requires mode='grouped'")
+        controller = AdmissionController(admission) if admission is not None else None
         if policy is not None:
             self.service.set_policy(policy)
         bundle = getattr(self.service, "policy", None)
@@ -512,7 +698,9 @@ class ServiceLoadGenerator:
         job_ids = job_ids or (lambda index, workload: f"trace-{index:05d}-{workload}")
         started = _wall_time.perf_counter()
         if mode == "grouped":
-            report = self._run_grouped(arrivals, registry, job_ids, vectorized)
+            report = self._run_grouped(
+                arrivals, registry, job_ids, vectorized, controller, collector
+            )
         else:
             report = self._run_multiplexed(arrivals, registry, job_ids)
         report.wall_seconds = _wall_time.perf_counter() - started
@@ -538,11 +726,18 @@ class ServiceLoadGenerator:
         registry: WorkloadRegistry,
         job_ids: Callable[[int, str], str],
         vectorized: bool = True,
+        controller: Optional[AdmissionController] = None,
+        collector: Optional[Callable[[Dict[str, object]], None]] = None,
     ) -> TraceReport:
         service = self.service
         engine = service.runtime.engine
         report = TraceReport(mode="grouped")
+        report.admission_controlled = controller is not None
         groups: Dict[str, GroupState] = {}
+        #: Per-workload (priority, deadline_s) from the registered spec.
+        slo_memo: Dict[str, Tuple[str, Optional[float]]] = {}
+        #: Per-workload degraded-variant (spec, inputs), compiled lazily.
+        degraded_memo: Dict[str, tuple] = {}
         #: Replayed completions not yet injected: (finish, callback, args).
         #: Only used on the per-arrival reference path (``vectorized=False``).
         pending: List[tuple] = []
@@ -565,7 +760,13 @@ class ServiceLoadGenerator:
         cache = getattr(service, "warm_cache", None)
         recording: Optional[TraceRecording] = None
         recording_key: Optional[tuple] = None
-        if vectorized and cache is not None and self._dynamics is None:
+        if (
+            vectorized
+            and cache is not None
+            and self._dynamics is None
+            and controller is None
+            and collector is None
+        ):
             recording_key = self._trace_context_key(
                 registry, ordered, pool_signature, store, epoch
             )
@@ -607,10 +808,65 @@ class ServiceLoadGenerator:
                 run_values.clear()
 
         for index, arrival in ordered:
-            group = groups.setdefault(arrival.workload, GroupState(arrival.workload))
             job_id = job_ids(index, arrival.workload)
             arrival_at = epoch + arrival.arrival_time
-            service_start = max(arrival_at, previous_finish)
+            group_name = arrival.workload
+            ready_at = arrival_at
+            deadline_at: Optional[float] = None
+            priority = DEFAULT_PRIORITY
+            deadline_s: Optional[float] = None
+            outcome = "admit"
+            if controller is not None or collector is not None:
+                priority, deadline_s = self._workload_slo(
+                    registry, arrival.workload, slo_memo
+                )
+            if controller is not None:
+                # The admission ladder runs before any engine state is
+                # touched: rejected arrivals cost nothing downstream.
+                full_group = groups.get(arrival.workload)
+                degraded_group = groups.get(arrival.workload + DEGRADED_SUFFIX)
+                decision = controller.decide(
+                    tenant=arrival.workload,
+                    priority=priority,
+                    arrival_at=arrival_at,
+                    deadline_s=deadline_s,
+                    estimate_s=full_group.estimate if full_group is not None else None,
+                    degraded_estimate_s=(
+                        degraded_group.estimate if degraded_group is not None else None
+                    ),
+                    backlog_until=previous_finish,
+                )
+                if not decision.admitted:
+                    report.rejected_jobs += 1
+                    report.class_counters(priority)["rejected"] += 1
+                    if collector is not None:
+                        collector(
+                            self._qoe_record(
+                                job_id,
+                                arrival.workload,
+                                priority,
+                                "reject",
+                                arrival.arrival_time,
+                                deadline_s=deadline_s,
+                            )
+                        )
+                    continue
+                outcome = decision.outcome
+                report.class_counters(priority)["jobs"] += 1
+                if decision.outcome == "degrade":
+                    report.degraded_jobs += 1
+                    report.class_counters(priority)["degraded"] += 1
+                    group_name = arrival.workload + DEGRADED_SUFFIX
+                elif decision.outcome == "defer":
+                    report.deferred_jobs += 1
+                    report.class_counters(priority)["deferred"] += 1
+                    ready_at = arrival_at + decision.wait_s
+                if deadline_s is None:
+                    deadline_s = controller.config.default_deadline_s
+                if deadline_s is not None:
+                    deadline_at = arrival_at + deadline_s
+            group = groups.setdefault(group_name, GroupState(group_name))
+            service_start = max(ready_at, previous_finish)
             if self._dynamics is not None:
                 # A disruption is due before this job starts: let it fire so
                 # the steady-state check below sees the changed cluster (the
@@ -637,6 +893,30 @@ class ServiceLoadGenerator:
                 # buffered array entry (or, on the reference path, one
                 # batched engine event) instead of a full pipeline run.
                 finish = service_start + steady.makespan_s
+                if controller is not None:
+                    self._note_completion(
+                        report, priority, deadline_at, arrival_at, finish
+                    )
+                if collector is not None:
+                    collector(
+                        self._qoe_record(
+                            job_id,
+                            arrival.workload,
+                            priority,
+                            outcome,
+                            arrival.arrival_time,
+                            started_s=service_start - epoch,
+                            finished_s=finish - epoch,
+                            makespan_s=steady.makespan_s,
+                            quality=group.steady_values[3],
+                            deadline_s=deadline_s,
+                            slo_met=(
+                                finish <= deadline_at
+                                if deadline_at is not None
+                                else None
+                            ),
+                        )
+                    )
                 if vectorized:
                     run_ids.append(job_id)
                     run_arrivals.append(arrival_at)
@@ -664,7 +944,12 @@ class ServiceLoadGenerator:
                 self._flush(engine, pending)
             if service_start > engine.now:
                 engine.run(until=service_start)
-            job = registry.build(arrival.workload, job_id)
+            if group_name.endswith(DEGRADED_SUFFIX):
+                job = self._degraded_job(
+                    registry, arrival.workload, job_id, controller, degraded_memo
+                )
+            else:
+                job = registry.build(arrival.workload, job_id)
             self._check_signature(group, job)
             if self._dynamics is not None:
                 try:
@@ -680,14 +965,50 @@ class ServiceLoadGenerator:
                     pool_signature = self._pool_signature()
                     group.last_observation = None
                     group.steady = None
+                    if collector is not None:
+                        collector(
+                            self._qoe_record(
+                                job_id,
+                                arrival.workload,
+                                priority,
+                                "failed",
+                                arrival.arrival_time,
+                                deadline_s=deadline_s,
+                            )
+                        )
                     continue
             else:
                 result = service.submit_job(job)
             self.last_probe_result = result
             report.account(result, arrival_at, simulated=True)
             group.simulated += 1
+            group.estimate = result.makespan_s
             previous_finish = result.finished_at
             pool_signature = self._pool_signature()
+            if controller is not None:
+                self._note_completion(
+                    report, priority, deadline_at, arrival_at, result.finished_at
+                )
+            if collector is not None:
+                collector(
+                    self._qoe_record(
+                        job_id,
+                        arrival.workload,
+                        priority,
+                        outcome,
+                        arrival.arrival_time,
+                        started_s=result.started_at - epoch,
+                        finished_s=result.finished_at - epoch,
+                        makespan_s=result.makespan_s,
+                        quality=result.quality,
+                        deadline_s=deadline_s,
+                        slo_met=(
+                            result.finished_at <= deadline_at
+                            if deadline_at is not None
+                            else None
+                        ),
+                    )
+                )
             if recording is not None:
                 if group.unstable:
                     # Non-deterministic factories never replay identically;
@@ -767,6 +1088,137 @@ class ServiceLoadGenerator:
             cache.save_trace_recording(recording_key, recording)
         return report
 
+    # ------------------------------------------------------------------ #
+    # Admission helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _workload_slo(
+        registry: WorkloadRegistry,
+        workload: str,
+        memo: Dict[str, Tuple[str, Optional[float]]],
+    ) -> Tuple[str, Optional[float]]:
+        """The (priority, deadline_s) a workload's spec declares.
+
+        Factory-registered workloads carry no spec: they are served at the
+        default priority, best effort (the config's default deadline still
+        applies downstream).
+        """
+        slo = memo.get(workload)
+        if slo is None:
+            spec = registry.spec(workload)
+            if spec is not None:
+                slo = (spec.priority, spec.deadline_s)
+            else:
+                slo = (DEFAULT_PRIORITY, None)
+            memo[workload] = slo
+        return slo
+
+    @staticmethod
+    def _degraded_job(
+        registry: WorkloadRegistry,
+        workload: str,
+        job_id: str,
+        controller: AdmissionController,
+        memo: Dict[str, tuple],
+    ) -> Job:
+        """Compile the degraded-quality variant of a registered workload.
+
+        The variant shares the workload's materialized inputs (so degraded
+        jobs stay deterministic per workload) and is memoized per run.  A
+        factory-registered workload has no spec to recompile; its
+        "degraded" variant is the original job.
+        """
+        entry = memo.get(workload)
+        if entry is None:
+            spec = registry.spec(workload)
+            if spec is None:
+                entry = (None, None)
+            else:
+                overrides: Dict[str, object] = {
+                    "quality_target": controller.config.degraded_quality
+                }
+                if controller.config.degraded_constraint is not None:
+                    from repro.core.constraints import Constraint
+
+                    overrides["constraints"] = Constraint(
+                        controller.config.degraded_constraint
+                    )
+                entry = (
+                    spec.with_overrides(**overrides),
+                    registry.materialized_inputs(workload),
+                )
+            memo[workload] = entry
+        degraded, inputs = entry
+        if degraded is None:
+            return registry.build(workload, job_id)
+        from repro.spec.compiler import compile_spec
+
+        return compile_spec(degraded, inputs=inputs, job_id=job_id)
+
+    @staticmethod
+    def _note_completion(
+        report: TraceReport,
+        priority: str,
+        deadline_at: Optional[float],
+        arrival_at: float,
+        finish: float,
+    ) -> None:
+        """Per-class latency and deadline-SLO accounting for one admitted job."""
+        report.class_latency(priority).add(finish - arrival_at)
+        if deadline_at is not None and finish > deadline_at:
+            report.slo_violations += 1
+            report.class_counters(priority)["slo_violations"] += 1
+
+    @staticmethod
+    def _qoe_record(
+        job_id: str,
+        workload: str,
+        priority: str,
+        outcome: str,
+        arrival_s: float,
+        started_s: Optional[float] = None,
+        finished_s: Optional[float] = None,
+        makespan_s: Optional[float] = None,
+        quality: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        slo_met: Optional[bool] = None,
+    ) -> Dict[str, object]:
+        """One per-arrival QoE record for the capture collector.
+
+        Timings are trace-relative (the trace epoch is subtracted before
+        this is called), so captures taken against a warm, long-lived
+        service match those from a cold one byte for byte.  Rejected and
+        failed arrivals keep ``None`` timing fields.
+
+        Completed jobs pass ``slo_met`` explicitly — computed on absolute
+        engine timestamps, exactly as the report's ``slo_violations``
+        counter is — so a job admitted with zero slack cannot disagree
+        with the report over float rounding in the rebased timings.
+        """
+        latency_s = (
+            finished_s - arrival_s if finished_s is not None else None
+        )
+        if slo_met is None and deadline_s is not None:
+            if outcome in ("reject", "failed"):
+                slo_met = False
+        return {
+            "job_id": job_id,
+            "workload": workload,
+            "priority": priority,
+            "outcome": outcome,
+            "arrival_s": arrival_s,
+            "started_s": started_s,
+            "finished_s": finished_s,
+            "queue_delay_s": (
+                started_s - arrival_s if started_s is not None else None
+            ),
+            "makespan_s": makespan_s,
+            "latency_s": latency_s,
+            "quality": quality,
+            "deadline_s": deadline_s,
+            "slo_met": slo_met,
+        }
+
     def _complete_replay(
         self, result: JobResult, arrival_time: float, report: TraceReport
     ) -> None:
@@ -845,6 +1297,8 @@ class ServiceLoadGenerator:
         # plain difference (the reference path's max(0.0, ...) is a no-op).
         delays = [start - arrived for start, arrived in zip(starts, arrival_col)]
         report.queue_delay_s.add_sequence(delays)
+        for finish, arrived in zip(finishes, arrival_col):
+            report.add_latency(finish - arrived)
         throughput = report.throughput
         throughput.completed += n
         low = min(starts)

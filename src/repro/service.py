@@ -17,6 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionRejected,
+    admission_of,
+)
 from repro.agents.base import AgentImplementation
 from repro.cluster.dynamics import ClusterDynamics, DynamicsConfig
 from repro.core.constraints import Constraint, ConstraintSet
@@ -163,6 +169,7 @@ class AIWorkflowService:
         dynamics: "ClusterDynamics | DynamicsConfig | None" = None,
         policy: PolicyLike = None,
         warm_cache: "WarmStateCache | str | None" = None,
+        admission: "AdmissionConfig | None" = None,
     ) -> None:
         """``policy`` installs a control-plane bundle on the runtime via
         :meth:`MurakkabRuntime.set_policy` — including a runtime passed in by
@@ -177,7 +184,15 @@ class AIWorkflowService:
         decisions a previous process saved — the rolling-restart story —
         and served traces are recorded so an identical trace replays with
         zero probe simulations.  A stale or corrupted cache silently falls
-        back to the cold path."""
+        back to the cold path.
+
+        ``admission`` installs an :class:`~repro.admission.AdmissionConfig`
+        (or its dict form): interactive ``submit``/``submit_spec`` calls are
+        rate-limited (raising
+        :class:`~repro.admission.AdmissionRejected` when shed), and every
+        ``submit_trace`` runs behind a fresh per-run controller with the
+        full ladder — rate limiting, deadline feasibility,
+        degrade-before-drop (see :mod:`repro.admission`)."""
         self.warm_cache: Optional[WarmStateCache] = resolve_warm_cache(warm_cache)
         if runtime is None:
             runtime = self._build_runtime(self.warm_cache)
@@ -196,6 +211,13 @@ class AIWorkflowService:
         self.dynamics: Optional[ClusterDynamics] = None
         if dynamics is not None:
             self.attach_dynamics(dynamics)
+        #: Installed admission bundle; ``None`` admits everything.
+        self.admission: Optional[AdmissionConfig] = None
+        #: Long-lived controller for the interactive submit path (trace
+        #: runs build their own per-run controller for replay determinism).
+        self._admission_controller: Optional[AdmissionController] = None
+        if admission is not None:
+            self.set_admission(admission)
 
     # ------------------------------------------------------------------ #
     # Warm-state cache (zero-cost restarts)
@@ -283,6 +305,42 @@ class AIWorkflowService:
         """
         return self.runtime.set_policy(policy)
 
+    def set_admission(
+        self, admission: "AdmissionConfig | None"
+    ) -> Optional[AdmissionConfig]:
+        """Install (or clear, with ``None``) the admission bundle.
+
+        Takes effect for every subsequent ``submit``/``submit_trace``.
+        Accepts an :class:`~repro.admission.AdmissionConfig` or its dict
+        form; returns the installed config.
+        """
+        self.admission = admission_of(admission)
+        self._admission_controller = (
+            AdmissionController(self.admission) if self.admission is not None else None
+        )
+        return self.admission
+
+    def _admit_interactive(self, job: Job) -> None:
+        """Rate-limit one interactive submission (no-op without admission).
+
+        The interactive path has no steady-state makespan estimate, so the
+        ladder reduces to token buckets plus the trivial deadline check;
+        shed submissions raise :class:`~repro.admission.AdmissionRejected`.
+        """
+        controller = self._admission_controller
+        if controller is None:
+            return
+        now = self.runtime.engine.now
+        decision = controller.decide(
+            tenant=job.description,
+            priority=job.priority,
+            arrival_at=now,
+            deadline_s=job.deadline_s,
+            backlog_until=now,
+        )
+        if not decision.admitted:
+            raise AdmissionRejected(decision, job.job_id)
+
     def quality_controller(self) -> QualityController:
         """Quality controller bound to this service's profiles and policy."""
         return self.runtime.quality_controller()
@@ -314,7 +372,11 @@ class AIWorkflowService:
         quality_target: float = 0.0,
         job_id: str = "",
     ) -> JobResult:
-        """Submit a declarative job described entirely by its intent."""
+        """Submit a declarative job described entirely by its intent.
+
+        Raises :class:`~repro.admission.AdmissionRejected` when an
+        installed admission bundle sheds the submission.
+        """
         job = Job(
             description=description,
             inputs=inputs,
@@ -323,6 +385,7 @@ class AIWorkflowService:
             quality_target=quality_target,
             job_id=job_id,
         )
+        self._admit_interactive(job)
         return self.submit_job(job)
 
     def submit_job(self, job: Job) -> JobResult:
@@ -339,10 +402,14 @@ class AIWorkflowService:
     ) -> JobResult:
         """Compile a declarative :class:`~repro.spec.ir.WorkflowSpec` and
         submit it (eagerly validated; raises
-        :class:`~repro.spec.ir.SpecError` before anything executes)."""
+        :class:`~repro.spec.ir.SpecError` before anything executes, and
+        :class:`~repro.admission.AdmissionRejected` when an installed
+        admission bundle sheds the submission)."""
         from repro.spec.compiler import compile_spec
 
-        return self.submit_job(compile_spec(spec, inputs=inputs, job_id=job_id))
+        job = compile_spec(spec, inputs=inputs, job_id=job_id)
+        self._admit_interactive(job)
+        return self.submit_job(job)
 
     def submit_trace(self, arrivals, **options):
         """Serve a whole arrival trace through the batched-admission path.

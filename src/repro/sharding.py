@@ -170,6 +170,7 @@ class ShardedService:
         keep_warm: bool = True,
         registry: Optional[WorkloadRegistry] = None,
         replicas: int = 64,
+        admission=None,
     ) -> None:
         if backend not in ("inline", "process"):
             raise ValueError(
@@ -198,6 +199,12 @@ class ShardedService:
                 warm_cache = warm_cache.root
             self._warm_root = Path(warm_cache)
         self._registry = registry
+        #: Default admission config installed on every shard's trace runs
+        #: (overridable per ``submit_trace`` call).  Normalized eagerly so a
+        #: bad config fails at construction, not in a worker process.
+        from repro.admission import admission_of
+
+        self.admission = admission_of(admission)
         self._dynamics_config = None
         #: Inline backend: shard id -> long-lived in-process service.
         self._inline: Dict[int, AIWorkflowService] = {}
@@ -440,8 +447,16 @@ class ShardedService:
         dynamics=None,
         policy: PolicyLike = None,
         vectorized: bool = True,
+        admission=None,
     ) -> TraceReport:
         """Serve a whole arrival trace across the shards and merge.
+
+        ``admission`` (an :class:`~repro.admission.AdmissionConfig` or its
+        dict form) installs the admission ladder on every shard: each shard
+        runs its own controller over its sub-trace — the rate budget is
+        per shard-engine, matching per-worker capacity — and the shed
+        counters (rejected/degraded/deferred, per-priority breakdowns)
+        merge exactly into the global report.
 
         The trace is partitioned by tenant (workload name) via the
         consistent-hash router; each shard serves its sub-trace on its own
@@ -474,6 +489,14 @@ class ShardedService:
             "max_per_job_records": max_per_job_records,
             "vectorized": vectorized,
         }
+        if admission is None:
+            admission = self.admission
+        if admission is not None:
+            from repro.admission import admission_of
+
+            # Shipped in dict form: it crosses the process boundary as
+            # plain data and is re-normalised inside the worker.
+            options["admission"] = admission_of(admission).to_dict()
         if self.backend == "inline":
             outcomes = self._run_inline(assignment, registry, job_ids, options)
         else:

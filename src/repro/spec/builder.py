@@ -25,7 +25,7 @@ from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.agents.base import AgentInterface
-from repro.core.constraints import Constraint, ConstraintSet
+from repro.core.constraints import Constraint, ConstraintSet, DEFAULT_PRIORITY
 from repro.spec.ir import (
     InputsSpec,
     SpecError,
@@ -49,6 +49,8 @@ class WorkflowBuilder:
         self._inputs = InputsSpec()
         self._constraints: Tuple[Constraint, ...] = (Constraint.MIN_COST,)
         self._quality_target = 0.0
+        self._priority = DEFAULT_PRIORITY
+        self._deadline_s: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # Intent and inputs
@@ -155,6 +157,16 @@ class WorkflowBuilder:
         self._quality_target = target
         return self
 
+    def priority(self, priority_class: str) -> "WorkflowBuilder":
+        """Set the admission priority class (``high``/``normal``/``low``)."""
+        self._priority = priority_class
+        return self
+
+    def deadline(self, seconds: float) -> "WorkflowBuilder":
+        """Set the end-to-end deadline SLO in seconds from arrival."""
+        self._deadline_s = seconds
+        return self
+
     # ------------------------------------------------------------------ #
     # Build
     # ------------------------------------------------------------------ #
@@ -166,6 +178,8 @@ class WorkflowBuilder:
             stages=tuple(self._stages),
             constraints=self._constraints,
             quality_target=self._quality_target,
+            priority=self._priority,
+            deadline_s=self._deadline_s,
             inputs=self._inputs,
         ).validate()
 

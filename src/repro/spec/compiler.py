@@ -211,5 +211,7 @@ def compile_spec(
         quality_target=spec.quality_target,
         job_id=job_id,
         spec_digest=spec.digest(),
+        priority=spec.priority,
+        deadline_s=spec.deadline_s,
     )
     return job

@@ -30,7 +30,12 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.agents.base import AgentInterface
-from repro.core.constraints import Constraint, ConstraintSet
+from repro.core.constraints import (
+    Constraint,
+    ConstraintSet,
+    DEFAULT_PRIORITY,
+    PRIORITY_CLASSES,
+)
 from repro.llm.orchestrator_llm import classify_task_description, default_granularity
 
 #: Schema version written into every serialized spec; bumped on breaking
@@ -320,6 +325,12 @@ class WorkflowSpec:
     constraints: Tuple[Constraint, ...] = (Constraint.MIN_COST,)
     #: End-to-end result-quality floor in [0, 1].
     quality_target: float = 0.0
+    #: Admission priority class (part of the constraint/SLO block): who is
+    #: shed first under overload — ``high``/``normal``/``low``.
+    priority: str = DEFAULT_PRIORITY
+    #: End-to-end deadline SLO in seconds from arrival (``None`` = best
+    #: effort); admission control sheds arrivals that cannot meet it.
+    deadline_s: Optional[float] = None
     inputs: InputsSpec = field(default_factory=InputsSpec)
     schema_version: int = SPEC_SCHEMA_VERSION
 
@@ -353,6 +364,21 @@ class WorkflowSpec:
                 SpecIssue(
                     code="bad-quality-target",
                     message=f"quality_target must be in [0, 1]: {self.quality_target}",
+                )
+            )
+        if self.priority not in PRIORITY_CLASSES:
+            issues.append(
+                SpecIssue(
+                    code="bad-priority",
+                    message=f"unknown priority {self.priority!r}; "
+                    f"classes: {', '.join(PRIORITY_CLASSES)}",
+                )
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            issues.append(
+                SpecIssue(
+                    code="bad-deadline",
+                    message=f"deadline_s must be positive: {self.deadline_s}",
                 )
             )
         if not self.constraints:
@@ -562,6 +588,8 @@ class WorkflowSpec:
         constraints: Union[Constraint, ConstraintSet, Sequence[Constraint], None] = None,
         quality_target: Optional[float] = None,
         description: Optional[str] = None,
+        priority: Optional[str] = None,
+        deadline_s: Optional[float] = None,
     ) -> "WorkflowSpec":
         """A copy of this spec with the constraint block / intent replaced."""
         spec = self
@@ -576,21 +604,32 @@ class WorkflowSpec:
             spec = replace(spec, quality_target=quality_target)
         if description is not None:
             spec = replace(spec, description=description)
+        if priority is not None:
+            spec = replace(spec, priority=priority)
+        if deadline_s is not None:
+            spec = replace(spec, deadline_s=deadline_s)
         return spec
 
     # ------------------------------------------------------------------ #
     # Serialization
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, object]:
+        constraint_block: Dict[str, object] = {
+            "priorities": [constraint.value for constraint in self.constraints],
+            "quality_target": self.quality_target,
+        }
+        # Serialized only when non-default, so pre-existing specs keep their
+        # byte layout — and therefore their digests — unchanged.
+        if self.priority != DEFAULT_PRIORITY:
+            constraint_block["priority"] = self.priority
+        if self.deadline_s is not None:
+            constraint_block["deadline_s"] = self.deadline_s
         return {
             "schema_version": self.schema_version,
             "name": self.name,
             "description": self.description,
             "stages": [stage.to_dict() for stage in self.stages],
-            "constraints": {
-                "priorities": [constraint.value for constraint in self.constraints],
-                "quality_target": self.quality_target,
-            },
+            "constraints": constraint_block,
             "inputs": self.inputs.to_dict(),
         }
 
@@ -640,7 +679,9 @@ class WorkflowSpec:
         )
         issues.extend(
             _unknown_key_issues(
-                constraint_block, ("priorities", "quality_target"), "constraints"
+                constraint_block,
+                ("priorities", "quality_target", "priority", "deadline_s"),
+                "constraints",
             )
         )
         stages: List[StageSpec] = []
@@ -664,6 +705,14 @@ class WorkflowSpec:
             )
         except SpecError as error:
             issues.extend(error.issues)
+        priority = str(constraint_block.get("priority", DEFAULT_PRIORITY))
+        deadline_s = constraint_block.get("deadline_s")
+        if deadline_s is not None:
+            try:
+                deadline_s = _number_of(deadline_s, "constraints.deadline_s", float)
+            except SpecError as error:
+                issues.extend(error.issues)
+                deadline_s = None
         inputs = InputsSpec()
         try:
             inputs = InputsSpec.from_dict(data.get("inputs", {"source": "none"}))
@@ -677,6 +726,8 @@ class WorkflowSpec:
             stages=tuple(stages),
             constraints=tuple(constraints),
             quality_target=quality_target,
+            priority=priority,
+            deadline_s=deadline_s,
             inputs=inputs,
             schema_version=version,
         )
