@@ -1,0 +1,89 @@
+"""Multiplex-mode serving benchmarks: the steady-window fast path.
+
+``mode="multiplex"`` is the fidelity path — every job interleaves on the
+shared engine — and was the last hot path still paying seed-era per-job
+simulation cost.  The fast path compiles one Job template per admission
+group and lets the steady-window detector replay repeating arrival windows
+as batched completion deltas, so a long periodic trace simulates only the
+two confirming windows.
+
+``test_multiplex_throughput_1k`` (gated) serves the trace with the detector
+on; ``test_multiplex_baseline_1k`` serves the identical trace with
+``multiplex_window=0`` — the pre-detector per-event path — and rides along
+non-gated as the reference.  ``scripts/bench.py`` asserts the >= 10x
+fast-over-baseline ratio between the two.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen import default_registry
+from repro.service import AIWorkflowService
+from repro.workloads.arrival import JobArrival
+
+#: 340 windows x 3 overlapping arrivals = 1,020 jobs.  Each window's three
+#: jobs interleave on the shared engine (0.3s apart against multi-second
+#: makespans); the 40s window span lets a window drain before the next —
+#: the quiescent boundary the steady-window detector requires.
+WINDOWS = 340
+WINDOW_SPAN_S = 40.0
+PERIOD = 3
+
+
+def _burst_arrivals():
+    arrivals = []
+    for window in range(WINDOWS):
+        base = window * WINDOW_SPAN_S
+        arrivals.append(JobArrival(base, "newsfeed"))
+        arrivals.append(JobArrival(base + 0.3, "chain-of-thought"))
+        arrivals.append(JobArrival(base + 0.6, "newsfeed"))
+    return arrivals
+
+
+def _serve_rounds(benchmark, rounds, **options):
+    registry = default_registry()
+    arrivals = _burst_arrivals()
+    reports = []
+
+    def serve():
+        service = AIWorkflowService()
+        try:
+            report = service.submit_trace(
+                arrivals, registry=registry, mode="multiplex", **options
+            )
+        finally:
+            service.shutdown()
+        reports.append(report)
+        return report
+
+    report = benchmark.pedantic(serve, rounds=rounds, warmup_rounds=1, iterations=1)
+    benchmark.extra_info["jobs"] = report.jobs
+    benchmark.extra_info["simulated"] = report.simulated_jobs
+    benchmark.extra_info["replayed"] = report.replayed_jobs
+    benchmark.extra_info["wall_jobs_per_second"] = round(
+        report.wall_jobs_per_second, 2
+    )
+    assert report.jobs == WINDOWS * PERIOD
+    # Every round must serve identically (the detector is deterministic).
+    assert (
+        len({(r.jobs, r.simulated_jobs, r.replayed_jobs) for r in reports}) == 1
+    )
+    return report
+
+
+@pytest.mark.bench_gated
+def test_multiplex_throughput_1k(benchmark):
+    """1,020 interleaved jobs with the steady-window detector on."""
+    report = _serve_rounds(benchmark, rounds=3)
+    # Two confirming windows simulate; everything after replays batched.
+    assert report.simulated_jobs == 2 * PERIOD
+    assert report.replayed_jobs == (WINDOWS - 2) * PERIOD
+    assert report.replay_runs >= 1
+
+
+def test_multiplex_baseline_1k(benchmark):
+    """The identical trace on the per-event path (detector disabled)."""
+    report = _serve_rounds(benchmark, rounds=2, multiplex_window=0)
+    assert report.simulated_jobs == WINDOWS * PERIOD
+    assert report.replayed_jobs == 0

@@ -28,6 +28,8 @@ Gated metrics (min seconds — the noise-robust statistic — lower is better):
   the >= 2.5x speedup gate on machines with >= 4 cores)
 * ``test_overload_admission_1k``            — admission-ladder shedding at
   3x offered load (rate buckets + deadline feasibility per arrival)
+* ``test_multiplex_throughput_1k``          — multiplex steady-window fast
+  path (plus the >= 10x speedup gate over the per-event baseline)
 """
 
 from __future__ import annotations
@@ -55,6 +57,7 @@ GATES = {
     "test_sharded_trace_1_shard_10k": 1.20,
     "test_sharded_trace_4_shards_10k": 1.20,
     "test_overload_admission_1k": 1.20,
+    "test_multiplex_throughput_1k": 1.20,
 }
 
 #: The 4-shard run must beat the 1-shard run by at least this wall-time
@@ -62,6 +65,11 @@ GATES = {
 #: workers time-slice one core and the ratio measures nothing).
 SCALING_MIN_SPEEDUP = 2.5
 MIN_SCALING_CPUS = 4
+
+#: The multiplex steady-window fast path must beat the per-event baseline
+#: on the same trace by at least this wall-time ratio (single-process, so
+#: the gate is armed on every machine).
+MULTIPLEX_MIN_SPEEDUP = 10.0
 
 
 def existing_records() -> list:
@@ -81,6 +89,7 @@ def run_benchmarks(json_path: Path) -> None:
         "benchmarks/test_microbenchmarks.py",
         "benchmarks/test_sharding_scaleout.py",
         "benchmarks/test_overload_admission.py",
+        "benchmarks/test_multiplex_throughput.py",
         "-q",
         "--benchmark-only",
         f"--benchmark-json={json_path}",
@@ -154,6 +163,24 @@ def check_scaling(benchmarks: dict) -> list:
         f"on {cpus} cpus (required {SCALING_MIN_SPEEDUP:.1f}x)"
     )
     return [] if speedup >= SCALING_MIN_SPEEDUP else ["sharded_scaleout_speedup"]
+
+
+def check_multiplex(benchmarks: dict) -> list:
+    """The multiplex fast-path gate: the steady-window run must beat the
+    per-event baseline on the identical trace by ``MULTIPLEX_MIN_SPEEDUP``x
+    wall time.  Both runs live in one process, so unlike the sharded
+    scaling gate this is armed regardless of core count."""
+    fast = benchmarks.get("test_multiplex_throughput_1k")
+    baseline = benchmarks.get("test_multiplex_baseline_1k")
+    if not fast or not baseline:
+        return []
+    speedup = baseline["min_s"] / fast["min_s"] if fast["min_s"] > 0 else 0.0
+    marker = "FAIL" if speedup < MULTIPLEX_MIN_SPEEDUP else "ok"
+    print(
+        f"  [{marker}] multiplex fast path: {speedup:.1f}x the per-event "
+        f"baseline (required {MULTIPLEX_MIN_SPEEDUP:.0f}x)"
+    )
+    return [] if speedup >= MULTIPLEX_MIN_SPEEDUP else ["multiplex_fastpath_speedup"]
 
 
 #: Cold generation: serve a small trace with a warm cache attached, persist
@@ -237,6 +264,40 @@ def run_sharded_smoke() -> int:
     return result.returncode
 
 
+def run_multiplex_smoke() -> int:
+    """Multiplex loadtest smoke: the fidelity path behind the admission
+    ladder, end to end through the CLI (``loadtest --mode multiplex
+    --admit-rate ...``).  Overload at ~3x the rate budget must shed while
+    every admitted job is served and accounted."""
+    print("multiplex admission loadtest smoke:")
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "loadtest",
+        "--mode",
+        "multiplex",
+        "--rate",
+        "0.9",
+        "--horizon",
+        "60",
+        "--admit-rate",
+        "0.3",
+        "--admit-burst",
+        "2",
+        "--max-defer",
+        "7",
+        "--default-deadline",
+        "14",
+        "--seed",
+        "3",
+    ]
+    result = subprocess.run(command, cwd=REPO_ROOT)
+    if result.returncode != 0:
+        print("multiplex smoke failed")
+    return result.returncode
+
+
 def run_restart_smoke() -> int:
     """Cold-then-warm restart smoke: two separate interpreter processes that
     share only the on-disk warm-state cache.  The second process must restore
@@ -274,6 +335,7 @@ def run_smoke() -> int:
         "benchmarks/test_microbenchmarks.py",
         "benchmarks/test_policy_sweep.py",
         "benchmarks/test_overload_admission.py",
+        "benchmarks/test_multiplex_throughput.py",
         "-q",
         "--benchmark-disable",
     ]
@@ -283,7 +345,10 @@ def run_smoke() -> int:
     returncode = run_restart_smoke()
     if returncode != 0:
         return returncode
-    return run_sharded_smoke()
+    returncode = run_sharded_smoke()
+    if returncode != 0:
+        return returncode
+    return run_multiplex_smoke()
 
 
 def main() -> int:
@@ -321,7 +386,7 @@ def main() -> int:
     if args.no_gate:
         return 0
 
-    failures = check_scaling(benchmarks)
+    failures = check_scaling(benchmarks) + check_multiplex(benchmarks)
     if not records:
         print("no previous BENCH_*.json; nothing to gate against")
     else:

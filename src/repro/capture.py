@@ -140,12 +140,14 @@ class TraceCapture:
     entries: List[QoEEntry] = field(default_factory=list)
     #: The report's canonical dict (wall-clock-free, deterministic).
     report: Dict[str, object] = field(default_factory=dict)
+    #: Serving mode the trace was captured under.
+    mode: str = "grouped"
 
     # ----------------------------------------------------------------- #
     # Serialization
     # ----------------------------------------------------------------- #
     def payload(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "arrivals": [[time, workload] for time, workload in self.arrivals],
             "specs": self.specs,
             "admission": self.admission,
@@ -153,6 +155,12 @@ class TraceCapture:
             "entries": [entry.to_dict() for entry in self.entries],
             "report": self.report,
         }
+        if self.mode != "grouped":
+            # Emitted only for non-default modes so grouped captures keep
+            # their pre-existing checksums (and stay loadable by older
+            # readers of the same schema version).
+            payload["mode"] = self.mode
+        return payload
 
     def checksum(self) -> str:
         return payload_checksum(self.payload())
@@ -192,6 +200,7 @@ class TraceCapture:
                 policy=payload.get("policy"),  # type: ignore[union-attr]
                 entries=entries,
                 report=dict(payload["report"]),  # type: ignore[arg-type]
+                mode=str(payload.get("mode", "grouped")),  # type: ignore[union-attr]
             )
         except (KeyError, TypeError, ValueError) as error:
             raise CaptureError(f"malformed capture payload: {error}") from error
@@ -272,6 +281,7 @@ def capture_trace(
     arrivals: Sequence[JobArrival],
     registry: Optional[WorkloadRegistry] = None,
     admission=None,
+    mode: str = "grouped",
     **options,
 ) -> Tuple[TraceCapture, TraceReport]:
     """Serve ``arrivals`` on ``service`` and record a replayable capture.
@@ -280,9 +290,15 @@ def capture_trace(
     installed config (mirroring :meth:`ServiceLoadGenerator.run`); every
     workload in the trace must be spec-registered, because the capture
     embeds the serialized specs for environment-independent replay.
+    ``mode`` selects the serving path (``"grouped"`` or ``"multiplex"``);
+    it is recorded in the capture so replay serves the same way.
     """
     from repro.loadgen import default_registry
 
+    if mode not in ("grouped", "multiplex"):
+        raise CaptureError(
+            f"unknown capture mode {mode!r}; expected 'grouped' or 'multiplex'"
+        )
     if registry is None:
         registry = default_registry()
     config = admission_of(
@@ -305,7 +321,7 @@ def capture_trace(
     report = generator.run(
         arrivals,
         registry=registry,
-        mode="grouped",
+        mode=mode,
         admission=config,
         collector=lambda record: entries.append(QoEEntry.from_dict(record)),
         **options,
@@ -318,6 +334,7 @@ def capture_trace(
         policy=bundle.name if bundle is not None else None,
         entries=entries,
         report=report.canonical_dict(),
+        mode=mode,
     )
     return capture, report
 
@@ -343,6 +360,7 @@ def replay_capture(
         capture.job_arrivals(),
         registry=capture.registry(),
         admission=capture.admission_config(),
+        mode=capture.mode,
         **options,
     )
 

@@ -293,10 +293,13 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.capture and (args.shards > 1 or dynamics is not None or args.mode != "grouped"):
+    if args.multiplex_window is not None and args.mode != "multiplex":
+        print("--multiplex-window requires --mode multiplex", file=sys.stderr)
+        return 2
+    if args.capture and (args.shards > 1 or dynamics is not None):
         print(
-            "--capture records a single-engine grouped trace; drop --shards, "
-            "disruption flags, and --mode multiplex",
+            "--capture records a single-engine trace; drop --shards and "
+            "disruption flags",
             file=sys.stderr,
         )
         return 2
@@ -312,8 +315,16 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             from repro.client import TraceHandle
             from repro.capture import capture_trace
 
+            capture_options = {}
+            if args.multiplex_window is not None:
+                capture_options["multiplex_window"] = args.multiplex_window
             capture, report = capture_trace(
-                client.service, arrivals, registry=registry, admission=admission
+                client.service,
+                arrivals,
+                registry=registry,
+                admission=admission,
+                mode=args.mode,
+                **capture_options,
             )
             capture.save(args.capture)
             print(f"{'capture':>22}: {args.capture} ({capture.checksum()[:12]}...)")
@@ -322,6 +333,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             options = {"mode": args.mode}
             if admission is not None:
                 options["admission"] = admission
+            if args.multiplex_window is not None:
+                options["multiplex_window"] = args.multiplex_window
             handle = client.submit_trace(arrivals, **options)
         service = client.service
         if service.policy is not None:
@@ -773,7 +786,17 @@ def _add_trace_flags(
         "--mode",
         choices=("grouped", "multiplex"),
         default="grouped",
-        help="grouped = steady-state memoized throughput path; multiplex = full interleaving",
+        help="grouped = steady-state memoized throughput path; multiplex = "
+        "full per-event interleaving with steady-window batch replay "
+        "(admission and capture work in both)",
+    )
+    parser.add_argument(
+        "--multiplex-window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="multiplex steady-window detector period: omit to auto-detect, "
+        "0 to disable (full per-event serving), N>=1 to override",
     )
     parser.add_argument("--seed", type=int, default=3)
     parser.set_defaults(default_workloads=default_workloads)

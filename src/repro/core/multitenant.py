@@ -12,6 +12,16 @@ either keeps full per-job results and a merged trace (the classic two-tenant
 experiment) or streams per-job accounting through a callback with bounded
 retained state (the trace-serving path, where N is in the thousands).
 :class:`MultiTenantRuntime` remains the convenient façade over it.
+
+With ``window=p`` the coordinator serves the schedule in windows of ``p``
+submissions each and watches for a *steady window*: once two consecutive
+windows are quiescent at their boundaries (every job finished, the event
+queue drained) and produce identical per-position results against an
+unchanged warm pool, the remaining windows are provably repeats — they are
+left unsimulated and described by the returned
+:attr:`MultiTenantReport.replay_plan` so the caller can account them as
+batched completion deltas (the multiplex-mode fast path in
+:mod:`repro.loadgen`).
 """
 
 from __future__ import annotations
@@ -28,6 +38,35 @@ from repro.core.planner import PlannerOverride, PlanningError
 from repro.core.runtime import MurakkabRuntime
 from repro.sim.energy import EnergyAccountant, EnergyBreakdown
 from repro.sim.trace import ExecutionTrace
+from repro.telemetry.metrics import round_sig
+
+
+@dataclass
+class WindowReplayPlan:
+    """How to account the unsimulated tail of a windowed steady-state run.
+
+    Produced by :func:`run_submissions` when ``window=p`` detects a steady
+    window: the confirmed window's exact :class:`JobResult` values repeat for
+    every later window, translated by the window span.  The caller replays
+    position ``i`` of the remaining (arrival-sorted) submissions from
+    ``pattern[i % period]``: start = that window's first arrival time plus
+    the slot's offset from :attr:`base`, finish = start + the slot's
+    makespan.  Replayed jobs never touch the engine, so their dynamic energy
+    is *not* folded into :attr:`MultiTenantReport.total_energy` (which covers
+    the simulated prefix only) — callers accounting energy per job must read
+    it from the pattern results.
+    """
+
+    #: Submissions per window.
+    period: int
+    #: Index into the (arrival_time, index)-sorted submissions where the
+    #: unsimulated tail begins (always a window boundary).
+    resume_at: int
+    #: Admit time of the confirmed window's first submission; pattern starts
+    #: are translated relative to it.
+    base: float
+    #: The confirmed window's results, in window-position order.
+    pattern: List[JobResult] = field(default_factory=list)
 
 
 @dataclass
@@ -64,6 +103,9 @@ class MultiTenantReport:
     failed_jobs: int = 0
     #: ``job_id -> compact summary`` (always populated, bounded by caller).
     job_summaries: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Set when a windowed run confirmed a steady window and returned early;
+    #: the submissions from ``replay_plan.resume_at`` on were never admitted.
+    replay_plan: Optional[WindowReplayPlan] = None
 
     @property
     def batch_makespan_s(self) -> float:
@@ -87,6 +129,7 @@ def run_submissions(
     pool: Optional[ServerPool] = None,
     collect_traces: bool = True,
     on_result: Optional[Callable[[JobResult], None]] = None,
+    window: Optional[int] = None,
 ) -> MultiTenantReport:
     """Admit every submission onto ``runtime``'s shared engine and run to done.
 
@@ -106,9 +149,36 @@ def run_submissions(
     when results are built: streaming accounts a job's idle-energy/cost share
     against the pool *as of its finish time*, while the full mode accounts
     every job against the final pool; batch totals agree between the modes.
+
+    ``window=p`` (streaming mode, no dynamics) serves the schedule one
+    window of ``p`` submissions at a time — the next window is injected only
+    once the previous boundary is reached, which is observationally
+    equivalent to the one-shot injection whenever no completion coincides
+    exactly with a window boundary (the windowed admission discipline is
+    itself deterministic either way).  When a window is *quiescent* at its
+    boundary (all ``p`` jobs finished, no events pending) its per-position
+    results are digested at 12 significant digits together with the pool
+    signature; two consecutive identical window digests prove every later
+    window repeats, so the run stops there and describes the unsimulated
+    tail in :attr:`MultiTenantReport.replay_plan`.  Traces shorter than
+    ``2 * window + 1`` submissions cannot confirm a repeat and are served
+    exactly as ``window=None``.
     """
     if not submissions:
         raise ValueError("at least one submission is required")
+    if window is not None:
+        if window < 1:
+            raise ValueError("window must be a positive number of submissions")
+        if collect_traces:
+            raise ValueError(
+                "windowed steady-state detection requires collect_traces=False"
+            )
+        if runtime.dynamics is not None:
+            raise ValueError(
+                "windowed steady-state detection requires a dynamics-free run"
+            )
+        if len(submissions) < 2 * window + 1:
+            window = None
     engine = runtime.engine
     own_pool = pool is None
     if pool is None:
@@ -124,6 +194,11 @@ def run_submissions(
     finish_times: List[float] = []
     start_times: List[float] = []
     dynamic_energy = EnergyBreakdown()
+    #: Per-window result capture for the steady-window detector; cleared at
+    #: every boundary so it holds O(window) state, never O(jobs).
+    window_results: Optional[Dict[str, JobResult]] = (
+        {} if window is not None else None
+    )
 
     def finish_streaming(executor: WorkflowExecutor) -> None:
         job, orchestration = contexts.pop(executor.workflow_id)
@@ -156,6 +231,8 @@ def run_submissions(
         dynamic_energy.cpu_wh += per_job_energy.cpu_wh
         report.completed_jobs += 1
         report.job_summaries[result.job_id] = result.compact_summary()
+        if window_results is not None:
+            window_results[result.job_id] = result
         if on_result is not None:
             on_result(result)
 
@@ -212,27 +289,98 @@ def run_submissions(
     ordered = sorted(
         enumerate(submissions), key=lambda pair: (pair[1].arrival_time, pair[0])
     )
-    engine.schedule_at_batch(
-        (max(submission.arrival_time, engine.now), admit, (submission,))
-        for _index, submission in ordered
-    )
-    while True:
-        try:
-            engine.run()
-            break
-        except ExecutionError as error:
-            # Under cluster dynamics a single tenant can become unrunnable
-            # (its capacity failed away for good).  Abort just that workflow
-            # — cancelling its events and releasing what it holds — count it
-            # failed, and keep serving everyone else on the shared engine.
-            failed = getattr(error, "executor", None)
-            if runtime.dynamics is None or failed is None:
-                raise
-            failed.abort()
-            runtime.dynamics.job_failed(failed)
-            executors.pop(failed.workflow_id, None)
-            contexts.pop(failed.workflow_id, None)
-            report.failed_jobs += 1
+
+    def drain(until: Optional[float] = None) -> None:
+        while True:
+            try:
+                engine.run(until=until)
+                return
+            except ExecutionError as error:
+                # Under cluster dynamics a single tenant can become
+                # unrunnable (its capacity failed away for good).  Abort just
+                # that workflow — cancelling its events and releasing what it
+                # holds — count it failed, and keep serving everyone else on
+                # the shared engine.
+                failed = getattr(error, "executor", None)
+                if runtime.dynamics is None or failed is None:
+                    raise
+                failed.abort()
+                runtime.dynamics.job_failed(failed)
+                executors.pop(failed.workflow_id, None)
+                contexts.pop(failed.workflow_id, None)
+                report.failed_jobs += 1
+
+    if window is None:
+        engine.schedule_at_batch(
+            (max(submission.arrival_time, engine.now), admit, (submission,))
+            for _index, submission in ordered
+        )
+        drain()
+    else:
+        period = window
+        total = len(ordered)
+
+        def schedule_window(start: int) -> float:
+            """Inject one window's admissions; returns its first admit time."""
+            base = max(ordered[start][1].arrival_time, engine.now)
+            engine.schedule_at_batch(
+                (max(submission.arrival_time, engine.now), admit, (submission,))
+                for _index, submission in ordered[start : start + period]
+            )
+            return base
+
+        def window_digest(start: int, base: float) -> Optional[tuple]:
+            """Per-position signature of a quiescent window, else ``None``."""
+            if executors or engine.pending_events:
+                return None
+            signature: List[object] = [pool.signature()]
+            for _index, submission in ordered[start : start + period]:
+                result = window_results.get(submission.job.job_id)
+                if result is None:
+                    return None
+                plan = result.plan
+                signature.append(
+                    (
+                        plan.describe() if plan is not None else None,
+                        round_sig(result.started_at - base),
+                        round_sig(result.makespan_s),
+                        round_sig(result.energy_wh),
+                        round_sig(result.cost),
+                        round_sig(result.quality),
+                        result.provisioned_gpus,
+                    )
+                )
+            return tuple(signature)
+
+        previous_digest: Optional[tuple] = None
+        start = 0
+        base = schedule_window(0)
+        while True:
+            next_start = start + period
+            if next_start >= total:
+                drain()
+                break
+            drain(until=max(ordered[next_start][1].arrival_time, engine.now))
+            digest = window_digest(start, base)
+            if digest is not None and digest == previous_digest:
+                # Two consecutive quiescent windows with identical results
+                # against an unchanged pool: every later window is this one
+                # translated by the window span.  Stop simulating and hand
+                # the confirmed window's exact results to the caller.
+                report.replay_plan = WindowReplayPlan(
+                    period=period,
+                    resume_at=next_start,
+                    base=base,
+                    pattern=[
+                        window_results[submission.job.job_id]
+                        for _index, submission in ordered[start:next_start]
+                    ],
+                )
+                break
+            previous_digest = digest
+            window_results.clear()
+            start = next_start
+            base = schedule_window(start)
 
     if collect_traces:
         merged_trace = ExecutionTrace(label="multi-tenant")

@@ -28,8 +28,17 @@ serves the whole trace on the service's **one shared**
 * ``mode="multiplex"`` (the fidelity path): every job is admitted at its
   arrival time and executed concurrently on the shared engine and warm
   server pool via :func:`repro.core.multitenant.run_submissions` — true
-  Figure-2 multiplexing with per-event interleaving, at per-job simulation
-  cost.
+  Figure-2 multiplexing with per-event interleaving.  Jobs are stamped from
+  one compiled template per admission group (a clone with a fresh id shares
+  the template's inputs and digest-keyed plan), and a steady-**window**
+  detector watches for a repeating window of arrivals producing identical
+  interleaved results: once two consecutive windows match, the remaining
+  windows are accounted as batched completion deltas instead of being
+  re-simulated (``multiplex_window=0`` forces the pre-detector per-event
+  path; ``vectorized=False`` keeps the batched path but accounts one engine
+  event per replayed completion).  The admission ladder and the QoE
+  collector run in this mode too — estimates come from the config's cost
+  priors, since overlapped execution has no serial probe stream.
 
 Telemetry streams into bounded :class:`~repro.telemetry.metrics.StreamingAggregate`
 accumulators (plus the service's capped
@@ -41,7 +50,7 @@ from __future__ import annotations
 
 import math
 import time as _wall_time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.admission import AdmissionController, admission_of
@@ -55,6 +64,7 @@ from repro.telemetry.metrics import (
     ThroughputMeter,
     evict_oldest,
     repeated_sum,
+    round_sig,
     sequential_sum,
 )
 from repro.warmstate import ReplayRecord, TraceRecording, trace_context_key
@@ -588,6 +598,31 @@ class TraceReport:
         }
 
 
+@dataclass
+class _MultiplexEntry:
+    """One admitted multiplex arrival: identity, SLO, and QoE bookkeeping.
+
+    ``index`` is the arrival's position in the offered trace (feeds
+    ``job_ids``); ``group`` is the admission group the job was compiled
+    under (the workload, plus :data:`DEGRADED_SUFFIX` when the ladder
+    degraded it); ``ready_at`` is the absolute admission time after any
+    defer; ``qoe`` is the entry's slot in the deferred QoE record buffer.
+    """
+
+    index: int
+    workload: str
+    group: str
+    job_id: str
+    arrival_s: float
+    arrival_at: float
+    ready_at: float
+    priority: str
+    outcome: str
+    deadline_s: Optional[float] = None
+    deadline_at: Optional[float] = None
+    qoe: Optional[int] = None
+
+
 # --------------------------------------------------------------------- #
 # The load generator
 # --------------------------------------------------------------------- #
@@ -624,6 +659,7 @@ class ServiceLoadGenerator:
         vectorized: bool = True,
         admission=None,
         collector: Optional[Callable[[Dict[str, object]], None]] = None,
+        multiplex_window: Optional[int] = None,
     ) -> TraceReport:
         """Serve ``arrivals`` and return the streaming :class:`TraceReport`.
 
@@ -647,14 +683,14 @@ class ServiceLoadGenerator:
         the bundle fingerprint, so traces served under different policies
         never share memoized results.
 
-        ``vectorized=False`` forces the per-arrival reference path for
-        grouped serving: every steady-state completion is scheduled and
-        accounted one engine event at a time.  The default vectorized path
-        accounts contiguous steady-state runs at array level; its
-        :class:`TraceReport` aggregates and the service's stats are
-        byte-identical to the reference path (asserted differentially in the
-        test suite), it is just O(runs) instead of O(jobs) in Python-level
-        work.
+        ``vectorized=False`` forces the per-arrival reference path: for
+        grouped serving every steady-state completion is scheduled and
+        accounted one engine event at a time; for multiplex serving every
+        steady-window replay completion is.  The default vectorized path
+        accounts contiguous runs at array level; its :class:`TraceReport`
+        aggregates and the service's stats are byte-identical to the
+        reference path (asserted differentially in the test suite), it is
+        just O(runs) instead of O(jobs) in Python-level work.
 
         ``admission`` serves the trace behind an admission controller (an
         :class:`~repro.admission.AdmissionConfig` or its dict form; the
@@ -665,12 +701,22 @@ class ServiceLoadGenerator:
         ``rejected_jobs``, per-class breakdowns land in
         :attr:`TraceReport.priority_classes`, and a fresh controller is
         built per run so identical traces decide identically (the
-        capture/replay property).  Grouped mode only.
+        capture/replay property).  Works in both modes; in multiplex mode
+        makespan estimates come from the config's cost priors (overlapped
+        execution has no serial probe stream to observe), so decisions stay
+        a pure function of the arrival sequence.
 
         ``collector`` receives one plain-dict QoE record per arrival
         (including rejected ones) with trace-relative timings — the feed
         :mod:`repro.capture` turns into a checksummed capture file.
-        Grouped mode only; does not cross process boundaries.
+        Works in both modes; does not cross process boundaries.
+
+        ``multiplex_window`` tunes the multiplex steady-window detector:
+        ``None`` (default) auto-detects the arrival pattern's period, ``0``
+        disables detection entirely (the exact pre-detector per-event path),
+        and an explicit period >= 1 overrides auto-detection (it is still
+        verified against the arrival pattern before use).  Detection is
+        also disabled automatically under cluster dynamics.
         """
         if mode not in ("grouped", "multiplex"):
             raise ValueError(f"unknown mode {mode!r}; expected 'grouped' or 'multiplex'")
@@ -680,10 +726,11 @@ class ServiceLoadGenerator:
         if admission is None:
             admission = getattr(self.service, "admission", None)
         admission = admission_of(admission)
-        if admission is not None and mode != "grouped":
-            raise ValueError("admission control requires mode='grouped'")
-        if collector is not None and mode != "grouped":
-            raise ValueError("QoE collection requires mode='grouped'")
+        if multiplex_window is not None:
+            if mode != "multiplex":
+                raise ValueError("multiplex_window applies to mode='multiplex'")
+            if multiplex_window < 0:
+                raise ValueError("multiplex_window must be None or >= 0")
         controller = AdmissionController(admission) if admission is not None else None
         if policy is not None:
             self.service.set_policy(policy)
@@ -702,7 +749,15 @@ class ServiceLoadGenerator:
                 arrivals, registry, job_ids, vectorized, controller, collector
             )
         else:
-            report = self._run_multiplexed(arrivals, registry, job_ids)
+            report = self._run_multiplexed(
+                arrivals,
+                registry,
+                job_ids,
+                vectorized,
+                controller,
+                collector,
+                multiplex_window,
+            )
         report.wall_seconds = _wall_time.perf_counter() - started
         if self._dynamics is not None:
             report.disruptions = self._dynamics.log.counters()
@@ -1536,18 +1591,16 @@ class ServiceLoadGenerator:
 
     @staticmethod
     def _result_digest(result: JobResult) -> tuple:
-        # Metrics are compared at 12 significant digits: identical executions
-        # at different absolute engine times accumulate ~1e-15 relative
-        # floating-point jitter in interval arithmetic, which must not block
-        # convergence.
-        digits = lambda value: float(f"{value:.12g}")  # noqa: E731
+        # Metrics are compared at 12 significant digits (round_sig) so that
+        # ~1e-15 relative floating-point jitter between identical executions
+        # at different absolute engine times cannot block convergence.
         plan = result.plan
         return (
             plan.describe() if plan is not None else None,
-            digits(result.makespan_s),
-            digits(result.energy_wh),
-            digits(result.cost),
-            digits(result.quality),
+            round_sig(result.makespan_s),
+            round_sig(result.energy_wh),
+            round_sig(result.cost),
+            round_sig(result.quality),
             result.provisioned_gpus,
         )
 
@@ -1583,26 +1636,212 @@ class ServiceLoadGenerator:
         arrivals: Sequence[JobArrival],
         registry: WorkloadRegistry,
         job_ids: Callable[[int, str], str],
+        vectorized: bool = True,
+        controller: Optional[AdmissionController] = None,
+        collector: Optional[Callable[[Dict[str, object]], None]] = None,
+        window: Optional[int] = None,
     ) -> TraceReport:
         from repro.core.multitenant import TenantSubmission, run_submissions
 
         service = self.service
+        engine = service.runtime.engine
         report = TraceReport(mode="multiplex")
+        report.admission_controlled = controller is not None
         # Rebase trace-relative arrival times onto the shared engine's
         # current epoch, as in the grouped path.
-        epoch = service.runtime.engine.now
-        arrival_times: Dict[str, float] = {}
-        submissions = []
-        for index, arrival in enumerate(arrivals):
-            job = registry.build(arrival.workload, job_ids(index, arrival.workload))
-            arrival_times[job.job_id] = epoch + arrival.arrival_time
-            submissions.append(TenantSubmission(epoch + arrival.arrival_time, job))
+        epoch = engine.now
+        slo_memo: Dict[str, Tuple[str, Optional[float]]] = {}
+        degraded_memo: Dict[str, tuple] = {}
+        #: One QoE slot per offered arrival, in arrival order.  Rejected
+        #: arrivals fill their slot immediately; admitted ones fill it at
+        #: completion (simulated or replayed); leftovers are jobs lost to
+        #: the cluster and become "failed" records.  Emission is deferred
+        #: to the end so the collector sees arrival order regardless of how
+        #: completions interleave.
+        qoe_records: List[Optional[Dict[str, object]]] = []
+        entries: List[_MultiplexEntry] = []
+        #: Serial backlog watermark fed to the deadline-feasibility rung.
+        #: Multiplexed jobs overlap, so there is no FIFO probe stream to
+        #: observe makespans from: the ladder runs on the config's cost
+        #: priors, keeping every decision a pure function of the arrival
+        #: sequence (the capture/replay property).
+        backlog = epoch
+        ordered = sorted(
+            enumerate(arrivals), key=lambda pair: (pair[1].arrival_time, pair[0])
+        )
+        for index, arrival in ordered:
+            job_id = job_ids(index, arrival.workload)
+            arrival_at = epoch + arrival.arrival_time
+            group = arrival.workload
+            ready_at = arrival_at
+            priority = DEFAULT_PRIORITY
+            deadline_s: Optional[float] = None
+            deadline_at: Optional[float] = None
+            outcome = "admit"
+            if controller is not None or collector is not None:
+                priority, deadline_s = self._workload_slo(
+                    registry, arrival.workload, slo_memo
+                )
+            if controller is not None:
+                decision = controller.decide(
+                    tenant=arrival.workload,
+                    priority=priority,
+                    arrival_at=arrival_at,
+                    deadline_s=deadline_s,
+                    estimate_s=None,
+                    degraded_estimate_s=None,
+                    backlog_until=backlog,
+                )
+                if not decision.admitted:
+                    report.rejected_jobs += 1
+                    report.class_counters(priority)["rejected"] += 1
+                    if collector is not None:
+                        qoe_records.append(
+                            self._qoe_record(
+                                job_id,
+                                arrival.workload,
+                                priority,
+                                "reject",
+                                arrival.arrival_time,
+                                deadline_s=deadline_s,
+                            )
+                        )
+                    continue
+                outcome = decision.outcome
+                report.class_counters(priority)["jobs"] += 1
+                if decision.outcome == "degrade":
+                    report.degraded_jobs += 1
+                    report.class_counters(priority)["degraded"] += 1
+                    group = arrival.workload + DEGRADED_SUFFIX
+                elif decision.outcome == "defer":
+                    report.deferred_jobs += 1
+                    report.class_counters(priority)["deferred"] += 1
+                    ready_at = arrival_at + decision.wait_s
+                if deadline_s is None:
+                    deadline_s = controller.config.default_deadline_s
+                if deadline_s is not None:
+                    deadline_at = arrival_at + deadline_s
+                prior = (
+                    controller.config.degraded_prior_s
+                    if group.endswith(DEGRADED_SUFFIX)
+                    else controller.config.estimate_prior_s
+                )
+                backlog = max(ready_at, backlog) + (prior or 0.0)
+            qoe_slot: Optional[int] = None
+            if collector is not None:
+                qoe_records.append(None)
+                qoe_slot = len(qoe_records) - 1
+            entries.append(
+                _MultiplexEntry(
+                    index=index,
+                    workload=arrival.workload,
+                    group=group,
+                    job_id=job_id,
+                    arrival_s=arrival.arrival_time,
+                    arrival_at=arrival_at,
+                    ready_at=ready_at,
+                    priority=priority,
+                    outcome=outcome,
+                    deadline_s=deadline_s,
+                    deadline_at=deadline_at,
+                    qoe=qoe_slot,
+                )
+            )
+
+        if not entries:
+            # Every arrival was shed; nothing touches the engine.
+            report.groups = {}
+            if collector is not None:
+                for record in qoe_records:
+                    collector(record)
+            return report
+
+        # Deferred admissions shift ready times, so re-sort (stably) before
+        # building submissions: run_submissions orders by (arrival_time,
+        # position), which after this sort is the identity — entry i of this
+        # list is served as submission i, so the steady-window replay plan's
+        # ``resume_at`` indexes straight into ``entries``.
+        entries.sort(key=lambda entry: entry.ready_at)
+
+        # Template compilation: one Job per admission group, cloned per
+        # arrival with a fresh job_id.  Clones share the template's
+        # materialized inputs and spec digest, so the digest-keyed plan
+        # cache plans each group once no matter how many arrivals it has.
+        templates: Dict[str, Job] = {}
+        by_job_id: Dict[str, _MultiplexEntry] = {}
+        group_counts: Dict[str, Dict[str, int]] = {}
+        submissions: List[TenantSubmission] = []
+        for entry in entries:
+            template = templates.get(entry.group)
+            if template is None:
+                if entry.group.endswith(DEGRADED_SUFFIX):
+                    template = self._degraded_job(
+                        registry,
+                        entry.workload,
+                        entry.job_id,
+                        controller,
+                        degraded_memo,
+                    )
+                else:
+                    template = registry.build(entry.workload, entry.job_id)
+                templates[entry.group] = template
+            by_job_id[entry.job_id] = entry
+            group_counts.setdefault(entry.group, {"simulated": 0, "replayed": 0})
+            submissions.append(
+                TenantSubmission(
+                    entry.ready_at, dataclass_replace(template, job_id=entry.job_id)
+                )
+            )
+
+        period: Optional[int] = None
+        if window != 0 and self._dynamics is None:
+            period = (
+                window if window is not None else self._detect_multiplex_period(entries)
+            )
+            if period is not None and not self._pattern_holds(entries, period):
+                # An explicit window that the arrival pattern does not
+                # actually repeat at (or a too-short trace) falls back to
+                # full per-event serving rather than mis-replaying.
+                period = None
+
+        stats = service.stats
 
         def on_result(result: JobResult) -> None:
-            service.stats.record(result)
-            report.account(
-                result, arrival_times.get(result.job_id, 0.0), simulated=True
-            )
+            entry = by_job_id.get(result.job_id)
+            if entry is None:
+                raise ValueError(
+                    f"multiplex completion for unknown job id {result.job_id!r}; "
+                    "job_ids must return the id each submission was admitted under"
+                )
+            stats.record(result)
+            report.account(result, entry.arrival_at, simulated=True)
+            group_counts[entry.group]["simulated"] += 1
+            if controller is not None:
+                self._note_completion(
+                    report,
+                    entry.priority,
+                    entry.deadline_at,
+                    entry.arrival_at,
+                    result.finished_at,
+                )
+            if entry.qoe is not None:
+                qoe_records[entry.qoe] = self._qoe_record(
+                    entry.job_id,
+                    entry.workload,
+                    entry.priority,
+                    entry.outcome,
+                    entry.arrival_s,
+                    started_s=result.started_at - epoch,
+                    finished_s=result.finished_at - epoch,
+                    makespan_s=result.makespan_s,
+                    quality=result.quality,
+                    deadline_s=entry.deadline_s,
+                    slo_met=(
+                        result.finished_at <= entry.deadline_at
+                        if entry.deadline_at is not None
+                        else None
+                    ),
+                )
 
         tenant_report = run_submissions(
             service.runtime,
@@ -1610,15 +1849,188 @@ class ServiceLoadGenerator:
             pool=service._pool,
             collect_traces=False,
             on_result=on_result,
+            window=period,
         )
         report.failed_jobs = tenant_report.failed_jobs
-        report.groups = self._multiplex_counters(arrivals)
+        if tenant_report.replay_plan is not None:
+            self._replay_windows(
+                report,
+                entries,
+                tenant_report.replay_plan,
+                vectorized,
+                controller,
+                group_counts,
+                qoe_records,
+                epoch,
+            )
+        report.groups = group_counts
+        if collector is not None:
+            for entry in entries:
+                if entry.qoe is not None and qoe_records[entry.qoe] is None:
+                    # Admitted but never completed: lost to the cluster.
+                    qoe_records[entry.qoe] = self._qoe_record(
+                        entry.job_id,
+                        entry.workload,
+                        entry.priority,
+                        "failed",
+                        entry.arrival_s,
+                        deadline_s=entry.deadline_s,
+                    )
+            for record in qoe_records:
+                collector(record)
         return report
 
     @staticmethod
-    def _multiplex_counters(arrivals: Sequence[JobArrival]) -> Dict[str, Dict[str, int]]:
-        counts: Dict[str, Dict[str, int]] = {}
-        for arrival in arrivals:
-            entry = counts.setdefault(arrival.workload, {"simulated": 0, "replayed": 0})
-            entry["simulated"] += 1
-        return counts
+    def _pattern_holds(entries: List["_MultiplexEntry"], period: int) -> bool:
+        """Whether ``entries`` repeats with ``period``: same admission-group
+        sequence, constant positive window-to-window ready-time shift.
+
+        Requires at least ``2 * period + 1`` entries — the steady-window
+        detector needs two complete windows to compare plus at least one
+        entry to replay.
+        """
+        n = len(entries)
+        if period < 1 or n < 2 * period + 1:
+            return False
+        span = round_sig(entries[period].ready_at - entries[0].ready_at)
+        if span <= 0.0:
+            return False
+        for i in range(period, n):
+            previous = entries[i - period]
+            current = entries[i]
+            if current.group != previous.group:
+                return False
+            if round_sig(current.ready_at - previous.ready_at) != span:
+                return False
+        return True
+
+    @classmethod
+    def _detect_multiplex_period(
+        cls, entries: List["_MultiplexEntry"]
+    ) -> Optional[int]:
+        """Smallest period the admitted arrival pattern repeats at, if any.
+
+        Aperiodic traces reject each candidate within a few comparisons
+        (the first group or spacing mismatch short-circuits), so detection
+        stays effectively linear in practice.
+        """
+        first = entries[0].group
+        for period in range(1, (len(entries) - 1) // 2 + 1):
+            if entries[period].group != first:
+                continue
+            if cls._pattern_holds(entries, period):
+                return period
+        return None
+
+    def _replay_windows(
+        self,
+        report: TraceReport,
+        entries: List["_MultiplexEntry"],
+        plan,
+        vectorized: bool,
+        controller: Optional[AdmissionController],
+        group_counts: Dict[str, Dict[str, int]],
+        qoe_records: List[Optional[Dict[str, object]]],
+        epoch: float,
+    ) -> None:
+        """Account the unsimulated tail from the confirmed window pattern.
+
+        Remaining entry ``i`` replays pattern slot ``i % period``: its start
+        is its own window's first ready time plus the slot's offset from the
+        confirmed window's base (clamped to the entry's own ready time, as
+        the engine would), and its finish adds the slot's exact makespan.
+        Completions are ordered by (finish, position) — the shared engine's
+        (time, sequence) order — then accounted either at array level (one
+        vectorized run) or as one batched engine event each (the
+        ``vectorized=False`` reference path); both land on byte-identical
+        aggregates, stats, and watermarks.
+        """
+        engine = self.service.runtime.engine
+        period = plan.period
+        pattern = plan.pattern
+        offsets = [result.started_at - plan.base for result in pattern]
+        values = [
+            (result.makespan_s, result.energy_wh, result.cost, result.quality)
+            for result in pattern
+        ]
+        remaining = entries[plan.resume_at :]
+        rows = []
+        for position, entry in enumerate(remaining):
+            slot = position % period
+            window_base = remaining[(position // period) * period].ready_at
+            start = window_base + offsets[slot]
+            if start < entry.ready_at:
+                start = entry.ready_at
+            finish = start + pattern[slot].makespan_s
+            rows.append((finish, position, entry, slot, start))
+        rows.sort(key=lambda row: (row[0], row[1]))
+        for finish, _position, entry, slot, start in rows:
+            group_counts[entry.group]["replayed"] += 1
+            if controller is not None:
+                self._note_completion(
+                    report, entry.priority, entry.deadline_at, entry.arrival_at, finish
+                )
+            if entry.qoe is not None:
+                qoe_records[entry.qoe] = self._qoe_record(
+                    entry.job_id,
+                    entry.workload,
+                    entry.priority,
+                    entry.outcome,
+                    entry.arrival_s,
+                    started_s=start - epoch,
+                    finished_s=finish - epoch,
+                    makespan_s=pattern[slot].makespan_s,
+                    quality=pattern[slot].quality,
+                    deadline_s=entry.deadline_s,
+                    slo_met=(
+                        finish <= entry.deadline_at
+                        if entry.deadline_at is not None
+                        else None
+                    ),
+                )
+        if vectorized:
+            self._account_run(
+                report,
+                [row[2].job_id for row in rows],
+                [row[2].arrival_at for row in rows],
+                [row[4] for row in rows],
+                [row[0] for row in rows],
+                [values[row[3]] for row in rows],
+            )
+            last_finish = rows[-1][0]
+            if engine.now < last_finish:
+                engine.run(until=last_finish)
+        else:
+            pending = [
+                (
+                    finish,
+                    self._complete_replay,
+                    (
+                        self._pattern_result(
+                            entry.job_id, pattern[slot], start, finish
+                        ),
+                        entry.arrival_at,
+                        report,
+                    ),
+                )
+                for finish, _position, entry, slot, start in rows
+            ]
+            self._flush(engine, pending)
+            engine.run()
+
+    @staticmethod
+    def _pattern_result(
+        job_id: str, slot: JobResult, started_at: float, finished_at: float
+    ) -> JobResult:
+        """A replayed completion stamped from one confirmed pattern slot."""
+        return JobResult(
+            job_id=job_id,
+            makespan_s=slot.makespan_s,
+            started_at=started_at,
+            finished_at=finished_at,
+            energy=ServiceLoadGenerator._copy_energy(slot.energy),
+            cost=slot.cost,
+            quality=slot.quality,
+            plan=slot.plan,
+            provisioned_gpus=slot.provisioned_gpus,
+        )

@@ -424,12 +424,20 @@ class AIWorkflowService:
         the whole pipeline per job.  Returns a
         :class:`~repro.loadgen.TraceReport`.
 
+        ``mode="multiplex"`` instead interleaves every arrival concurrently
+        on the shared engine (the fidelity path), with jobs stamped from one
+        compiled template per admission group and a steady-window detector
+        that batch-replays repeating arrival windows
+        (``multiplex_window=0`` disables it).  The admission ladder
+        (``admission=...``) and the QoE ``collector`` work in both modes.
+
         See :class:`~repro.loadgen.ServiceLoadGenerator` for the options
         (``registry``, ``mode``, ``max_per_job_records``, ``policy`` — a
         bundle name or :class:`~repro.policies.bundles.PolicyBundle` to
-        serve the trace under — and ``dynamics``, which runs the trace under
+        serve the trace under — ``dynamics``, which runs the trace under
         a spot-preemption/failure schedule and fills
-        :attr:`~repro.loadgen.TraceReport.disruptions`).
+        :attr:`~repro.loadgen.TraceReport.disruptions`, ``admission``,
+        ``collector``, ``vectorized``, and ``multiplex_window``).
         """
         return ServiceLoadGenerator(self).run(arrivals, **options)
 

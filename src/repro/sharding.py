@@ -448,6 +448,7 @@ class ShardedService:
         policy: PolicyLike = None,
         vectorized: bool = True,
         admission=None,
+        multiplex_window: Optional[int] = None,
     ) -> TraceReport:
         """Serve a whole arrival trace across the shards and merge.
 
@@ -456,7 +457,9 @@ class ShardedService:
         runs its own controller over its sub-trace — the rate budget is
         per shard-engine, matching per-worker capacity — and the shed
         counters (rejected/degraded/deferred, per-priority breakdowns)
-        merge exactly into the global report.
+        merge exactly into the global report.  The ladder works in both
+        serving modes; ``multiplex_window`` tunes each shard's multiplex
+        steady-window detector (``0`` disables it).
 
         The trace is partitioned by tenant (workload name) via the
         consistent-hash router; each shard serves its sub-trace on its own
@@ -489,6 +492,8 @@ class ShardedService:
             "max_per_job_records": max_per_job_records,
             "vectorized": vectorized,
         }
+        if multiplex_window is not None:
+            options["multiplex_window"] = multiplex_window
         if admission is None:
             admission = self.admission
         if admission is not None:

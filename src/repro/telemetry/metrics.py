@@ -25,6 +25,17 @@ except ImportError:  # pragma: no cover - exercised on numpy-less installs
 _NUMPY_MIN_BATCH = 32
 
 
+def round_sig(value: float, digits: int = 12) -> float:
+    """Round ``value`` to ``digits`` significant digits.
+
+    The convergence/steady-window detectors compare metrics at 12
+    significant digits: identical executions at different absolute engine
+    times accumulate ~1e-15 relative floating-point jitter in interval
+    arithmetic, which must not block a match.
+    """
+    return float(f"{value:.{digits}g}")
+
+
 def sequential_sum(start: float, values: Sequence[float]) -> float:
     """``start + v0 + v1 + ...`` with strict left-to-right IEEE-754 order.
 
