@@ -16,10 +16,14 @@ examples-smoke:
 ## any syntax error before the test suite runs).  -f forces recompilation so
 ## warnings fire even when .pyc files are fresh.  The repro.policies check
 ## instantiates every registered control-plane bundle and asserts the
-## registry invariants (well-typed policies, unique fingerprints).
+## registry invariants (well-typed policies, unique fingerprints); the
+## repro.fabric check does the same for fabric profiles, including their
+## golden JSON surfaces under tests/data/fabrics/ (regenerate with
+## scripts/update_fabric_goldens.py after an intentional profile change).
 lint:
 	$(PYTHON) -W error::SyntaxWarning -m compileall -q -f src tests benchmarks scripts examples
 	$(PYTHON) -c "from repro.policies import validate_registry; validate_registry()"
+	$(PYTHON) -c "from repro.fabric import validate_profiles; validate_profiles('tests/data/fabrics')"
 
 ## Run the micro-benchmarks, append BENCH_<n>.json to the perf trajectory,
 ## and fail if a gated hot-path metric regressed >20% vs the previous record.

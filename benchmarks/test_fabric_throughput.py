@@ -1,0 +1,74 @@
+"""Fabric overhead benchmark: the network model must be near-free.
+
+Two runs of the identical 1,000-job trace on the identical four-node
+testbed, once with no fabric attached and once on the ``congested``
+profile.  Transfer phases fold into the existing completion events (no
+extra engine events), so the fabric-enabled run is gated at <= 1.25x the
+fabric-disabled wall time by ``check_fabric_overhead`` in
+``scripts/bench.py`` — both runs are also individually regression-gated.
+
+The trace mixes newsfeed (no costed edges on this testbed) with
+video-understanding (a chatty detector -> NVLM edge that crosses racks
+under default placement), so the timed path exercises real transfer
+charging, not just the zero-cost short-circuit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def _serve_trace(fabric):
+    from repro.cluster.cluster import paper_testbed
+    from repro.core.runtime import MurakkabRuntime
+    from repro.loadgen import default_registry
+    from repro.service import AIWorkflowService
+    from repro.workloads.arrival import poisson_arrivals
+
+    arrivals = poisson_arrivals(
+        rate_per_s=2.0,
+        horizon_s=500.0,
+        workloads=("newsfeed", "video-understanding"),
+        seed=7,
+    )
+    service = AIWorkflowService(
+        runtime=MurakkabRuntime(cluster=paper_testbed(4)), fabric=fabric
+    )
+    report = service.submit_trace(arrivals, registry=default_registry())
+    service.shutdown()
+    return report
+
+
+@pytest.mark.bench_gated
+def test_fabric_disabled_trace_1k(benchmark):
+    """Baseline: the 1k-job mixed trace with no fabric attached."""
+    reports = []
+
+    def generation():
+        report = _serve_trace(None)
+        reports.append(report)
+        return report
+
+    report = benchmark.pedantic(generation, rounds=3, warmup_rounds=1, iterations=1)
+    benchmark.extra_info["jobs"] = report.jobs
+    assert report.jobs >= 900
+    assert report.transfer_events == 0
+
+
+@pytest.mark.bench_gated
+def test_fabric_enabled_trace_1k(benchmark):
+    """The same trace on the ``congested`` profile; transfers must be
+    charged, and the wall time rides the 1.25x overhead gate."""
+    reports = []
+
+    def generation():
+        report = _serve_trace("congested")
+        reports.append(report)
+        return report
+
+    report = benchmark.pedantic(generation, rounds=3, warmup_rounds=1, iterations=1)
+    benchmark.extra_info["jobs"] = report.jobs
+    benchmark.extra_info["transfer_events"] = report.transfer_events
+    benchmark.extra_info["cross_rack_bytes"] = report.cross_rack_bytes
+    assert report.jobs >= 900
+    assert report.transfer_events > 0

@@ -58,6 +58,8 @@ GATES = {
     "test_sharded_trace_4_shards_10k": 1.20,
     "test_overload_admission_1k": 1.20,
     "test_multiplex_throughput_1k": 1.20,
+    "test_fabric_disabled_trace_1k": 1.20,
+    "test_fabric_enabled_trace_1k": 1.20,
 }
 
 #: The 4-shard run must beat the 1-shard run by at least this wall-time
@@ -70,6 +72,11 @@ MIN_SCALING_CPUS = 4
 #: on the same trace by at least this wall-time ratio (single-process, so
 #: the gate is armed on every machine).
 MULTIPLEX_MIN_SPEEDUP = 10.0
+
+#: Attaching a fabric may cost at most this wall-time ratio versus the
+#: identical trace with no fabric (transfer phases fold into existing
+#: completion events, so the model must stay near-free).
+FABRIC_MAX_OVERHEAD = 1.25
 
 
 def existing_records() -> list:
@@ -90,6 +97,7 @@ def run_benchmarks(json_path: Path) -> None:
         "benchmarks/test_sharding_scaleout.py",
         "benchmarks/test_overload_admission.py",
         "benchmarks/test_multiplex_throughput.py",
+        "benchmarks/test_fabric_throughput.py",
         "-q",
         "--benchmark-only",
         f"--benchmark-json={json_path}",
@@ -181,6 +189,23 @@ def check_multiplex(benchmarks: dict) -> list:
         f"baseline (required {MULTIPLEX_MIN_SPEEDUP:.0f}x)"
     )
     return [] if speedup >= MULTIPLEX_MIN_SPEEDUP else ["multiplex_fastpath_speedup"]
+
+
+def check_fabric_overhead(benchmarks: dict) -> list:
+    """The fabric overhead gate: serving the identical 1k-job trace with the
+    ``congested`` fabric attached must stay within ``FABRIC_MAX_OVERHEAD``x
+    of the fabric-disabled wall time.  Single-process, armed everywhere."""
+    disabled = benchmarks.get("test_fabric_disabled_trace_1k")
+    enabled = benchmarks.get("test_fabric_enabled_trace_1k")
+    if not disabled or not enabled:
+        return []
+    ratio = enabled["min_s"] / disabled["min_s"] if disabled["min_s"] > 0 else 0.0
+    marker = "FAIL" if ratio > FABRIC_MAX_OVERHEAD else "ok"
+    print(
+        f"  [{marker}] fabric overhead: congested = {ratio:.2f}x the "
+        f"fabric-free trace (allowed {FABRIC_MAX_OVERHEAD:.2f}x)"
+    )
+    return [] if ratio <= FABRIC_MAX_OVERHEAD else ["fabric_overhead_ratio"]
 
 
 #: Cold generation: serve a small trace with a warm cache attached, persist
@@ -298,6 +323,33 @@ def run_multiplex_smoke() -> int:
     return result.returncode
 
 
+def run_fabric_smoke() -> int:
+    """Congested-fabric loadtest smoke: the network model end to end through
+    the CLI — topology resolution, transfer phases, locality-aware charging,
+    and the transfer columns in the report."""
+    print("congested fabric loadtest smoke:")
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "loadtest",
+        "--fabric",
+        "congested",
+        "--workloads",
+        "video-understanding",
+        "--rate",
+        "0.2",
+        "--horizon",
+        "30",
+        "--seed",
+        "3",
+    ]
+    result = subprocess.run(command, cwd=REPO_ROOT)
+    if result.returncode != 0:
+        print("fabric smoke failed")
+    return result.returncode
+
+
 def run_restart_smoke() -> int:
     """Cold-then-warm restart smoke: two separate interpreter processes that
     share only the on-disk warm-state cache.  The second process must restore
@@ -336,6 +388,7 @@ def run_smoke() -> int:
         "benchmarks/test_policy_sweep.py",
         "benchmarks/test_overload_admission.py",
         "benchmarks/test_multiplex_throughput.py",
+        "benchmarks/test_fabric_throughput.py",
         "-q",
         "--benchmark-disable",
     ]
@@ -348,7 +401,10 @@ def run_smoke() -> int:
     returncode = run_sharded_smoke()
     if returncode != 0:
         return returncode
-    return run_multiplex_smoke()
+    returncode = run_multiplex_smoke()
+    if returncode != 0:
+        return returncode
+    return run_fabric_smoke()
 
 
 def main() -> int:
@@ -386,7 +442,11 @@ def main() -> int:
     if args.no_gate:
         return 0
 
-    failures = check_scaling(benchmarks) + check_multiplex(benchmarks)
+    failures = (
+        check_scaling(benchmarks)
+        + check_multiplex(benchmarks)
+        + check_fabric_overhead(benchmarks)
+    )
     if not records:
         print("no previous BENCH_*.json; nothing to gate against")
     else:

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Regenerate the fabric golden-profile JSON files under tests/data/fabrics/.
+
+Every registered fabric profile is serialized to its canonical dict form,
+one file per profile.  ``make lint`` (via ``repro.fabric.validate_profiles``)
+fails when a registered profile drifts from its golden file, so an
+intentional profile change must re-run this script and commit the diff —
+the same contract as the policy-bundle registry check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.fabric import available_fabrics, get_fabric  # noqa: E402
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "tests", "data", "fabrics")
+
+
+def main() -> int:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name in available_fabrics():
+        path = os.path.join(GOLDEN_DIR, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(get_fabric(name).to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {os.path.relpath(path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -212,6 +212,13 @@ class AgentImplementation(abc.ABC):
     #: NVLM question answering run on the same 8-GPU model server) declare the
     #: same ``server_group``; ``None`` means the implementation has its own.
     server_group: Optional[str] = None
+    #: Declared size (bytes) of the inter-stage payload this implementation
+    #: hands to its consumers, used to size network transfer phases when a
+    #: :class:`~repro.fabric.FabricTopology` is attached.  0 means a
+    #: metadata-only handoff that never costs fabric time.  Deliberately NOT
+    #: part of :meth:`~repro.agents.library.AgentLibrary.fingerprint`, so
+    #: declaring payloads does not invalidate warm profile caches.
+    output_payload_bytes: int = 0
 
     @property
     def deployment_group(self) -> str:

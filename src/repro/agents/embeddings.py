@@ -23,6 +23,8 @@ class _BaseEmbedder(AgentImplementation):
     """Shared cost model for text-embedding models."""
 
     interface = AgentInterface.EMBEDDING
+    #: Dense vectors shipped to the vector database.
+    output_payload_bytes = 1_000_000
     seconds_per_item: float = calibration.EMBEDDING_SECONDS_PER_SCENE
     gpu_utilization: float = calibration.EMBEDDING_UTILIZATION
     dimension: int = 64

@@ -29,6 +29,8 @@ class OpenCVFrameExtractor(AgentImplementation):
     interface = AgentInterface.FRAME_EXTRACTION
     quality = 1.0
     description = "Extract frames from video files at a fixed sampling rate."
+    #: A scene's worth of sampled frames shipped to downstream stages.
+    output_payload_bytes = 64_000_000
 
     def schema_parameters(self) -> Tuple[Tuple[str, str], ...]:
         return (

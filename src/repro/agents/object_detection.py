@@ -28,6 +28,8 @@ class _BaseDetector(AgentImplementation):
     """Shared cost model for image-text matching object detectors."""
 
     interface = AgentInterface.OBJECT_DETECTION
+    #: Annotated crops and region embeddings handed to the summariser.
+    output_payload_bytes = 48_000_000
     #: Per-scene seconds on the reference CPU slice.
     cpu_seconds_per_scene: float = calibration.OBJECT_DETECTION_SECONDS_PER_SCENE
     cpu_cores_reference: int = calibration.OBJECT_DETECTION_CPU_CORES

@@ -24,6 +24,8 @@ class _BaseSentiment(AgentImplementation):
     """Shared logic: classify each item into negative/neutral/positive."""
 
     interface = AgentInterface.SENTIMENT_ANALYSIS
+    #: Per-item labels and scores: a metadata-scale handoff.
+    output_payload_bytes = 20_000
     seconds_per_item: float = 0.3
 
     def schema_parameters(self) -> Tuple[Tuple[str, str], ...]:

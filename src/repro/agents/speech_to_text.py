@@ -32,6 +32,8 @@ class _BaseSTT(AgentImplementation):
     """Shared cost-model scaffolding for speech-to-text implementations."""
 
     interface = AgentInterface.SPEECH_TO_TEXT
+    #: Transcripts with timestamps: a metadata-scale handoff.
+    output_payload_bytes = 200_000
     #: Per-scene service time on one A100 (seconds); None = GPU unsupported.
     gpu_seconds_per_scene: float = None  # type: ignore[assignment]
     #: Per-scene service time on the reference CPU slice; None = unsupported.

@@ -42,6 +42,8 @@ class _BaseSummarizer(AgentImplementation):
     """Shared cost model for multimodal scene summarisation LLMs."""
 
     interface = AgentInterface.SCENE_SUMMARIZATION
+    #: Summaries are text: a metadata-scale handoff.
+    output_payload_bytes = 60_000
     #: GPUs the serving instance occupies (model parallel degree).
     reference_gpus: int = calibration.SUMMARIZE_GPUS
     sequential_seconds_per_scene: float = calibration.SUMMARIZE_SEQUENTIAL_SECONDS_PER_SCENE

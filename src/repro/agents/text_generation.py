@@ -31,6 +31,7 @@ class LlamaTextGenerator(AgentImplementation):
     interface = AgentInterface.TEXT_GENERATION
     quality = 0.90
     description = "Generate text with a locally hosted Llama model."
+    output_payload_bytes = 40_000
 
     seconds_per_item = 2.0
     reference_gpus = 1

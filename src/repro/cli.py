@@ -51,6 +51,35 @@ def _load_spec(path: str):
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.spec import SpecError, preview_stages
 
+    if args.spec is None and args.fabric is None:
+        print("nothing to validate: pass a spec file and/or --fabric", file=sys.stderr)
+        return 2
+    fabric = _resolve_fabric(args)
+    if isinstance(fabric, int):
+        return fabric
+    if fabric is not None:
+        print(f"fabric profile: {fabric.describe()}")
+        for rack in fabric.racks:
+            bandwidth = (
+                "unlimited"
+                if rack.uplink_gbps == float("inf")
+                else f"{rack.uplink_gbps:g} Gbps"
+            )
+            print(f"  rack {rack.rack_id}: uplink {bandwidth}, "
+                  f"latency {rack.uplink_latency_s:g}s")
+        for link in fabric.links:
+            bandwidth = (
+                "unlimited"
+                if link.bandwidth_gbps == float("inf")
+                else f"{link.bandwidth_gbps:g} Gbps"
+            )
+            print(f"  link {link.src} <-> {link.dst}: {bandwidth}, "
+                  f"latency {link.latency_s:g}s")
+        print(f"  fingerprint: {fabric.fingerprint()[:16]}...")
+        print("fabric profile is valid")
+        if args.spec is None:
+            return 0
+        print()
     spec, error = _load_spec(args.spec)
     if spec is None:
         print(error, file=sys.stderr)
@@ -237,6 +266,40 @@ def _build_arrivals(args: argparse.Namespace, workloads: tuple):
     )
 
 
+def _resolve_fabric(args: argparse.Namespace):
+    """The ``--fabric`` profile as a topology, ``None``, or exit code 2.
+
+    An unknown profile name exits 2 with the registered profiles listed
+    (the ``_resolve_workloads`` contract), instead of a bare ``KeyError``
+    deep inside service construction.
+    """
+    name = getattr(args, "fabric", None)
+    if name is None:
+        return None
+    from repro.fabric import UnknownFabricError, get_fabric
+
+    try:
+        return get_fabric(name)
+    except UnknownFabricError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+
+def _fabric_testbed(fabric, node_count=None):
+    """A runtime provisioned for the fabric's testbed-size hint (or None).
+
+    Profiles drawn for more racks than the stock 2-node testbed carry a
+    ``testbed_nodes`` hint; honouring it gives every rack at least one node,
+    so the profile's locality structure is actually exercisable.
+    """
+    if fabric is None or fabric.testbed_nodes is None:
+        return None
+    from repro.cluster.cluster import paper_testbed
+    from repro.core.runtime import MurakkabRuntime
+
+    return MurakkabRuntime(cluster=paper_testbed(node_count or fabric.testbed_nodes))
+
+
 def _build_admission(args: argparse.Namespace):
     """Translate the admission flags into an AdmissionConfig (or None)."""
     if args.admit_rate is None:
@@ -283,6 +346,9 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     workloads = _resolve_workloads(args, registry)
     if isinstance(workloads, int):
         return workloads
+    fabric = _resolve_fabric(args)
+    if isinstance(fabric, int):
+        return fabric
     arrivals = _build_arrivals(args, workloads)
     dynamics = _build_dynamics(args)
     admission = _build_admission(args)
@@ -303,13 +369,16 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    runtime = _fabric_testbed(fabric) if args.shards == 1 else None
     with MurakkabClient(
+        runtime=runtime,
         dynamics=dynamics,
         policy=args.policy,
         registry=registry,
         warm_cache=args.warm_cache,
         shards=args.shards,
         shard_backend=args.shard_backend,
+        fabric=fabric,
     ) as client:
         if args.capture:
             from repro.client import TraceHandle
@@ -339,6 +408,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         service = client.service
         if service.policy is not None:
             print(f"{'policy':>22}: {service.policy.describe()}")
+        if fabric is not None:
+            print(f"{'fabric':>22}: {fabric.describe()}")
         for key, value in handle.summary().items():
             print(f"{key:>22}: {value}")
         if handle.report.admission_controlled:
@@ -485,45 +556,59 @@ def _cmd_compare_policies(args: argparse.Namespace) -> int:
     workloads = _resolve_workloads(args, registry)
     if isinstance(workloads, int):
         return workloads
+    fabric = _resolve_fabric(args)
+    if isinstance(fabric, int):
+        return fabric
     rows = []
     for name in names:
         # Fresh arrivals, service, and dynamics schedule per bundle: every
         # policy serves the identical trace from the identical start state.
         arrivals = _build_arrivals(args, workloads)
-        service = AIWorkflowService(policy=name, dynamics=_build_dynamics(args))
+        service = AIWorkflowService(
+            runtime=_fabric_testbed(fabric),
+            policy=name,
+            dynamics=_build_dynamics(args),
+            fabric=fabric,
+        )
         report = service.submit_trace(arrivals, registry=registry, mode=args.mode)
         disruptions = sum(
             report.disruptions.get(key, 0)
             for key in ("preemptions", "failures", "scale_outs", "scale_ins")
         )
-        rows.append(
-            [
-                name,
-                str(report.jobs),
-                f"{report.makespan_s.mean:.3f}",
-                f"{report.energy_wh.total:.3f}",
-                f"{report.cost.total:.4f}",
-                f"{report.quality.mean:.3f}",
-                str(report.failed_jobs),
-                str(disruptions),
-            ]
-        )
+        row = [
+            name,
+            str(report.jobs),
+            f"{report.makespan_s.mean:.3f}",
+            f"{report.energy_wh.total:.3f}",
+            f"{report.cost.total:.4f}",
+            f"{report.quality.mean:.3f}",
+            str(report.failed_jobs),
+            str(disruptions),
+        ]
+        if fabric is not None:
+            row.extend(
+                [
+                    f"{report.transferred_bytes / 1e6:.1f}",
+                    f"{report.cross_rack_bytes / 1e6:.1f}",
+                    f"{report.transfer_s:.3f}",
+                ]
+            )
+        rows.append(row)
         service.shutdown()
-    print(
-        render_table(
-            [
-                "Policy",
-                "Jobs",
-                "Mean latency (s)",
-                "Energy (Wh)",
-                "Cost",
-                "Quality",
-                "Failed",
-                "Disruptions",
-            ],
-            rows,
-        )
-    )
+    headers = [
+        "Policy",
+        "Jobs",
+        "Mean latency (s)",
+        "Energy (Wh)",
+        "Cost",
+        "Quality",
+        "Failed",
+        "Disruptions",
+    ]
+    if fabric is not None:
+        print(f"fabric: {fabric.describe()}")
+        headers.extend(["Moved (MB)", "Cross-rack (MB)", "Transfer (s)"])
+    print(render_table(headers, rows))
     return 0
 
 
@@ -574,7 +659,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate a workflow-spec JSON file and print its compiled "
         "stage plan without running anything (ours)",
     )
-    validate.add_argument("spec", help="path to the spec JSON file")
+    validate.add_argument(
+        "spec", nargs="?", default=None, help="path to the spec JSON file"
+    )
+    _add_fabric_flag(validate)
     validate.set_defaults(func=_cmd_validate)
 
     submit = subparsers.add_parser(
@@ -594,6 +682,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_flags(loadtest)
     _add_dynamics_flags(loadtest)
     _add_policy_flag(loadtest)
+    _add_fabric_flag(loadtest)
     loadtest.add_argument(
         "--warm-cache",
         metavar="DIR",
@@ -675,6 +764,7 @@ def build_parser() -> argparse.ArgumentParser:
         compare, default_workloads="newsfeed", default_rate=0.5, default_horizon=120.0
     )
     _add_dynamics_flags(compare)
+    _add_fabric_flag(compare)
     compare.add_argument(
         "--policies",
         default=None,
@@ -740,6 +830,18 @@ def _add_admission_flags(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=None,
         help="deadline SLO (s) for workloads whose spec declares none",
+    )
+
+
+def _add_fabric_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fabric",
+        default=None,
+        metavar="PROFILE",
+        help="attach a cluster-interconnect profile (e.g. uniform, "
+        "datacenter-3tier, edge-wan, congested): dependent stages on "
+        "different nodes pay per-payload transfer time on its links "
+        "(default: free data movement)",
     )
 
 

@@ -361,6 +361,7 @@ class MurakkabClient:
         shards: int = 1,
         shard_backend: str = "process",
         admission=None,
+        fabric=None,
     ):
         """``warm_cache`` (a :class:`~repro.warmstate.WarmStateCache` or a
         directory path) persists warm service state across processes: a
@@ -379,7 +380,14 @@ class MurakkabClient:
         dict form) installs overload admission control on the service:
         interactive submissions past the rate/deadline ladder raise
         :class:`~repro.admission.AdmissionRejected`, and trace runs shed
-        degrade-first (see :mod:`repro.admission`)."""
+        degrade-first (see :mod:`repro.admission`).
+
+        ``fabric`` (a :class:`~repro.fabric.FabricTopology`, a registered
+        profile name such as ``"congested"``, or its dict form) attaches a
+        cluster-interconnect model: dependent stages placed on different
+        nodes pay per-payload transfer time on the topology's links, and
+        moved/cross-rack bytes and transfer energy are accounted in the
+        service stats (see :mod:`repro.fabric`)."""
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if shards > 1:
@@ -399,6 +407,7 @@ class MurakkabClient:
                 keep_warm=keep_warm,
                 registry=registry,
                 admission=admission,
+                fabric=fabric,
             )
         self.service = service or AIWorkflowService(
             runtime=runtime,
@@ -407,11 +416,15 @@ class MurakkabClient:
             policy=policy,
             warm_cache=warm_cache,
             admission=admission,
+            fabric=fabric,
         )
-        if service is not None and admission is not None and shards == 1:
-            # An explicitly passed service gets the config installed rather
+        if service is not None and shards == 1:
+            # An explicitly passed service gets the configs installed rather
             # than silently dropped.
-            self.service.set_admission(admission)
+            if admission is not None:
+                self.service.set_admission(admission)
+            if fabric is not None:
+                self.service.set_fabric(fabric)
         #: Built lazily: a client submitting only explicit specs/jobs never
         #: pays for registering (validating, materializing) the four
         #: shipped workloads.

@@ -215,6 +215,10 @@ class ClusterDynamics:
         self._scaleout_counter = 0
         self._pressure_ticks = 0
         self._idle_ticks = 0
+        #: Optional admission shed-counter source (see
+        #: :meth:`set_admission_feedback`) and its last observed total.
+        self._admission_feedback = None
+        self._admission_seen = 0
         #: Absolute fire times of every scheduled event (sorted) and how
         #: many have fired — lets batching schedulers ask "is a disruption
         #: due before this arrival?" without running the engine.
@@ -382,12 +386,37 @@ class ClusterDynamics:
     # ------------------------------------------------------------------ #
     # Autoscaling control loop
     # ------------------------------------------------------------------ #
+    def set_admission_feedback(self, source) -> None:
+        """Feed admission shed counters into the autoscaler (or ``None``).
+
+        ``source`` is a zero-argument callable returning the cumulative
+        number of shed submissions (rejections + deferrals) so far — e.g. a
+        closure over an :class:`~repro.admission.AdmissionController`'s
+        outcome counters.  Each autoscale tick reads the delta since the
+        previous tick: jobs the admission ladder turned away are demand the
+        cluster could not see as queued tasks, so a shedding tick counts as
+        a pressured one even while GPUs look free.  The trace path wires
+        this automatically when a run has both an admission controller and
+        an attached dynamics schedule.
+        """
+        self._admission_feedback = source
+        self._admission_seen = int(source()) if source is not None else 0
+
+    def _shed_since_last_tick(self) -> int:
+        if self._admission_feedback is None:
+            return 0
+        total = int(self._admission_feedback())
+        shed = max(0, total - self._admission_seen)
+        self._admission_seen = total
+        return shed
+
     def _autoscale_tick(self) -> None:
         manager = self._manager
         stats = manager.stats()
         demand = manager.aggregate_upcoming_demand()
         pending = sum(demand.values())
-        pressured = pending > 0 and stats.free_gpus == 0
+        shed = self._shed_since_last_tick()
+        pressured = (pending > 0 and stats.free_gpus == 0) or shed > 0
         if pressured:
             self._pressure_ticks += 1
             self._idle_ticks = 0
@@ -399,13 +428,13 @@ class ClusterDynamics:
             self._pressure_ticks >= config.autoscale_pressure_ticks
             and len(self._scaleout_nodes) < config.autoscale_max_nodes
         ):
-            self._scale_out(pending, demand)
+            self._scale_out(pending, demand, shed=shed)
             self._pressure_ticks = 0
         elif self._idle_ticks >= config.autoscale_idle_ticks and self._scaleout_nodes:
             self._scale_in()
             self._idle_ticks = 0
 
-    def _scale_out(self, pending: int, demand: Dict[str, int]) -> None:
+    def _scale_out(self, pending: int, demand: Dict[str, int], shed: int = 0) -> None:
         config = self.config
         self._scaleout_counter += 1
         node = Node(
@@ -422,8 +451,11 @@ class ClusterDynamics:
             delta_gpus=node.total_gpus,
             delta_cpu_cores=node.total_cpu_cores,
             reason=(
-                f"sustained queueing pressure: {pending} pending tasks, 0 free GPUs "
-                f"for {self._pressure_ticks} consecutive checks"
+                f"admission shed {shed} job(s) since the last check: capacity, "
+                f"not load, is the bottleneck ({pending} pending tasks)"
+                if shed > 0
+                else f"sustained queueing pressure: {pending} pending tasks, "
+                f"0 free GPUs for {self._pressure_ticks} consecutive checks"
             ),
         )
         self.log.commands.append(command)

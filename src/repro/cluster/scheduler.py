@@ -14,6 +14,7 @@ from repro.policies.base import PlacementPolicy
 from repro.policies.placement import (
     BestFitPolicy,
     FirstFitPolicy,
+    LocalityAwarePlacementPolicy,
     SpotAwarePlacementPolicy,
     SpreadPolicy,
     WorkflowAwarePolicy,
@@ -26,4 +27,5 @@ __all__ = [
     "SpreadPolicy",
     "WorkflowAwarePolicy",
     "SpotAwarePlacementPolicy",
+    "LocalityAwarePlacementPolicy",
 ]

@@ -246,6 +246,7 @@ class WorkflowExecutor:
         on_finish: Optional[Callable[["WorkflowExecutor"], None]] = None,
         replanner: Optional[Callable[[AgentInterface], PlanAssignment]] = None,
         stop_when_finished: bool = False,
+        fabric=None,
     ) -> None:
         self.engine = engine
         self.cluster_manager = cluster_manager
@@ -301,6 +302,21 @@ class WorkflowExecutor:
         self.replans = 0
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        #: Attached :class:`~repro.fabric.FabricTopology`, or ``None`` for
+        #: the historical free-data-movement behaviour.  With a fabric,
+        #: every dependent-stage edge whose payload costs time on the links
+        #: delays the consumer and is accounted below; zero-cost edges
+        #: (same node, or an uncontended fabric) change nothing at all.
+        self.fabric = fabric
+        #: ``task_id -> (node_id, payload_bytes, finished_at)`` of completed
+        #: producers, recorded only when a fabric is attached.
+        self._output_sites: Dict[str, Tuple[str, int, float]] = {}
+        #: Transfer accounting over *costed* edges (``transfer_time > 0``).
+        self.transfer_events = 0
+        self.transferred_bytes = 0
+        self.cross_rack_bytes = 0
+        self.transfer_seconds = 0.0
+        self.transfer_wh = 0.0
 
     #: How long to wait before re-trying dispatch when the cluster could not
     #: satisfy a per-task allocation (another workflow may free resources).
@@ -693,16 +709,78 @@ class WorkflowExecutor:
     def _start_task(self, task: Task, lane: _Lane, allocation: Optional[Allocation]) -> None:
         assignment = lane.assignment
         estimate = lane.implementation.estimate(task.work, assignment.config, assignment.mode)
+        transfer_s = 0.0
+        if self.fabric is not None:
+            transfer_s = self._absorb_transfers(task, lane, allocation)
         task.mark(TaskState.RUNNING)
-        task.started_at = self.engine.now
+        task.started_at = self.engine.now + transfer_s
         lane.active += 1
         if lane.server is not None:
             lane.server.active += 1
         self._global_active += 1
+        # The residual transfer wait folds into the task's single completion
+        # event, so attaching a fabric adds no engine events at all.
         event = self.engine.schedule(
-            estimate.seconds, self._complete_task, task, lane, allocation, estimate
+            transfer_s + estimate.seconds, self._complete_task, task, lane, allocation, estimate
         )
         self._inflight[task.task_id] = (event, task, lane, allocation)
+
+    def _absorb_transfers(
+        self, task: Task, lane: _Lane, allocation: Optional[Allocation]
+    ) -> float:
+        """Account ``task``'s costed input transfers; return the residual wait.
+
+        Each payload starts moving the moment its producer finishes and the
+        transfers proceed in parallel, so the consumer waits only until the
+        *latest* payload arrives.  Edges the fabric moves for free
+        (``transfer_time == 0``: same node, or an unlimited link) are neither
+        delayed nor counted — that keeps the zero-cost ``uniform`` profile
+        byte-identical to running with no fabric attached.
+        """
+        assert self._graph is not None
+        fabric = self.fabric
+        if lane.server is not None:
+            dest = lane.server.node_id
+        elif allocation is not None:
+            dest = allocation.node_id
+        else:
+            dest = ""
+        if not dest:
+            return 0.0
+        now = self.engine.now
+        ready_at = now
+        for pred in self._graph.predecessors(task.task_id):
+            site = self._output_sites.get(pred.task_id)
+            if site is None:
+                continue
+            src_node, payload_bytes, available_at = site
+            seconds = fabric.transfer_time(src_node, dest, payload_bytes)
+            if seconds <= 0.0:
+                continue
+            self.transfer_events += 1
+            self.transferred_bytes += payload_bytes
+            self.transfer_seconds += seconds
+            self.transfer_wh += fabric.transfer_energy_wh(payload_bytes)
+            if fabric.is_cross_rack(src_node, dest):
+                self.cross_rack_bytes += payload_bytes
+            arrived_at = available_at + seconds
+            if arrived_at > ready_at:
+                ready_at = arrived_at
+        extra = ready_at - now
+        if extra > 0.0:
+            # A zero-device interval: visible on the Gantt timeline, free in
+            # the compute-energy integral (transfer energy is accounted
+            # separately from the fabric's per-GB figure).
+            self.trace.add(
+                task_id=f"{task.task_id}/transfer",
+                task_name=f"input transfer for {task.task_id}",
+                category="Transfer",
+                start=now,
+                end=ready_at,
+                node_id=dest,
+                metadata={"stage": task.stage, "workflow": self.workflow_id},
+            )
+        return extra
 
     def _complete_task(
         self,
@@ -715,6 +793,19 @@ class WorkflowExecutor:
         self._inflight.pop(task.task_id, None)
         task.finished_at = self.engine.now
         self._record_trace(task, lane, allocation, estimate)
+        if self.fabric is not None:
+            if lane.server is not None:
+                site_node = lane.server.node_id
+            elif allocation is not None:
+                site_node = allocation.node_id
+            else:
+                site_node = ""
+            if site_node:
+                self._output_sites[task.task_id] = (
+                    site_node,
+                    lane.implementation.output_payload_bytes,
+                    self.engine.now,
+                )
 
         merged_work = self._compose_work(task)
         result = lane.implementation.execute(merged_work, lane.assignment.config, lane.assignment.mode)
@@ -755,6 +846,16 @@ class WorkflowExecutor:
     # ------------------------------------------------------------------ #
     # Trace + telemetry
     # ------------------------------------------------------------------ #
+    def transfer_summary(self) -> Dict[str, float]:
+        """The costed-transfer counters in :class:`JobResult` field order."""
+        return {
+            "transfer_s": self.transfer_seconds,
+            "transferred_bytes": self.transferred_bytes,
+            "cross_rack_bytes": self.cross_rack_bytes,
+            "transfer_wh": self.transfer_wh,
+            "transfer_events": self.transfer_events,
+        }
+
     def _record_trace(
         self,
         task: Task,

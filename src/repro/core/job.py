@@ -117,6 +117,13 @@ class JobResult:
     react_trace: Optional[object] = None
     #: Number of GPUs provisioned for the workflow window.
     provisioned_gpus: int = 0
+    #: Costed inter-stage data movement over the attached fabric (all zero
+    #: when no fabric is attached, or when the fabric moves data for free).
+    transfer_s: float = 0.0
+    transferred_bytes: int = 0
+    cross_rack_bytes: int = 0
+    transfer_wh: float = 0.0
+    transfer_events: int = 0
 
     @property
     def energy_wh(self) -> float:

@@ -219,6 +219,7 @@ def run_submissions(
             pool=pool,
             started_at=started_at,
             finished_at=finished_at,
+            transfers=executor.transfer_summary(),
         )
         # Fold the job's dynamic (busy) energy into the running total now;
         # fleet idle energy needs the final batch window and pool size, so it
@@ -279,6 +280,7 @@ def run_submissions(
                 if runtime.dynamics is not None
                 else None
             ),
+            fabric=runtime.fabric,
         )
         if runtime.dynamics is not None:
             runtime.dynamics.register_executor(executor)
@@ -402,6 +404,7 @@ def run_submissions(
                 pool=pool,
                 started_at=started_at,
                 finished_at=finished_at,
+                transfers=executor.transfer_summary(),
             )
             report.job_results[job_id] = result
             report.completed_jobs += 1

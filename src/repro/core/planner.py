@@ -172,6 +172,10 @@ class ConfigurationPlanner:
         #: surfaced to policies through :class:`PlanContext` (installed by
         #: ``MurakkabRuntime.attach_dynamics``).
         self.dynamics_version_source: Optional[Callable[[], int]] = None
+        #: Attached cluster interconnect model (set by
+        #: ``MurakkabRuntime.set_fabric``); surfaced to policies through
+        #: :class:`PlanContext` and folded into the decision-cache key.
+        self.fabric = None
         self._plan_cache: Dict[tuple, PlanAssignment] = {}
         self._plan_cache_store_version = profile_store.version
         self._plan_cache_hits = 0
@@ -317,6 +321,7 @@ class ConfigurationPlanner:
             self._policy_fingerprint,
             self._dynamics_version(),
             spec_digest,
+            self.fabric.fingerprint() if self.fabric is not None else "",
         )
         assignment = self._plan_cache.get(cache_key)
         if assignment is not None:
@@ -367,6 +372,7 @@ class ConfigurationPlanner:
             profile_store=self.profile_store,
             dynamics_version=self._dynamics_version(),
             spec_digest=spec_digest,
+            fabric=self.fabric,
         )
 
     def _select_profile(

@@ -26,6 +26,7 @@ from repro.core.orchestrator import OrchestrationResult, WorkflowOrchestrator
 from repro.core.planner import PlannerOverride
 from repro.core.quality import cascade_quality, score_object_listing_answer
 from repro.core.quality_control import QualityController
+from repro.fabric import FabricTopology, fabric_of
 from repro.policies.bundles import PolicyBundle, PolicyLike, resolve_bundle
 from repro.profiling.profiler import default_profile_store
 from repro.profiling.store import ProfileStore
@@ -49,6 +50,7 @@ class MurakkabRuntime:
         placement_policy: Optional[PlacementPolicy] = None,
         max_cpu_cores_per_agent: int = calibration.STT_CPU_TOTAL_CORES,
         policy: PolicyLike = None,
+        fabric: "FabricTopology | str | None" = None,
     ) -> None:
         self.engine = engine or SimulationEngine()
         self.cluster = cluster or paper_testbed()
@@ -74,6 +76,9 @@ class MurakkabRuntime:
         #: Installed control-plane policy bundle; ``None`` means the stock
         #: behaviour (every layer falls back to its default policy).
         self.policy: Optional[PolicyBundle] = None
+        #: Attached cluster interconnect model, or ``None`` for the
+        #: historical free-data-movement behaviour.
+        self.fabric: Optional[FabricTopology] = None
         if policy is not None:
             if placement_policy is not None:
                 # Refuse the ambiguity rather than let the bundle fingerprint
@@ -85,6 +90,8 @@ class MurakkabRuntime:
                     "desired placement policy"
                 )
             self.set_policy(policy)
+        if fabric is not None:
+            self.set_fabric(fabric)
 
     @property
     def planner(self):
@@ -109,7 +116,37 @@ class MurakkabRuntime:
         self.cluster_manager.allocator.policy = bundle.placement
         self.orchestrator.planner.scheduling_policy = bundle.scheduling
         self.orchestrator.mapper.scheduling_policy = bundle.scheduling
+        if self.fabric is not None:
+            self._attach_fabric_to_placement()
         return bundle
+
+    # ------------------------------------------------------------------ #
+    # Cluster fabric
+    # ------------------------------------------------------------------ #
+    def set_fabric(self, fabric: "FabricTopology | str | None") -> Optional[FabricTopology]:
+        """Attach (or detach, with ``None``) the cluster interconnect model.
+
+        Accepts a :class:`~repro.fabric.FabricTopology`, a registered profile
+        name, or a ``FabricTopology.to_dict`` mapping.  Subsequent executors
+        charge inter-stage payloads against the fabric's links, the planner's
+        decision cache keys on the fabric fingerprint, and a locality-aware
+        placement policy in the installed bundle is handed the topology so it
+        can see rack boundaries.
+        """
+        topology = fabric_of(fabric)
+        self.fabric = topology
+        self.orchestrator.planner.fabric = topology
+        self._attach_fabric_to_placement()
+        return topology
+
+    def _attach_fabric_to_placement(self) -> None:
+        policies = [self.cluster_manager.allocator.policy]
+        if self.policy is not None and self.policy.placement not in policies:
+            policies.append(self.policy.placement)
+        for policy in policies:
+            attach = getattr(policy, "attach_fabric", None)
+            if attach is not None:
+                attach(self.fabric)
 
     def quality_controller(self) -> QualityController:
         """A quality controller over this runtime's profiles, using the
@@ -219,6 +256,7 @@ class MurakkabRuntime:
                 else None
             ),
             stop_when_finished=dynamics is not None,
+            fabric=self.fabric,
             **self.executor_options,
         )
         if dynamics is not None:
@@ -248,6 +286,7 @@ class MurakkabRuntime:
             pool=pool,
             started_at=submit_time,
             finished_at=finished_at,
+            transfers=executor.transfer_summary(),
         )
         if not keep_warm and server_pool is None:
             pool.teardown_all()
@@ -265,6 +304,7 @@ class MurakkabRuntime:
         pool: ServerPool,
         started_at: float,
         finished_at: float,
+        transfers: Optional[Dict[str, float]] = None,
     ) -> JobResult:
         provisioned_gpus = pool.total_gpus()
         accountant = EnergyAccountant(
@@ -277,6 +317,7 @@ class MurakkabRuntime:
         cost = self._estimate_cost(trace, pool, finished_at - started_at)
         output = self._collect_output(orchestration, results)
         quality = self._estimate_quality(job, orchestration, output)
+        transfer = transfers or {}
 
         return JobResult(
             job_id=job.job_id,
@@ -293,6 +334,11 @@ class MurakkabRuntime:
             graph=orchestration.graph,
             react_trace=orchestration.react_trace,
             provisioned_gpus=provisioned_gpus,
+            transfer_s=float(transfer.get("transfer_s", 0.0)),
+            transferred_bytes=int(transfer.get("transferred_bytes", 0)),
+            cross_rack_bytes=int(transfer.get("cross_rack_bytes", 0)),
+            transfer_wh=float(transfer.get("transfer_wh", 0.0)),
+            transfer_events=int(transfer.get("transfer_events", 0)),
         )
 
     def _estimate_cost(self, trace: ExecutionTrace, pool: ServerPool, duration_s: float) -> float:

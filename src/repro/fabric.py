@@ -1,0 +1,585 @@
+"""Network fabric model: racks, switches, links, and transfer phases.
+
+Placement historically treated the cluster as a flat bag of nodes —
+inter-stage tensors, frames, and documents moved for free.  This module
+models the interconnect so the runtime can charge data movement between
+dependent stages (ROADMAP open item 2):
+
+* :class:`FabricTopology` — a deterministic, JSON-round-tripping,
+  sha256-fingerprinted description of racks (each with an uplink to the
+  fabric), intermediate switches, and the links between them.
+* Inverse-bandwidth shortest-path routing (the MintEDGE ``DAGTopology``
+  shape): the cost of an edge is ``1 / bandwidth``, so routes prefer fat
+  links; rack-pair routes are memoized, which is what keeps fabric-enabled
+  trace serving within a few percent of the fabric-disabled path.
+* :meth:`FabricTopology.transfer_time` — the seconds one payload takes
+  between two nodes: zero on the same node, through the rack uplink within
+  a rack, and uplink + routed path + downlink across racks, at the
+  bottleneck bandwidth along the way.
+
+The ``uniform`` profile (one rack, unlimited bandwidth, zero latency) is
+the neutral element: every transfer takes zero seconds, no transfer is
+accounted anywhere, and the whole pipeline is byte-identical to a run with
+no fabric attached — the differential guarantee every subsystem here ships
+with.  Costs only ever attach to *costed edges* (``transfer_time > 0``), so
+that guarantee is structural, not numerical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+#: Sentinel bandwidth for an uncontended link (serialized as JSON ``null``).
+UNLIMITED = float("inf")
+
+_BITS_PER_BYTE = 8.0
+#: Bits per second in one Gbps.
+_GBPS = 1e9
+#: Bytes in the gigabyte that prices ``energy_per_gb_wh``.
+_BYTES_PER_GB = 1e9
+
+
+class FabricError(ValueError):
+    """A malformed or unroutable fabric description."""
+
+
+class UnknownFabricError(KeyError):
+    """An unregistered fabric profile name (mirrors ``UnknownWorkloadError``)."""
+
+    def __init__(self, fabric: str, registered: List[str]) -> None:
+        super().__init__(fabric)
+        self.fabric = fabric
+        self.registered = list(registered)
+
+    def __str__(self) -> str:
+        known = ", ".join(self.registered) or "(none)"
+        return f"unknown fabric profile {self.fabric!r}; known profiles: {known}"
+
+
+def _bandwidth_to_json(value: float) -> Optional[float]:
+    return None if value == UNLIMITED else value
+
+
+def _bandwidth_from_json(value: Optional[float]) -> float:
+    return UNLIMITED if value is None else float(value)
+
+
+@dataclass(frozen=True)
+class Rack:
+    """One rack: a set of nodes behind a shared uplink to the fabric."""
+
+    rack_id: str
+    #: Uplink (and intra-rack) bandwidth; :data:`UNLIMITED` = uncontended.
+    uplink_gbps: float = UNLIMITED
+    #: One-way latency through the rack's top-of-rack switch.
+    uplink_latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.rack_id:
+            raise FabricError("rack_id must be non-empty")
+        if self.uplink_gbps <= 0:
+            raise FabricError(f"rack {self.rack_id!r}: uplink_gbps must be positive")
+        if self.uplink_latency_s < 0:
+            raise FabricError(
+                f"rack {self.rack_id!r}: uplink_latency_s must be non-negative"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rack_id": self.rack_id,
+            "uplink_gbps": _bandwidth_to_json(self.uplink_gbps),
+            "uplink_latency_s": self.uplink_latency_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Rack":
+        return cls(
+            rack_id=str(payload["rack_id"]),
+            uplink_gbps=_bandwidth_from_json(payload.get("uplink_gbps")),
+            uplink_latency_s=float(payload.get("uplink_latency_s", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FabricLink:
+    """One bidirectional link between two fabric endpoints (racks/switches)."""
+
+    src: str
+    dst: str
+    bandwidth_gbps: float = UNLIMITED
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.src or not self.dst:
+            raise FabricError("link endpoints must be non-empty")
+        if self.src == self.dst:
+            raise FabricError(f"link {self.src!r}->{self.dst!r} is a self-loop")
+        if self.bandwidth_gbps <= 0:
+            raise FabricError(
+                f"link {self.src!r}->{self.dst!r}: bandwidth_gbps must be positive"
+            )
+        if self.latency_s < 0:
+            raise FabricError(
+                f"link {self.src!r}->{self.dst!r}: latency_s must be non-negative"
+            )
+
+    @property
+    def inverse_bandwidth(self) -> float:
+        """The routing weight of this link (0 for an uncontended link)."""
+        return 0.0 if self.bandwidth_gbps == UNLIMITED else 1.0 / self.bandwidth_gbps
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "bandwidth_gbps": _bandwidth_to_json(self.bandwidth_gbps),
+            "latency_s": self.latency_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "FabricLink":
+        return cls(
+            src=str(payload["src"]),
+            dst=str(payload["dst"]),
+            bandwidth_gbps=_bandwidth_from_json(payload.get("bandwidth_gbps")),
+            latency_s=float(payload.get("latency_s", 0.0)),
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class FabricTopology:
+    """A deterministic model of the cluster interconnect.
+
+    Nodes map to racks either through explicit :attr:`assignments` or, for
+    unlisted nodes, by a stable sha256 hash of the node id (never Python's
+    ``hash()``, which varies with ``PYTHONHASHSEED``).  Routing between
+    racks runs inverse-bandwidth Dijkstra over the rack/switch graph with
+    lexicographic tie-breaks, memoized per rack pair.
+    """
+
+    name: str
+    racks: Tuple[Rack, ...]
+    links: Tuple[FabricLink, ...] = ()
+    switches: Tuple[str, ...] = ()
+    #: Explicit ``node_id -> rack_id`` pins; unlisted nodes hash to a rack.
+    assignments: Mapping[str, str] = field(default_factory=dict)
+    #: Wh charged per gigabyte moved over a costed edge (NICs + switches).
+    energy_per_gb_wh: float = 0.0
+    #: Optional hint: the testbed size this profile was drawn for (used by
+    #: the CLI to provision enough nodes to exercise every rack).
+    testbed_nodes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FabricError("fabric name must be non-empty")
+        if not self.racks:
+            raise FabricError(f"fabric {self.name!r} needs at least one rack")
+        if self.energy_per_gb_wh < 0:
+            raise FabricError(f"fabric {self.name!r}: energy_per_gb_wh must be >= 0")
+        if self.testbed_nodes is not None and self.testbed_nodes < 1:
+            raise FabricError(f"fabric {self.name!r}: testbed_nodes must be >= 1")
+        rack_ids = [rack.rack_id for rack in self.racks]
+        if len(set(rack_ids)) != len(rack_ids):
+            raise FabricError(f"fabric {self.name!r} has duplicate rack ids")
+        endpoints = set(rack_ids) | set(self.switches)
+        if len(endpoints) != len(rack_ids) + len(self.switches):
+            raise FabricError(f"fabric {self.name!r}: switch ids collide with racks")
+        for link in self.links:
+            for endpoint in (link.src, link.dst):
+                if endpoint not in endpoints:
+                    raise FabricError(
+                        f"fabric {self.name!r}: link endpoint {endpoint!r} is "
+                        "neither a rack nor a switch"
+                    )
+        for node_id, rack_id in self.assignments.items():
+            if rack_id not in set(rack_ids):
+                raise FabricError(
+                    f"fabric {self.name!r}: node {node_id!r} assigned to "
+                    f"unknown rack {rack_id!r}"
+                )
+        object.__setattr__(self, "_racks_by_id", {r.rack_id: r for r in self.racks})
+        adjacency: Dict[str, List[Tuple[str, FabricLink]]] = {}
+        for link in self.links:
+            adjacency.setdefault(link.src, []).append((link.dst, link))
+            adjacency.setdefault(link.dst, []).append((link.src, link))
+        for neighbours in adjacency.values():
+            neighbours.sort(key=lambda pair: pair[0])
+        object.__setattr__(self, "_adjacency", adjacency)
+        object.__setattr__(self, "_route_cache", {})
+        object.__setattr__(self, "_rack_of_cache", {})
+        object.__setattr__(self, "_fingerprint", None)
+        # Every rack pair must route: catch a disconnected profile at
+        # construction, not in the middle of a trace.
+        for src in rack_ids:
+            for dst in rack_ids:
+                if src < dst:
+                    self.route(src, dst)
+
+    # -------------------------------------------------------------- #
+    # Node -> rack mapping
+    # -------------------------------------------------------------- #
+    def rack_of(self, node_id: str) -> str:
+        """The rack hosting ``node_id`` (explicit pin or stable hash)."""
+        cached = self._rack_of_cache.get(node_id)
+        if cached is not None:
+            return cached
+        rack_id = self.assignments.get(node_id)
+        if rack_id is None:
+            digest = hashlib.sha256(node_id.encode("utf-8")).digest()
+            index = int.from_bytes(digest[:8], "big") % len(self.racks)
+            rack_id = self.racks[index].rack_id
+        self._rack_of_cache[node_id] = rack_id
+        return rack_id
+
+    def rack(self, rack_id: str) -> Rack:
+        try:
+            return self._racks_by_id[rack_id]
+        except KeyError:
+            raise FabricError(f"fabric {self.name!r} has no rack {rack_id!r}") from None
+
+    def is_cross_rack(self, src_node: str, dst_node: str) -> bool:
+        return self.rack_of(src_node) != self.rack_of(dst_node)
+
+    # -------------------------------------------------------------- #
+    # Routing (inverse-bandwidth Dijkstra, memoized per rack pair)
+    # -------------------------------------------------------------- #
+    def route(self, src_rack: str, dst_rack: str) -> Tuple[float, float]:
+        """``(path_latency_s, bottleneck_gbps)`` of the cheapest route.
+
+        Edge cost is the link's inverse bandwidth (0 for uncontended
+        links), so routes prefer fat pipes; equal-cost frontiers settle in
+        lexicographic endpoint order, making the route — and therefore
+        every downstream transfer time — independent of dict iteration
+        order and ``PYTHONHASHSEED``.
+        """
+        if src_rack == dst_rack:
+            return (0.0, UNLIMITED)
+        key = (src_rack, dst_rack) if src_rack < dst_rack else (dst_rack, src_rack)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        start, goal = key
+        best: Dict[str, float] = {start: 0.0}
+        settled: Dict[str, Tuple[float, float]] = {}
+        # Heap entries are (cost, vertex, path_latency, bottleneck_gbps);
+        # the vertex string is the deterministic tie-break.
+        frontier: List[Tuple[float, str, float, float]] = [(0.0, start, 0.0, UNLIMITED)]
+        while frontier:
+            cost, vertex, latency, bottleneck = heapq.heappop(frontier)
+            if vertex in settled:
+                continue
+            settled[vertex] = (latency, bottleneck)
+            if vertex == goal:
+                break
+            for neighbour, link in self._adjacency.get(vertex, ()):
+                if neighbour in settled:
+                    continue
+                next_cost = cost + link.inverse_bandwidth
+                known = best.get(neighbour)
+                if known is None or next_cost < known:
+                    best[neighbour] = next_cost
+                    heapq.heappush(
+                        frontier,
+                        (
+                            next_cost,
+                            neighbour,
+                            latency + link.latency_s,
+                            min(bottleneck, link.bandwidth_gbps),
+                        ),
+                    )
+        if goal not in settled:
+            raise FabricError(
+                f"fabric {self.name!r}: no route between racks "
+                f"{src_rack!r} and {dst_rack!r}"
+            )
+        result = settled[goal]
+        self._route_cache[key] = result
+        return result
+
+    def path_cost(self, src_rack: str, dst_rack: str) -> float:
+        """Unitless congestion score of the route (latency + inverse bw)."""
+        if src_rack == dst_rack:
+            return 0.0
+        latency, bottleneck = self.route(src_rack, dst_rack)
+        inverse = 0.0 if bottleneck == UNLIMITED else 1.0 / bottleneck
+        return latency + inverse
+
+    def hop_cost(self, src_node: str, dst_node: str) -> float:
+        """Locality score between two nodes: 0 on the same node, small
+        within a rack, large across the fabric (used by the
+        ``locality_aware`` placement policy to rank candidates)."""
+        if src_node == dst_node:
+            return 0.0
+        src = self.rack(self.rack_of(src_node))
+        dst = self.rack(self.rack_of(dst_node))
+        cost = src.uplink_latency_s + dst.uplink_latency_s
+        for rack in (src, dst):
+            if rack.uplink_gbps != UNLIMITED:
+                cost += 1.0 / rack.uplink_gbps
+        if src.rack_id != dst.rack_id:
+            cost += self.path_cost(src.rack_id, dst.rack_id)
+        return cost
+
+    # -------------------------------------------------------------- #
+    # Transfer model
+    # -------------------------------------------------------------- #
+    def transfer_time(self, src_node: str, dst_node: str, payload_bytes: int) -> float:
+        """Seconds to move ``payload_bytes`` from ``src_node`` to ``dst_node``.
+
+        Same node: 0 (the data never leaves the host).  Same rack: twice
+        the uplink latency plus serialization through the rack uplink.
+        Cross rack: both uplinks plus the routed path's latency, at the
+        bottleneck bandwidth of the whole route.
+        """
+        if payload_bytes <= 0 or src_node == dst_node:
+            return 0.0
+        src = self.rack(self.rack_of(src_node))
+        dst = self.rack(self.rack_of(dst_node))
+        if src.rack_id == dst.rack_id:
+            latency = 2.0 * src.uplink_latency_s
+            bandwidth = src.uplink_gbps
+        else:
+            path_latency, path_bw = self.route(src.rack_id, dst.rack_id)
+            latency = src.uplink_latency_s + path_latency + dst.uplink_latency_s
+            bandwidth = min(src.uplink_gbps, path_bw, dst.uplink_gbps)
+        seconds = latency
+        if bandwidth != UNLIMITED:
+            seconds += payload_bytes * _BITS_PER_BYTE / (bandwidth * _GBPS)
+        return seconds
+
+    def transfer_energy_wh(self, payload_bytes: int) -> float:
+        """Wh charged for moving ``payload_bytes`` over a costed edge."""
+        if payload_bytes <= 0:
+            return 0.0
+        return payload_bytes / _BYTES_PER_GB * self.energy_per_gb_wh
+
+    def is_zero_cost(self) -> bool:
+        """True when every possible transfer takes exactly zero seconds —
+        the neutral fabric, byte-identical to running with none attached."""
+        for rack in self.racks:
+            if rack.uplink_gbps != UNLIMITED or rack.uplink_latency_s != 0.0:
+                return False
+        for link in self.links:
+            if link.bandwidth_gbps != UNLIMITED or link.latency_s != 0.0:
+                return False
+        return True
+
+    # -------------------------------------------------------------- #
+    # Serialization and identity
+    # -------------------------------------------------------------- #
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "racks": [rack.to_dict() for rack in self.racks],
+            "links": [link.to_dict() for link in self.links],
+            "switches": list(self.switches),
+            "assignments": {
+                node: self.assignments[node] for node in sorted(self.assignments)
+            },
+            "energy_per_gb_wh": self.energy_per_gb_wh,
+            "testbed_nodes": self.testbed_nodes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "FabricTopology":
+        return cls(
+            name=str(payload["name"]),
+            racks=tuple(Rack.from_dict(rack) for rack in payload.get("racks", ())),
+            links=tuple(
+                FabricLink.from_dict(link) for link in payload.get("links", ())
+            ),
+            switches=tuple(str(s) for s in payload.get("switches", ())),
+            assignments=dict(payload.get("assignments") or {}),
+            energy_per_gb_wh=float(payload.get("energy_per_gb_wh", 0.0)),
+            testbed_nodes=payload.get("testbed_nodes"),
+        )
+
+    def fingerprint(self) -> str:
+        """sha256 over the canonical JSON form (the ``WorkflowSpec.digest``
+        idiom), stable across processes and ``PYTHONHASHSEED``."""
+        cached = self._fingerprint
+        if cached is None:
+            canonical = json.dumps(
+                self.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+            cached = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {len(self.racks)} rack(s), {len(self.links)} link(s), "
+            f"{len(self.switches)} switch(es)"
+        )
+
+
+# ------------------------------------------------------------------ #
+# Named profiles
+# ------------------------------------------------------------------ #
+
+_PROFILES: Dict[str, Callable[[], FabricTopology]] = {}
+
+
+def register_fabric(
+    name: str, factory: Callable[[], FabricTopology], overwrite: bool = False
+) -> None:
+    """Register a fabric profile factory under ``name``."""
+    if not name:
+        raise ValueError("fabric profile name must be non-empty")
+    if name in _PROFILES and not overwrite:
+        raise ValueError(f"fabric profile {name!r} is already registered")
+    _PROFILES[name] = factory
+
+
+def available_fabrics() -> List[str]:
+    """Registered fabric profile names, sorted."""
+    return sorted(_PROFILES)
+
+
+def get_fabric(name: str) -> FabricTopology:
+    """Construct a fresh instance of the named profile."""
+    try:
+        factory = _PROFILES[name]
+    except KeyError:
+        raise UnknownFabricError(name, available_fabrics()) from None
+    return factory()
+
+
+def fabric_of(fabric) -> Optional[FabricTopology]:
+    """Normalise the ways an entry point can name a fabric.
+
+    ``None`` passes through (no fabric); a string is looked up in the
+    profile registry; a dict is deserialized; a :class:`FabricTopology`
+    passes through unchanged.
+    """
+    if fabric is None or isinstance(fabric, FabricTopology):
+        return fabric
+    if isinstance(fabric, str):
+        return get_fabric(fabric)
+    if isinstance(fabric, Mapping):
+        return FabricTopology.from_dict(fabric)
+    raise TypeError(f"cannot interpret fabric: {fabric!r}")
+
+
+def uniform_fabric() -> FabricTopology:
+    """One rack, uncontended, zero latency: the neutral (no-op) fabric."""
+    return FabricTopology(name="uniform", racks=(Rack("rack0"),))
+
+
+def datacenter_3tier_fabric() -> FabricTopology:
+    """Four racks behind two aggregation switches and one core switch."""
+    return FabricTopology(
+        name="datacenter-3tier",
+        racks=(
+            Rack("rack0", uplink_gbps=100.0, uplink_latency_s=2e-6),
+            Rack("rack1", uplink_gbps=100.0, uplink_latency_s=2e-6),
+            Rack("rack2", uplink_gbps=100.0, uplink_latency_s=2e-6),
+            Rack("rack3", uplink_gbps=100.0, uplink_latency_s=2e-6),
+        ),
+        switches=("agg0", "agg1", "core0"),
+        links=(
+            FabricLink("rack0", "agg0", bandwidth_gbps=40.0, latency_s=2e-6),
+            FabricLink("rack1", "agg0", bandwidth_gbps=40.0, latency_s=2e-6),
+            FabricLink("rack2", "agg1", bandwidth_gbps=40.0, latency_s=2e-6),
+            FabricLink("rack3", "agg1", bandwidth_gbps=40.0, latency_s=2e-6),
+            FabricLink("agg0", "core0", bandwidth_gbps=100.0, latency_s=3e-6),
+            FabricLink("agg1", "core0", bandwidth_gbps=100.0, latency_s=3e-6),
+        ),
+        energy_per_gb_wh=0.05,
+    )
+
+
+def edge_wan_fabric() -> FabricTopology:
+    """A cloud rack and an edge rack joined by a thin, slow WAN link."""
+    return FabricTopology(
+        name="edge-wan",
+        racks=(
+            Rack("cloud", uplink_gbps=100.0, uplink_latency_s=2e-6),
+            Rack("edge", uplink_gbps=1.0, uplink_latency_s=5e-3),
+        ),
+        links=(FabricLink("cloud", "edge", bandwidth_gbps=0.2, latency_s=0.05),),
+        assignments={"node0": "cloud", "node1": "edge"},
+        energy_per_gb_wh=0.15,
+        testbed_nodes=2,
+    )
+
+
+def congested_fabric() -> FabricTopology:
+    """Two racks with modest uplinks joined by a badly oversubscribed link.
+
+    Node assignments interleave the default testbed across the racks
+    (``node0``/``node2`` on rack0, ``node1``/``node3`` on rack1), so a
+    placement policy that ignores locality routinely pays the thin
+    inter-rack link for chatty stage pairs while a locality-aware one can
+    stay inside a rack.
+    """
+    return FabricTopology(
+        name="congested",
+        racks=(
+            Rack("rack0", uplink_gbps=25.0, uplink_latency_s=5e-4),
+            Rack("rack1", uplink_gbps=25.0, uplink_latency_s=5e-4),
+        ),
+        links=(FabricLink("rack0", "rack1", bandwidth_gbps=1.0, latency_s=5e-3),),
+        assignments={
+            "node0": "rack0",
+            "node1": "rack1",
+            "node2": "rack0",
+            "node3": "rack1",
+        },
+        energy_per_gb_wh=0.08,
+        testbed_nodes=4,
+    )
+
+
+register_fabric("uniform", uniform_fabric)
+register_fabric("datacenter-3tier", datacenter_3tier_fabric)
+register_fabric("edge-wan", edge_wan_fabric)
+register_fabric("congested", congested_fabric)
+
+
+def validate_profiles(golden_dir: Optional[str] = None) -> None:
+    """Instantiate every registered profile and check the registry
+    invariants (used by ``make lint``): names match registrations,
+    serialization round-trips fingerprint-exactly, fingerprints are
+    unique, ``uniform`` is provably zero-cost, and — when ``golden_dir``
+    exists — each profile matches its golden JSON byte surface under
+    ``tests/data/fabrics/``."""
+    import os
+
+    fingerprints: Dict[str, str] = {}
+    for name in available_fabrics():
+        fabric = get_fabric(name)
+        if fabric.name != name:
+            raise AssertionError(
+                f"fabric registered as {name!r} reports name {fabric.name!r}"
+            )
+        payload = json.loads(json.dumps(fabric.to_dict()))
+        round_tripped = FabricTopology.from_dict(payload)
+        if round_tripped.fingerprint() != fabric.fingerprint():
+            raise AssertionError(f"fabric {name!r} does not round-trip through JSON")
+        fingerprint = fabric.fingerprint()
+        if fingerprint in fingerprints:
+            raise AssertionError(
+                f"fabrics {fingerprints[fingerprint]!r} and {name!r} share "
+                f"fingerprint {fingerprint!r}"
+            )
+        fingerprints[fingerprint] = name
+    if not get_fabric("uniform").is_zero_cost():
+        raise AssertionError("the 'uniform' fabric profile must be zero-cost")
+    if golden_dir is not None and os.path.isdir(golden_dir):
+        for name in available_fabrics():
+            path = os.path.join(golden_dir, f"{name}.json")
+            if not os.path.exists(path):
+                raise AssertionError(f"missing fabric golden profile: {path}")
+            with open(path, "r", encoding="utf-8") as handle:
+                golden = json.load(handle)
+            if golden != get_fabric(name).to_dict():
+                raise AssertionError(
+                    f"fabric golden profile {path} does not match the "
+                    f"registered {name!r} profile; regenerate it with "
+                    "scripts/update_fabric_goldens.py"
+                )

@@ -229,6 +229,13 @@ class SteadyState:
     #: under; a different bundle plans differently, so its steady state is
     #: never replayed for another policy.
     policy_fingerprint: str = "default"
+    #: Costed fabric-transfer counters of the steady job (all zero without
+    #: an attached fabric, or when the fabric moves every payload for free).
+    transfer_s: float = 0.0
+    transferred_bytes: int = 0
+    cross_rack_bytes: int = 0
+    transfer_wh: float = 0.0
+    transfer_events: int = 0
 
 
 @dataclass
@@ -252,6 +259,13 @@ class GroupState:
     #: Index of the steady record in the trace recording being captured
     #: (``None`` when no recording is active for this steady state).
     steady_record: Optional[int] = None
+    #: ``(transfer_s, transferred_bytes, cross_rack_bytes, transfer_wh,
+    #: transfer_events)`` of :attr:`steady` — the transfer analogue of
+    #: :attr:`steady_values`, kept parallel (not appended) so every existing
+    #: consumer of the 4-tuple is untouched.  ``None`` when the steady job
+    #: moved no costed bytes, so the replay paths skip transfer accounting
+    #: entirely on fabric-free runs.
+    steady_transfer: Optional[Tuple[float, int, int, float, int]] = None
     #: Most recent observed makespan of this group (set by every probe) —
     #: the admission controller's deadline-feasibility estimate.
     estimate: Optional[float] = None
@@ -319,6 +333,14 @@ class TraceReport:
     #: reporting, capped at :attr:`max_latency_samples` (first N kept).
     latency_s: List[float] = field(default_factory=list)
     max_latency_samples: Optional[int] = 100_000
+    #: Costed inter-stage data movement over the attached fabric; all zero
+    #: (and omitted from summaries) when no fabric is attached or the
+    #: fabric moves every payload for free.
+    transfer_events: int = 0
+    transferred_bytes: int = 0
+    cross_rack_bytes: int = 0
+    transfer_s: float = 0.0
+    transfer_wh: float = 0.0
 
     @property
     def batch_start(self) -> float:
@@ -355,6 +377,12 @@ class TraceReport:
         self.queue_delay_s.add(max(0.0, result.started_at - arrival_time))
         self.throughput.record(result.started_at, result.finished_at)
         self.add_latency(result.finished_at - arrival_time)
+        if result.transfer_events:
+            self.transfer_events += result.transfer_events
+            self.transferred_bytes += result.transferred_bytes
+            self.cross_rack_bytes += result.cross_rack_bytes
+            self.transfer_s += result.transfer_s
+            self.transfer_wh += result.transfer_wh
         self.job_summaries[result.job_id] = result.compact_summary()
         evict_oldest(self.job_summaries, self.max_job_summaries)
 
@@ -468,6 +496,11 @@ class TraceReport:
                 mine[key] = mine.get(key, 0) + value
         for priority, aggregate in other.priority_latency.items():
             self.class_latency(priority).merge(aggregate)
+        self.transfer_events += other.transfer_events
+        self.transferred_bytes += other.transferred_bytes
+        self.cross_rack_bytes += other.cross_rack_bytes
+        self.transfer_s += other.transfer_s
+        self.transfer_wh += other.transfer_wh
         for latency in other.latency_s:
             self.add_latency(latency)
         for shard_id, record in other.shards.items():
@@ -539,6 +572,14 @@ class TraceReport:
                 priority: dict(counters)
                 for priority, counters in sorted(self.priority_classes.items())
             }
+        # And only runs whose fabric actually charged for data movement
+        # carry transfer accounting (a zero-cost fabric never does).
+        if self.transfer_events:
+            data["transfer_events"] = self.transfer_events
+            data["transferred_bytes"] = self.transferred_bytes
+            data["cross_rack_bytes"] = self.cross_rack_bytes
+            data["total_transfer_s"] = round(self.transfer_s, 2)
+            data["transfer_wh"] = round(self.transfer_wh, 4)
         return data
 
     def canonical_dict(self) -> Dict[str, object]:
@@ -595,6 +636,20 @@ class TraceReport:
                 for priority, aggregate in sorted(self.priority_latency.items())
             },
             "latency_s": list(self.latency_s),
+            # Keyed in only when a fabric actually charged for movement, so
+            # captures taken before the fabric subsystem existed (and every
+            # fabric-free run) keep their exact historical shape.
+            **(
+                {
+                    "transfer_events": self.transfer_events,
+                    "transferred_bytes": self.transferred_bytes,
+                    "cross_rack_bytes": self.cross_rack_bytes,
+                    "transfer_s": self.transfer_s,
+                    "transfer_wh": self.transfer_wh,
+                }
+                if self.transfer_events
+                else {}
+            ),
         }
 
 
@@ -740,6 +795,16 @@ class ServiceLoadGenerator:
             self._dynamics = self.service.attach_dynamics(dynamics)
         else:
             self._dynamics = getattr(self.service, "dynamics", None)
+        feedback = getattr(self._dynamics, "set_admission_feedback", None)
+        if feedback is not None:
+            # Shed submissions are demand the autoscaler cannot see as
+            # queued tasks; feed the run's controller counters in (and
+            # clear any previous run's stale source when admission is off).
+            if controller is not None:
+                counters = controller.counters
+                feedback(lambda: counters["reject"] + counters["defer"])
+            else:
+                feedback(None)
         if max_per_job_records is not None:
             self.service.stats.limit_per_job_records(max_per_job_records)
         job_ids = job_ids or (lambda index, workload: f"trace-{index:05d}-{workload}")
@@ -849,18 +914,26 @@ class ServiceLoadGenerator:
         run_starts: List[float] = []
         run_finishes: List[float] = []
         run_values: List[tuple] = []
+        run_transfers: List[Optional[tuple]] = []
 
         def drain() -> None:
             """Account the buffered steady-state run at array level."""
             if run_ids:
                 self._account_run(
-                    report, run_ids, run_arrivals, run_starts, run_finishes, run_values
+                    report,
+                    run_ids,
+                    run_arrivals,
+                    run_starts,
+                    run_finishes,
+                    run_values,
+                    transfers=run_transfers,
                 )
                 run_ids.clear()
                 run_arrivals.clear()
                 run_starts.clear()
                 run_finishes.clear()
                 run_values.clear()
+                run_transfers.clear()
 
         for index, arrival in ordered:
             job_id = job_ids(index, arrival.workload)
@@ -978,6 +1051,7 @@ class ServiceLoadGenerator:
                     run_starts.append(service_start)
                     run_finishes.append(finish)
                     run_values.append(group.steady_values)
+                    run_transfers.append(group.steady_transfer)
                     if recording is not None:
                         if group.steady_record is None:
                             recording = None
@@ -1101,12 +1175,28 @@ class ServiceLoadGenerator:
                         store_version=store.version,
                         dynamics_version=self._dynamics_version(),
                         policy_fingerprint=self._policy_fingerprint(),
+                        transfer_s=result.transfer_s,
+                        transferred_bytes=result.transferred_bytes,
+                        cross_rack_bytes=result.cross_rack_bytes,
+                        transfer_wh=result.transfer_wh,
+                        transfer_events=result.transfer_events,
                     )
                     group.steady_values = (
                         result.makespan_s,
                         result.energy_wh,
                         result.cost,
                         result.quality,
+                    )
+                    group.steady_transfer = (
+                        (
+                            result.transfer_s,
+                            result.transferred_bytes,
+                            result.cross_rack_bytes,
+                            result.transfer_wh,
+                            result.transfer_events,
+                        )
+                        if result.transfer_events
+                        else None
                     )
                     if recording is not None:
                         recording.records.append(
@@ -1300,6 +1390,7 @@ class ServiceLoadGenerator:
         starts: List[float],
         finishes: List[float],
         values: List[tuple],
+        transfers: Optional[List[Optional[tuple]]] = None,
     ) -> None:
         """Account one contiguous run of replayed completions at array level.
 
@@ -1348,6 +1439,26 @@ class ServiceLoadGenerator:
             stats.total_makespan_s = sequential_sum(stats.total_makespan_s, makespans)
             stats.total_energy_wh = sequential_sum(stats.total_energy_wh, energies)
             stats.total_cost = sequential_sum(stats.total_cost, costs)
+        if transfers is not None:
+            # Plain scalar accumulation in job order — exactly the += the
+            # reference path performs per result, so fabric-attached runs
+            # stay byte-identical across the two paths.  ``None`` entries
+            # (jobs that moved no costed bytes — every job, on fabric-free
+            # runs) are skipped without touching any accumulator.
+            for entry in transfers:
+                if entry is None:
+                    continue
+                t_s, t_bytes, t_cross, t_wh, t_events = entry
+                report.transfer_s += t_s
+                report.transferred_bytes += t_bytes
+                report.cross_rack_bytes += t_cross
+                report.transfer_wh += t_wh
+                report.transfer_events += t_events
+                stats.transfer_s += t_s
+                stats.transferred_bytes += t_bytes
+                stats.cross_rack_bytes += t_cross
+                stats.transfer_wh += t_wh
+                stats.transfer_events += t_events
         # Starts never precede arrivals on this path, so the delay is the
         # plain difference (the reference path's max(0.0, ...) is a no-op).
         delays = [start - arrived for start, arrived in zip(starts, arrival_col)]
@@ -1482,6 +1593,14 @@ class ServiceLoadGenerator:
         could not be validated against a restarted process.
         """
         runtime = self.service.runtime
+        fabric = getattr(runtime, "fabric", None)
+        if fabric is not None and not fabric.is_zero_cost():
+            # A costed fabric delays and accounts per-edge transfers that
+            # :class:`~repro.warmstate.ReplayRecord` does not capture, so
+            # persistent recordings are disabled rather than replayed wrong.
+            # (A zero-cost fabric is byte-identical to no fabric at all —
+            # proven differentially — so its recordings are safely shared.)
+            return None
         workload_sequence = tuple(arrival.workload for _, arrival in ordered)
         spec_digests = []
         for name in sorted(set(workload_sequence)):
@@ -1626,6 +1745,11 @@ class ServiceLoadGenerator:
             quality=steady.quality,
             plan=steady.plan,
             provisioned_gpus=steady.provisioned_gpus,
+            transfer_s=steady.transfer_s,
+            transferred_bytes=steady.transferred_bytes,
+            cross_rack_bytes=steady.cross_rack_bytes,
+            transfer_wh=steady.transfer_wh,
+            transfer_events=steady.transfer_events,
         )
 
     # ------------------------------------------------------------------ #
@@ -1953,6 +2077,18 @@ class ServiceLoadGenerator:
             (result.makespan_s, result.energy_wh, result.cost, result.quality)
             for result in pattern
         ]
+        transfers = [
+            (
+                result.transfer_s,
+                result.transferred_bytes,
+                result.cross_rack_bytes,
+                result.transfer_wh,
+                result.transfer_events,
+            )
+            if result.transfer_events
+            else None
+            for result in pattern
+        ]
         remaining = entries[plan.resume_at :]
         rows = []
         for position, entry in enumerate(remaining):
@@ -1996,6 +2132,7 @@ class ServiceLoadGenerator:
                 [row[4] for row in rows],
                 [row[0] for row in rows],
                 [values[row[3]] for row in rows],
+                transfers=[transfers[row[3]] for row in rows],
             )
             last_finish = rows[-1][0]
             if engine.now < last_finish:
@@ -2033,4 +2170,9 @@ class ServiceLoadGenerator:
             quality=slot.quality,
             plan=slot.plan,
             provisioned_gpus=slot.provisioned_gpus,
+            transfer_s=slot.transfer_s,
+            transferred_bytes=slot.transferred_bytes,
+            cross_rack_bytes=slot.cross_rack_bytes,
+            transfer_wh=slot.transfer_wh,
+            transfer_events=slot.transfer_events,
         )

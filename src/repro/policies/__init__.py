@@ -4,7 +4,8 @@ Defines the stable decision interfaces every orchestration layer delegates
 through (:class:`PlacementPolicy`, :class:`SchedulingPolicy`,
 :class:`QualityAdaptationPolicy`), the shared :class:`PlanContext` IR they
 read, and the named :class:`PolicyBundle` registry the entry points resolve
-(``default``, ``latency_first``, ``energy_first``, ``spot_aware``).
+(``default``, ``latency_first``, ``energy_first``, ``spot_aware``,
+``locality_aware``).
 
 See :mod:`repro.policies.bundles` for the registry and
 ``python -m repro compare-policies`` for a side-by-side comparison.
@@ -24,6 +25,7 @@ from repro.policies.bundles import (
     energy_first_bundle,
     get_bundle,
     latency_first_bundle,
+    locality_aware_bundle,
     pinned_bundle,
     register_bundle,
     resolve_bundle,
@@ -34,6 +36,7 @@ from repro.policies.context import PlanContext
 from repro.policies.placement import (
     BestFitPolicy,
     FirstFitPolicy,
+    LocalityAwarePlacementPolicy,
     SpotAwarePlacementPolicy,
     SpreadPolicy,
     WorkflowAwarePolicy,
@@ -68,11 +71,13 @@ __all__ = [
     "latency_first_bundle",
     "energy_first_bundle",
     "spot_aware_bundle",
+    "locality_aware_bundle",
     "FirstFitPolicy",
     "BestFitPolicy",
     "SpreadPolicy",
     "WorkflowAwarePolicy",
     "SpotAwarePlacementPolicy",
+    "LocalityAwarePlacementPolicy",
     "RankedSchedulingPolicy",
     "DefaultSchedulingPolicy",
     "LatencyFirstSchedulingPolicy",

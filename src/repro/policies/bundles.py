@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Union
 from repro.policies.base import PlacementPolicy, QualityAdaptationPolicy, SchedulingPolicy
 from repro.policies.placement import (
     BestFitPolicy,
+    LocalityAwarePlacementPolicy,
     SpotAwarePlacementPolicy,
     WorkflowAwarePolicy,
 )
@@ -226,10 +227,26 @@ def spot_aware_bundle() -> PolicyBundle:
     )
 
 
+def locality_aware_bundle() -> PolicyBundle:
+    """Default decisions, but placement minimises fabric distance."""
+    return PolicyBundle(
+        name="locality_aware",
+        placement=LocalityAwarePlacementPolicy(WorkflowAwarePolicy()),
+        scheduling=DefaultSchedulingPolicy(),
+        quality=DefaultQualityPolicy(),
+        description=(
+            "default scheduling, but placement keeps each workflow's stages "
+            "on the cheapest fabric path (fewest cross-rack hops) when a "
+            "fabric topology is attached; identical to default without one"
+        ),
+    )
+
+
 register_bundle("default", default_bundle)
 register_bundle("latency_first", latency_first_bundle)
 register_bundle("energy_first", energy_first_bundle)
 register_bundle("spot_aware", spot_aware_bundle)
+register_bundle("locality_aware", locality_aware_bundle)
 
 
 def validate_registry() -> None:

@@ -18,6 +18,7 @@ from repro.cluster.telemetry_exchange import ResourceStatsMessage
 from repro.core.constraints import ConstraintSet
 
 if TYPE_CHECKING:
+    from repro.fabric import FabricTopology
     from repro.profiling.store import ProfileStore
 
 
@@ -40,6 +41,11 @@ class PlanContext:
     #: key, so a policy may condition on the submitting spec without its
     #: decisions leaking into another spec's cache entries.
     spec_digest: str = ""
+    #: The attached cluster interconnect model, or ``None`` when data
+    #: movement is free.  Part of the planner's decision-cache key (by
+    #: fingerprint), so a fabric-conditioned policy can never replay a
+    #: decision cached under a different topology.
+    fabric: Optional["FabricTopology"] = None
 
     @property
     def stats_digest(self) -> Optional[Tuple]:

@@ -15,7 +15,7 @@ submitted jobs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from repro.admission import (
     AdmissionConfig,
@@ -35,6 +35,9 @@ from repro.policies.bundles import PolicyBundle, PolicyLike
 from repro.profiling.profiler import Profiler
 from repro.telemetry.metrics import StreamingAggregate, evict_oldest
 from repro.warmstate import WarmStateCache, resolve_warm_cache
+
+if TYPE_CHECKING:
+    from repro.fabric import FabricTopology
 
 
 @dataclass
@@ -64,6 +67,13 @@ class ServiceStats:
     #: Per-shard provenance counters, filled by :meth:`merge` when shard
     #: stats are folded into one global view; empty on a plain service.
     shards: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    #: Fabric data-movement accounting (all zero unless a costed
+    #: :class:`~repro.fabric.FabricTopology` is attached to the runtime).
+    transfer_events: int = 0
+    transferred_bytes: int = 0
+    cross_rack_bytes: int = 0
+    transfer_s: float = 0.0
+    transfer_wh: float = 0.0
 
     @property
     def mean_makespan_s(self) -> float:
@@ -73,12 +83,19 @@ class ServiceStats:
 
     def provenance(self) -> Dict[str, float]:
         """The compact per-shard accounting record :meth:`merge` stores."""
-        return {
+        record = {
             "jobs_completed": self.jobs_completed,
             "total_energy_wh": self.total_energy_wh,
             "total_cost": self.total_cost,
             "total_makespan_s": self.total_makespan_s,
         }
+        if self.transfer_events:
+            record["transfer_events"] = self.transfer_events
+            record["transferred_bytes"] = self.transferred_bytes
+            record["cross_rack_bytes"] = self.cross_rack_bytes
+            record["transfer_s"] = self.transfer_s
+            record["transfer_wh"] = self.transfer_wh
+        return record
 
     def merge(self, other: "ServiceStats", shard: Optional[int] = None) -> "ServiceStats":
         """Fold another service's accounting into this one.
@@ -95,6 +112,11 @@ class ServiceStats:
         self.total_energy_wh += other.total_energy_wh
         self.total_cost += other.total_cost
         self.total_makespan_s += other.total_makespan_s
+        self.transfer_events += other.transfer_events
+        self.transferred_bytes += other.transferred_bytes
+        self.cross_rack_bytes += other.cross_rack_bytes
+        self.transfer_s += other.transfer_s
+        self.transfer_wh += other.transfer_wh
         self.makespan_s.merge(other.makespan_s)
         self.energy_wh.merge(other.energy_wh)
         self.cost.merge(other.cost)
@@ -148,6 +170,12 @@ class ServiceStats:
         self.total_energy_wh += result.energy_wh
         self.total_cost += result.cost
         self.total_makespan_s += result.makespan_s
+        if result.transfer_events:
+            self.transfer_events += result.transfer_events
+            self.transferred_bytes += result.transferred_bytes
+            self.cross_rack_bytes += result.cross_rack_bytes
+            self.transfer_s += result.transfer_s
+            self.transfer_wh += result.transfer_wh
         self.makespan_s.add(result.makespan_s)
         self.energy_wh.add(result.energy_wh)
         self.cost.add(result.cost)
@@ -170,6 +198,7 @@ class AIWorkflowService:
         policy: PolicyLike = None,
         warm_cache: "WarmStateCache | str | None" = None,
         admission: "AdmissionConfig | None" = None,
+        fabric: "FabricTopology | str | None" = None,
     ) -> None:
         """``policy`` installs a control-plane bundle on the runtime via
         :meth:`MurakkabRuntime.set_policy` — including a runtime passed in by
@@ -192,7 +221,16 @@ class AIWorkflowService:
         :class:`~repro.admission.AdmissionRejected` when shed), and every
         ``submit_trace`` runs behind a fresh per-run controller with the
         full ladder — rate limiting, deadline feasibility,
-        degrade-before-drop (see :mod:`repro.admission`)."""
+        degrade-before-drop (see :mod:`repro.admission`).
+
+        ``fabric`` attaches a cluster-interconnect model (a
+        :class:`~repro.fabric.FabricTopology`, a registered profile name
+        such as ``"congested"``, or its dict form): dependent stages placed
+        on different nodes then pay per-payload transfer time on the
+        topology's links, and the service accounts moved bytes, cross-rack
+        bytes, and transfer energy in :class:`ServiceStats`.  The
+        ``uniform`` profile (and any zero-cost topology) is byte-identical
+        to running with no fabric at all."""
         self.warm_cache: Optional[WarmStateCache] = resolve_warm_cache(warm_cache)
         if runtime is None:
             runtime = self._build_runtime(self.warm_cache)
@@ -201,6 +239,8 @@ class AIWorkflowService:
             self._restore_plan_cache()
         if policy is not None:
             self.runtime.set_policy(policy)
+        if fabric is not None:
+            self.runtime.set_fabric(fabric)
         self.keep_warm = keep_warm
         self.stats = ServiceStats()
         self._profiler = Profiler()
@@ -304,6 +344,22 @@ class AIWorkflowService:
         decisions cached under another policy are never replayed.
         """
         return self.runtime.set_policy(policy)
+
+    @property
+    def fabric(self) -> "Optional[FabricTopology]":
+        """The runtime's attached interconnect model (``None`` = free moves)."""
+        return self.runtime.fabric
+
+    def set_fabric(self, fabric: "FabricTopology | str | None") -> "FabricTopology":
+        """Attach (or replace) the cluster-interconnect model.
+
+        Accepts a :class:`~repro.fabric.FabricTopology`, a registered
+        profile name, or a topology dict; takes effect for every subsequent
+        ``submit``/``submit_trace``.  Plan caches are keyed by the fabric
+        fingerprint, so decisions cached under another topology are never
+        replayed.
+        """
+        return self.runtime.set_fabric(fabric)
 
     def set_admission(
         self, admission: "AdmissionConfig | None"

@@ -171,6 +171,7 @@ class ShardedService:
         registry: Optional[WorkloadRegistry] = None,
         replicas: int = 64,
         admission=None,
+        fabric=None,
     ) -> None:
         if backend not in ("inline", "process"):
             raise ValueError(
@@ -205,6 +206,12 @@ class ShardedService:
         from repro.admission import admission_of
 
         self.admission = admission_of(admission)
+        #: Interconnect model installed on every shard.  Normalized eagerly
+        #: (a typo'd profile name fails at construction) and shipped to
+        #: process workers in dict form, like the admission config.
+        from repro.fabric import fabric_of
+
+        self.fabric = fabric_of(fabric)
         self._dynamics_config = None
         #: Inline backend: shard id -> long-lived in-process service.
         self._inline: Dict[int, AIWorkflowService] = {}
@@ -258,6 +265,7 @@ class ShardedService:
         return {
             "keep_warm": self._keep_warm,
             "policy": self._policy if isinstance(self._policy, str) else None,
+            "fabric": self.fabric.to_dict() if self.fabric is not None else None,
         }
 
     def _inline_shard(self, shard: int) -> AIWorkflowService:
@@ -267,6 +275,7 @@ class ShardedService:
                 keep_warm=self._keep_warm,
                 policy=self._installed_bundle,
                 warm_cache=self.shard_warm_dir(shard),
+                fabric=self.fabric,
             )
             if self._dynamics_config is not None:
                 service.attach_dynamics(self._copy_dynamics_config())
@@ -333,6 +342,24 @@ class ShardedService:
         for service in self._inline.values():
             service.set_policy(bundle)
         return bundle
+
+    def set_fabric(self, fabric):
+        """Install (or clear, with ``None``) the interconnect model on
+        every shard.
+
+        Inline shards switch immediately; process shards receive the
+        topology in dict form with their next dispatch.  Accepts a
+        :class:`~repro.fabric.FabricTopology`, a registered profile name,
+        or its dict form; returns the installed topology.
+        """
+        self._check_open()
+        from repro.fabric import fabric_of
+
+        topology = fabric_of(fabric)
+        self.fabric = topology
+        for service in self._inline.values():
+            service.set_fabric(topology)
+        return topology
 
     @property
     def dynamics(self):

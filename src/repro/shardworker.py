@@ -34,6 +34,7 @@ _STATE: Dict[str, object] = {
     "service": None,
     "service_key": None,
     "policy": None,
+    "fabric": None,
     "registry": None,
     "registered": {},
 }
@@ -61,6 +62,7 @@ def _configure(config: Dict[str, object], warm_cache: Optional[str]):
         _STATE["service"] = service
         _STATE["service_key"] = key
         _STATE["policy"] = None
+        _STATE["fabric"] = None
         _STATE["registry"] = None
         _STATE["registered"] = {}
     policy = config.get("policy")
@@ -68,6 +70,12 @@ def _configure(config: Dict[str, object], warm_cache: Optional[str]):
         if policy is not None:
             service.set_policy(policy)
         _STATE["policy"] = policy
+    fabric = config.get("fabric")
+    if fabric != _STATE["fabric"]:
+        # Shipped in dict form; set_fabric(None) detaches, so a cleared
+        # fabric re-points the service just like a policy change.
+        service.set_fabric(fabric)
+        _STATE["fabric"] = fabric
     return service
 
 

@@ -19,9 +19,15 @@ class Table2Row:
     time_s: float
     paper_energy_wh: Optional[float] = None
     paper_time_s: Optional[float] = None
+    #: Data-movement energy charged by an attached fabric; ``None`` when no
+    #: fabric was attached, so the column (and the golden byte surface of
+    #: fabric-free reports) only appears on fabric-enabled runs.
+    transfer_wh: Optional[float] = None
 
     def as_cells(self) -> List[str]:
         cells = [self.config, f"{self.energy_wh:.1f}", f"{self.time_s:.1f}"]
+        if self.transfer_wh is not None:
+            cells.append(f"{self.transfer_wh:.4f}")
         if self.paper_energy_wh is not None and self.paper_time_s is not None:
             cells.extend([f"{self.paper_energy_wh:.0f}", f"{self.paper_time_s:.0f}"])
         return cells
@@ -50,6 +56,9 @@ def build_table2_rows(
                 time_s=result.makespan_s,
                 paper_energy_wh=paper.get("energy_wh"),
                 paper_time_s=paper.get("time_s"),
+                # Only fabric-enabled runs record transfer events; leaving
+                # the field None keeps fabric-free tables byte-identical.
+                transfer_wh=result.transfer_wh if result.transfer_events else None,
             )
         )
     return rows
@@ -58,7 +67,23 @@ def build_table2_rows(
 def render_table2(rows: List[Table2Row]) -> str:
     """Render Table 2 as text, with paper columns when available."""
     with_paper = all(row.paper_energy_wh is not None for row in rows)
+    with_transfer = any(row.transfer_wh is not None for row in rows)
     headers = ["Speech-to-Text Config.", "Energy (Wh)", "Time (s)"]
+    if with_transfer:
+        headers.append("Transfer (Wh)")
     if with_paper:
         headers += ["Paper Energy (Wh)", "Paper Time (s)"]
-    return render_table(headers, [row.as_cells() for row in rows])
+    cells = []
+    for row in rows:
+        if with_transfer and row.transfer_wh is None:
+            # Mixed rows: pad so the fabric column stays aligned.
+            row = Table2Row(
+                config=row.config,
+                energy_wh=row.energy_wh,
+                time_s=row.time_s,
+                paper_energy_wh=row.paper_energy_wh,
+                paper_time_s=row.paper_time_s,
+                transfer_wh=0.0,
+            )
+        cells.append(row.as_cells())
+    return render_table(headers, cells)

@@ -122,6 +122,40 @@ def test_cli_loadtest_empty_workloads_is_friendly(capsys):
     assert "no workloads requested" in captured.err
 
 
+def test_cli_loadtest_unknown_fabric_lists_profiles(capsys):
+    exit_code = main(
+        ["loadtest", "--fabric", "nope", "--horizon", "10", "--workloads", "newsfeed"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "unknown fabric profile 'nope'" in captured.err
+    for name in ("uniform", "datacenter-3tier", "edge-wan", "congested"):
+        assert name in captured.err
+
+
+def test_cli_validate_unknown_fabric_lists_profiles(capsys):
+    exit_code = main(["validate", "--fabric", "nope"])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "unknown fabric profile 'nope'" in captured.err
+    assert "congested" in captured.err
+
+
+def test_cli_validate_fabric_profile(capsys):
+    exit_code = main(["validate", "--fabric", "congested"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "fabric profile is valid" in captured.out
+    assert "congested" in captured.out
+
+
+def test_cli_validate_without_spec_or_fabric_is_usage_error(capsys):
+    exit_code = main(["validate"])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "nothing to validate" in captured.err
+
+
 def test_cli_loadtest_bad_spec_file_exits_like_validate(capsys):
     # Same failure, same exit code as `validate`/`submit` (1), not the
     # unknown-workload usage code (2).

@@ -239,6 +239,70 @@ def test_sustained_pressure_scales_out_then_idle_scales_in():
     assert dynamics.log.commands[0].delta_gpus == 2
 
 
+def test_admission_shed_counts_as_pressure_even_with_free_gpus():
+    """Jobs the admission ladder turns away never queue, so the autoscaler
+    cannot see them as pending demand — the shed-counter feedback makes a
+    shedding tick pressured even while GPUs look free."""
+    engine = SimulationEngine()
+    cluster = Cluster([Node("a", 2, 16)])
+    manager = ClusterManager(cluster, time_source=lambda: engine.now)
+    config = DynamicsConfig(
+        autoscale=True,
+        autoscale_interval_s=10.0,
+        autoscale_horizon_s=100.0,
+        autoscale_pressure_ticks=2,
+        autoscale_idle_ticks=3,
+        autoscale_max_nodes=1,
+        autoscale_node_gpus=2,
+        autoscale_node_cpu_cores=16,
+    )
+    dynamics = ClusterDynamics(config).install(engine, manager)
+
+    shed = {"total": 0}
+    dynamics.set_admission_feedback(lambda: shed["total"])
+
+    def turn_away(count):
+        shed["total"] += count
+
+    # The cluster is completely idle: free GPUs, no announced demand.  Only
+    # the shed deltas before the first two ticks register as pressure.
+    engine.schedule_at(5.0, turn_away, 3)
+    engine.schedule_at(15.0, turn_away, 1)
+    engine.run()
+
+    assert dynamics.log.scale_outs == 1
+    command = dynamics.log.commands[0]
+    assert command.action == ScalingAction.SCALE_UP
+    assert "admission shed 1 job(s)" in command.reason
+    # Once shedding stops, idle ticks reclaim the scale-out node.
+    assert dynamics.log.scale_ins == 1
+    assert len(cluster) == 1
+
+
+def test_admission_feedback_baselines_preexisting_shed():
+    """Shed that happened before the feedback was attached is history, not
+    pressure: attaching must snapshot the cumulative counter."""
+    engine = SimulationEngine()
+    cluster = Cluster([Node("a", 2, 16)])
+    manager = ClusterManager(cluster, time_source=lambda: engine.now)
+    config = DynamicsConfig(
+        autoscale=True,
+        autoscale_interval_s=10.0,
+        autoscale_horizon_s=60.0,
+        autoscale_pressure_ticks=1,
+        autoscale_idle_ticks=100,
+        autoscale_max_nodes=1,
+        autoscale_node_gpus=2,
+        autoscale_node_cpu_cores=16,
+    )
+    dynamics = ClusterDynamics(config).install(engine, manager)
+    dynamics.set_admission_feedback(lambda: 5)  # constant: no new shed ever
+    engine.run()
+
+    assert dynamics.log.scale_outs == 0
+    assert dynamics.log.commands == []
+
+
 def test_scale_out_respects_max_nodes():
     engine = SimulationEngine()
     cluster = Cluster([Node("a", 1, 8)])

@@ -139,6 +139,7 @@ class _StubResult:
     quality: float
     started_at: float = 0.0
     finished_at: float = 0.0
+    transfer_events: int = 0
 
     def compact_summary(self):
         return {
